@@ -1,0 +1,326 @@
+// Package openivm's root benchmark suite: one testing.B benchmark per
+// experiment in DESIGN.md §3 (E1–E8), regenerating the measurements behind
+// every artifact of the paper's demonstration section. cmd/benchivm runs
+// the same experiments at full scale with formatted tables.
+package openivm
+
+import (
+	"fmt"
+	"testing"
+
+	"openivm/internal/engine"
+	"openivm/internal/ivm"
+	"openivm/internal/ivmext"
+	"openivm/internal/oltp"
+	"openivm/internal/sqlparser"
+	"openivm/internal/wire"
+	"openivm/internal/workload"
+
+	"openivm/internal/htap"
+)
+
+const listing1View = `CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
+	SUM(group_value) AS total_value FROM groups GROUP BY group_index`
+
+func loadGroups(b *testing.B, rows, groups int, pragmas ...string) *engine.DB {
+	b.Helper()
+	db := engine.Open("bench", engine.DialectDuckDB)
+	ivmext.Install(db)
+	for _, p := range pragmas {
+		if _, err := db.Exec(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := workload.Groups{Rows: rows, NumGroups: groups, Seed: 42}
+	if err := w.Load(db); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func mustExecB(b *testing.B, db *engine.DB, sql string) {
+	b.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE1_Compile measures the SQL-to-SQL compiler itself: parsing,
+// planning and emitting the Listing 2 scripts for the Listing 1 view.
+func BenchmarkE1_Compile(b *testing.B) {
+	db := engine.Open("e1", engine.DialectDuckDB)
+	if _, err := db.Exec("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	stmt, err := sqlparser.Parse(listing1View)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv := stmt.(*sqlparser.CreateViewStmt)
+	c := ivm.NewCompiler(db, ivm.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := c.Compile(cv.Name, cv.Select, cv.SourceSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = comp.PropagateSQL()
+	}
+}
+
+// BenchmarkE2_IVMRefresh / BenchmarkE2_Recompute sweep delta fraction on a
+// fixed base (E2: the core incremental-vs-recompute claim).
+func BenchmarkE2_IVMRefresh(b *testing.B) {
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		b.Run(workload.Fraction(frac), func(b *testing.B) {
+			const rows, groups = 20000, 256
+			db := loadGroups(b, rows, groups)
+			mustExecB(b, db, listing1View)
+			w := workload.Groups{Rows: rows, NumGroups: groups}
+			deltaRows := int(float64(rows) * frac)
+			if deltaRows < 1 {
+				deltaRows = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mustExecB(b, db, w.InsertBatch(deltaRows, int64(i)))
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+		})
+	}
+}
+
+func BenchmarkE2_Recompute(b *testing.B) {
+	const rows, groups = 20000, 256
+	db := loadGroups(b, rows, groups)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustExecB(b, db, "SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+	}
+}
+
+// BenchmarkE3_CrossSystem measures one sync+query cycle of the HTAP
+// pipeline with and without IVM (E3: the four-way demo comparison; the
+// pure-engine arms are BenchmarkE2_Recompute and BenchmarkE3_PureOLTP).
+func BenchmarkE3_CrossSystemIVM(b *testing.B) {
+	sales := workload.Sales{Customers: 500, Orders: 5000, Regions: 16, Seed: 1}
+	store := oltp.New("pg")
+	if err := sales.Load(store.DB, true); err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer(store.DB)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	p := htap.New(cl)
+	if err := p.CreateMaterializedView(`CREATE MATERIALIZED VIEW region_totals AS
+		SELECT customers.region, SUM(orders.amount) AS total
+		FROM orders JOIN customers ON orders.cid = customers.cid
+		GROUP BY customers.region`); err != nil {
+		b.Fatal(err)
+	}
+	next := sales.Orders
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := cl.Exec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d)", next, next%500, next%400)); err != nil {
+			b.Fatal(err)
+		}
+		next++
+		b.StartTimer()
+		if _, err := p.Query("SELECT region, total FROM region_totals"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_CrossSystemRecompute(b *testing.B) {
+	sales := workload.Sales{Customers: 500, Orders: 5000, Regions: 16, Seed: 1}
+	store := oltp.New("pg")
+	if err := sales.Load(store.DB, true); err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer(store.DB)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Exec(`SELECT region, SUM(amount) FROM orders
+			JOIN customers ON orders.cid = customers.cid GROUP BY region`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_PureOLTP(b *testing.B) {
+	sales := workload.Sales{Customers: 500, Orders: 5000, Regions: 16, Seed: 1}
+	store := oltp.New("pg")
+	if err := sales.Load(store.DB, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.DB.Exec(`SELECT region, SUM(amount) FROM orders
+			JOIN customers ON orders.cid = customers.cid GROUP BY region`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_* measure ART index construction (view creation) vs the
+// refresh it accelerates.
+func BenchmarkE4_CreateViewWithIndex(b *testing.B) {
+	for _, groups := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("G%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := loadGroups(b, 50000, groups)
+				b.StartTimer()
+				mustExecB(b, db, listing1View)
+			}
+		})
+	}
+}
+
+func BenchmarkE4_CreateViewNoIndex(b *testing.B) {
+	for _, groups := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("G%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := loadGroups(b, 50000, groups, "PRAGMA ivm_strategy='union_regroup'")
+				b.StartTimer()
+				mustExecB(b, db, listing1View)
+			}
+		})
+	}
+}
+
+// BenchmarkE5_Strategy ablates the combine strategies (E5).
+func BenchmarkE5_Strategy(b *testing.B) {
+	for _, strat := range []string{"upsert_left_join", "union_regroup", "full_outer_join"} {
+		b.Run(strat, func(b *testing.B) {
+			const rows, groups = 20000, 1024
+			db := loadGroups(b, rows, groups, "PRAGMA ivm_strategy='"+strat+"'")
+			mustExecB(b, db, listing1View)
+			w := workload.Groups{Rows: rows, NumGroups: groups}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mustExecB(b, db, w.InsertBatch(200, int64(i)))
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Batch sweeps the propagation batch size (E6: recency vs
+// amortization).
+func BenchmarkE6_Batch(b *testing.B) {
+	for _, batch := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			const rows, groups = 5000, 64
+			db := loadGroups(b, rows, groups)
+			mustExecB(b, db, listing1View)
+			w := workload.Groups{Rows: rows, NumGroups: groups}
+			stream := w.UpdateStream(batch, 0.8, 0.1, 13)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, u := range stream {
+					mustExecB(b, db, u.SQL)
+				}
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "stmts/s")
+		})
+	}
+}
+
+// BenchmarkE7_JoinIVM measures incremental join-view maintenance vs
+// recomputing the join (E7).
+func BenchmarkE7_JoinIVM(b *testing.B) {
+	for _, customers := range []int{16, 2048} {
+		b.Run(fmt.Sprintf("C%d", customers), func(b *testing.B) {
+			db := engine.Open("e7", engine.DialectDuckDB)
+			ivmext.Install(db)
+			sales := workload.Sales{Customers: customers, Orders: 20000, Regions: 8, Seed: 5}
+			if err := sales.Load(db, true); err != nil {
+				b.Fatal(err)
+			}
+			mustExecB(b, db, `CREATE MATERIALIZED VIEW region_totals AS
+				SELECT customers.region, SUM(orders.amount) AS total, COUNT(*) AS n
+				FROM orders JOIN customers ON orders.cid = customers.cid
+				GROUP BY customers.region`)
+			next := sales.Orders
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < 50; j++ {
+					mustExecB(b, db, fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d)",
+						next, next%customers, next%300))
+					next++
+				}
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW region_totals")
+			}
+		})
+	}
+}
+
+func BenchmarkE7_JoinRecompute(b *testing.B) {
+	db := engine.Open("e7", engine.DialectDuckDB)
+	sales := workload.Sales{Customers: 2048, Orders: 20000, Regions: 8, Seed: 5}
+	if err := sales.Load(db, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustExecB(b, db, `SELECT customers.region, SUM(orders.amount), COUNT(*)
+			FROM orders JOIN customers ON orders.cid = customers.cid
+			GROUP BY customers.region`)
+	}
+}
+
+// BenchmarkE8_AutoStrategy measures the cost-based combine choice (E8:
+// PRAGMA ivm_strategy='auto') against the workload it must adapt to.
+func BenchmarkE8_AutoStrategy(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		groups int
+		delta  int
+	}{
+		{"smallView", 16, 2000},
+		{"largeView", 8192, 50},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const rows = 20000
+			db := loadGroups(b, rows, cfg.groups, "PRAGMA ivm_strategy='auto'")
+			mustExecB(b, db, listing1View)
+			w := workload.Groups{Rows: rows, NumGroups: cfg.groups}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mustExecB(b, db, w.InsertBatch(cfg.delta, int64(i)))
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command benchivm regenerates every experiment table from DESIGN.md §3
+// (E1–E8), covering each measurable artifact of the paper's demonstration
+// section: the Listing 1/2 compilation, incremental-vs-recompute sweeps,
+// the cross-system four-way comparison, ART index overhead, the combine-
+// strategy ablation, batch-size/recency trade-off, join maintenance, and
+// the cost-based auto-strategy extension.
+//
+// Usage:
+//
+//	benchivm              # run everything at full scale
+//	benchivm -e 2,5       # run selected experiments
+//	benchivm -small       # quick pass (test-scale parameters)
+//	benchivm -sql         # also print the E1 compiled SQL scripts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"openivm/internal/bench"
+)
+
+func main() {
+	var (
+		expts    = flag.String("e", "1,2,3,4,5,6,7,8", "comma-separated experiment ids to run")
+		small    = flag.Bool("small", false, "use small (test) scale parameters")
+		printSQL = flag.Bool("sql", false, "print the compiled SQL for E1")
+	)
+	flag.Parse()
+
+	scale := bench.FullScale()
+	if *small {
+		scale = bench.SmallScale()
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*expts, ",") {
+		selected[strings.TrimSpace(id)] = true
+	}
+
+	type experiment struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"1", func() (*bench.Table, error) {
+			t, sql, err := bench.E1Compile()
+			if err == nil && *printSQL {
+				fmt.Println(sql)
+			}
+			return t, err
+		}},
+		{"2", func() (*bench.Table, error) { return bench.E2IncrementalVsRecompute(scale) }},
+		{"3", func() (*bench.Table, error) { return bench.E3CrossSystem(scale) }},
+		{"4", func() (*bench.Table, error) { return bench.E4IndexOverhead(scale) }},
+		{"5", func() (*bench.Table, error) { return bench.E5Strategies(scale) }},
+		{"6", func() (*bench.Table, error) { return bench.E6Batching(scale) }},
+		{"7", func() (*bench.Table, error) { return bench.E7JoinIVM(scale) }},
+		{"8", func() (*bench.Table, error) { return bench.E8AutoStrategy(scale) }},
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if !selected[e.id] {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchivm: E%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		t.Print(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Command minidb is an interactive shell over the embedded analytical
+// engine with the OpenIVM extension loaded — the reproduction of the
+// demo's "DuckDB shell with IVM": visitors can create materialized views,
+// run DML against base tables, inspect the compiled scripts and watch
+// the incremental maintenance happen.
+//
+// Meta-commands:
+//
+//	\q                quit
+//	\tables           list tables
+//	\views            list materialized views with their query class
+//	\scripts <view>   print the stored setup + propagation SQL
+//	\stats            extension counters (captures, refreshes)
+//	\load demo        load the paper's Listing 1 schema with sample data
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"openivm/internal/engine"
+	"openivm/internal/ivmext"
+)
+
+func main() {
+	db := engine.Open("minidb", engine.DialectDuckDB)
+	ext := ivmext.Install(db)
+	fmt.Println("minidb — embedded analytical engine with OpenIVM (type \\q to quit, \\load demo for sample data)")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "minidb> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, ext, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "   ...> "
+			continue
+		}
+		sql := buf.String()
+		buf.Reset()
+		prompt = "minidb> "
+		res, err := db.ExecScript(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if res != nil && len(res.Columns) > 0 {
+			fmt.Print(res.Format())
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else if res != nil && res.RowsAffected > 0 {
+			fmt.Printf("OK, %d rows affected\n", res.RowsAffected)
+		} else {
+			fmt.Println("OK")
+		}
+	}
+}
+
+// meta handles backslash commands; returns false to quit.
+func meta(db *engine.DB, ext *ivmext.Extension, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\tables":
+		for _, t := range db.Catalog().TableNames() {
+			fmt.Println(t)
+		}
+	case "\\views":
+		for _, m := range db.Catalog().IVMViews() {
+			fmt.Printf("%s  class=%s  bases=%s\n", m.ViewName, m.QueryType, strings.Join(m.BaseTables, ","))
+		}
+	case "\\scripts":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\scripts <view>")
+			break
+		}
+		setup, prop, err := ext.Scripts(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("-- setup --")
+		fmt.Print(setup)
+		fmt.Println("-- propagation --")
+		fmt.Print(prop)
+	case "\\stats":
+		fmt.Printf("deltas captured:   %d\n", ext.Stats.DeltasCaught)
+		fmt.Printf("propagation runs:  %d\n", ext.Stats.Propagations)
+		fmt.Printf("eager refreshes:   %d\n", ext.Stats.EagerRefreshes)
+		fmt.Printf("lazy refreshes:    %d\n", ext.Stats.LazyRefreshes)
+	case "\\load":
+		if len(fields) < 2 || fields[1] != "demo" {
+			fmt.Println("usage: \\load demo")
+			break
+		}
+		script := `
+CREATE TABLE groups (group_index VARCHAR, group_value INTEGER);
+INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 10), ('b', 20), ('c', 5);
+CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
+  SUM(group_value) AS total_value FROM groups GROUP BY group_index;`
+		if _, err := db.ExecScript(script); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("loaded Listing 1 demo: table groups + materialized view query_groups")
+		fmt.Println("try: INSERT INTO groups VALUES ('a', 100); SELECT * FROM query_groups;")
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package bench is the measurement harness behind cmd/benchivm and the
+// testing.B benchmarks: wall-clock timers, derived ratios, and a fixed-
+// width table printer that renders each experiment the way the paper's
+// demo reports them.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timer measures one labelled phase.
+type Timer struct {
+	start time.Time
+}
+
+// Start begins timing.
+func Start() *Timer { return &Timer{start: time.Now()} }
+
+// Elapsed returns the elapsed duration.
+func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Time runs fn and returns its duration.
+func Time(fn func() error) (time.Duration, error) {
+	t := Start()
+	err := fn()
+	return t.Elapsed(), err
+}
+
+// MustTime runs fn and panics on error (experiment code paths are
+// pre-validated by the test suite; a failure here is a harness bug).
+func MustTime(fn func() error) time.Duration {
+	d, err := Time(fn)
+	if err != nil {
+		panic(fmt.Sprintf("bench: measured operation failed: %v", err))
+	}
+	return d
+}
+
+// Row is one result row: label plus column values.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// Table accumulates experiment results for printing.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    []Row
+}
+
+// NewTable builds a table with the given title and column headers (the
+// first column is the row label).
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, cells ...any) {
+	row := Row{Label: label}
+	for _, c := range cells {
+		row.Cells = append(row.Cells, formatCell(c))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case time.Duration:
+		return FormatDuration(v)
+	case float64:
+		if v == float64(int64(v)) && v < 1e12 {
+			return fmt.Sprintf("%.0f", v)
+		}
+		return fmt.Sprintf("%.2f", v)
+	case string:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// FormatDuration renders durations with benchmark-friendly precision.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Speedup formats a ratio as "N.Nx"; ratios below 1 render as "0.NNx".
+func Speedup(baseline, measured time.Duration) string {
+	if measured <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(baseline)/float64(measured))
+}
+
+// Print renders the table to w.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("case")
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+		for _, r := range t.Rows {
+			if i < len(r.Cells) && len(r.Cells[i]) > widths[i+1] {
+				widths[i+1] = len(r.Cells[i])
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(append([]string{"case"}, t.Columns...))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		line(append([]string{r.Label}, r.Cells...))
+	}
+}
+
+// SortRows orders rows by label (useful when cases run out of order).
+func (t *Table) SortRows() {
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Label < t.Rows[j].Label })
+}

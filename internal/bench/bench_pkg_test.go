@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTablePrint(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.Note = "a note"
+	tb.Add("row1", 1, "x")
+	tb.Add("row2", time.Millisecond*3, 2.5)
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "a note", "row1", "3.00ms", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		2500 * time.Nanosecond:  "2.5µs",
+		3 * time.Millisecond:    "3.00ms",
+		1500 * time.Millisecond: "1.500s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Millisecond, 2*time.Millisecond); got != "5.0x" {
+		t.Errorf("got %q", got)
+	}
+	if got := Speedup(time.Millisecond, 0); got != "inf" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	tb := NewTable("t", "c")
+	tb.Add("b", 1)
+	tb.Add("a", 2)
+	tb.SortRows()
+	if tb.Rows[0].Label != "a" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	d, err := Time(func() error { return nil })
+	if err != nil || d < 0 {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTime should panic on error")
+		}
+	}()
+	MustTime(func() error { return errTest })
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }
+
+// --- experiment smoke tests: every experiment runs end-to-end at small
+// scale and produces a well-formed table.
+
+func TestE1(t *testing.T) {
+	tb, sql, err := E1Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, want := range []string{"CREATE TABLE IF NOT EXISTS delta_groups", "INSERT OR REPLACE INTO query_groups"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("emitted SQL missing %q", want)
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	tb, err := E2IncrementalVsRecompute(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE3(t *testing.T) {
+	tb, err := E3CrossSystem(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d (want the 4-way comparison)", len(tb.Rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range tb.Rows {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"pure OLAP (recompute)", "pure OLTP (recompute)", "cross-system + IVM", "cross-system no IVM"} {
+		if !labels[want] {
+			t.Errorf("missing case %q", want)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	tb, err := E4IndexOverhead(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE5(t *testing.T) {
+	tb, err := E5Strategies(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 || len(tb.Rows[0].Cells) != 4 {
+		t.Fatalf("table malformed: %+v", tb.Rows)
+	}
+}
+
+func TestE6(t *testing.T) {
+	tb, err := E6Batching(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE7(t *testing.T) {
+	tb, err := E7JoinIVM(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE8(t *testing.T) {
+	tb, err := E8AutoStrategy(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range tb.Rows {
+		choice := r.Cells[len(r.Cells)-1]
+		if choice != "upsert_left_join" && choice != "union_regroup" {
+			t.Errorf("auto choice not recorded: %v", r)
+		}
+	}
+}

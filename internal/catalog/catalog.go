@@ -1,0 +1,715 @@
+// Package catalog implements the schema catalog shared by the OLAP and OLTP
+// engines: table definitions, row storage, secondary indexes, plain views
+// and the IVM metadata the paper stores alongside materialized views
+// (query plan, SQL string, query type).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"openivm/internal/index/art"
+	"openivm/internal/sqltypes"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    sqltypes.Type
+	NotNull bool
+	Default sqltypes.Value // zero Value (NULL) when absent
+	HasDef  bool
+}
+
+// Table is an in-memory heap table with optional primary key (backed by an
+// ART index) and secondary ART indexes. All methods are goroutine-safe for
+// a single writer / many readers.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	mu   sync.RWMutex
+	rows []sqltypes.Row // nil slots are deleted rows (tombstones)
+	live int            // number of non-tombstone rows
+
+	// Primary key: column positions and index mapping encoded key -> row slot.
+	pkCols  []int
+	pkIndex *art.Tree
+
+	// Secondary indexes by name.
+	indexes map[string]*Index
+}
+
+// Index is a secondary index over one or more columns, backed by an ART.
+// Non-unique indexes store a set of row slots per key.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []int // column positions
+	Unique  bool
+	tree    *art.Tree // key -> []int (row slots) or int for unique
+}
+
+// View is a non-materialized view: a stored SELECT.
+type View struct {
+	Name      string
+	SourceSQL string
+}
+
+// IVMMetadata mirrors the paper's metadata tables: for every materialized
+// view we store its defining SQL, query classification, the generated
+// propagation script and the associated delta-table names.
+type IVMMetadata struct {
+	ViewName    string
+	SourceSQL   string
+	QueryType   string // "projection", "filter", "aggregate", "join", "join_aggregate"
+	BaseTables  []string
+	DeltaTables []string
+	DeltaView   string
+	// StorageTable materializes the view ("" means the view name itself;
+	// differs under AVG decomposition).
+	StorageTable string
+	PropagateSQL string // the stored propagation script (paper: saved to disk)
+	SetupSQL     string
+}
+
+// Catalog is the root namespace of an engine instance.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+	ivm    map[string]*IVMMetadata
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+		ivm:    make(map[string]*IVMMetadata),
+	}
+}
+
+func norm(name string) string { return strings.ToLower(name) }
+
+// CreateTable adds a table. PK columns (by name) may be empty.
+func (c *Catalog) CreateTable(name string, cols []Column, pk []string, ifNotExists bool) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, ok := c.tables[key]; ok {
+		if ifNotExists {
+			return c.tables[key], nil
+		}
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, ok := c.views[key]; ok {
+		return nil, fmt.Errorf("catalog: %q already exists as a view", name)
+	}
+	t := &Table{Name: name, Columns: cols, indexes: make(map[string]*Index)}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		lc := norm(col.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		seen[lc] = true
+	}
+	for _, pkc := range pk {
+		pos := t.columnPos(pkc)
+		if pos < 0 {
+			return nil, fmt.Errorf("catalog: primary key column %q not in table %q", pkc, name)
+		}
+		t.pkCols = append(t.pkCols, pos)
+	}
+	if len(t.pkCols) > 0 {
+		t.pkIndex = art.New()
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[norm(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether a table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[norm(name)]
+	return ok
+}
+
+// DropTable removes a table (and its indexes).
+func (c *Catalog) DropTable(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, ok := c.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// CreateView registers a plain (virtual) view.
+func (c *Catalog) CreateView(name, sourceSQL string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("catalog: %q already exists as a table", name)
+	}
+	c.views[key] = &View{Name: name, SourceSQL: sourceSQL}
+	return nil
+}
+
+// View looks up a view.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[norm(name)]
+	return v, ok
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, ok := c.views[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.views, key)
+	return nil
+}
+
+// PutIVM stores IVM metadata for a materialized view.
+func (c *Catalog) PutIVM(m *IVMMetadata) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ivm[norm(m.ViewName)] = m
+}
+
+// IVM returns the IVM metadata for a view, if any.
+func (c *Catalog) IVM(view string) (*IVMMetadata, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.ivm[norm(view)]
+	return m, ok
+}
+
+// DropIVM removes IVM metadata.
+func (c *Catalog) DropIVM(view string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.ivm, norm(view))
+}
+
+// IVMViews lists registered materialized views sorted by name.
+func (c *Catalog) IVMViews() []*IVMMetadata {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*IVMMetadata, 0, len(c.ivm))
+	for _, m := range c.ivm {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ViewName < out[j].ViewName })
+	return out
+}
+
+// IVMForBaseTable returns the materialized views that depend on table name.
+func (c *Catalog) IVMForBaseTable(name string) []*IVMMetadata {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*IVMMetadata
+	key := norm(name)
+	for _, m := range c.ivm {
+		for _, bt := range m.BaseTables {
+			if norm(bt) == key {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ViewName < out[j].ViewName })
+	return out
+}
+
+// TableNames returns all table names sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Table data operations
+// ---------------------------------------------------------------------------
+
+func (t *Table) columnPos(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnPos returns the position of the named column or -1.
+func (t *Table) ColumnPos(name string) int { return t.columnPos(name) }
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// HasPrimaryKey reports whether the table has a primary key.
+func (t *Table) HasPrimaryKey() bool { return len(t.pkCols) > 0 }
+
+// PrimaryKeyColumns returns the PK column positions.
+func (t *Table) PrimaryKeyColumns() []int { return t.pkCols }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+func (t *Table) pkKey(row sqltypes.Row) []byte {
+	vals := make([]sqltypes.Value, len(t.pkCols))
+	for i, p := range t.pkCols {
+		vals[i] = row[p]
+	}
+	return sqltypes.EncodeKey(nil, vals...)
+}
+
+// validate coerces the row to the column types and checks NOT NULL.
+func (t *Table) validate(row sqltypes.Row) (sqltypes.Row, error) {
+	if len(row) != len(t.Columns) {
+		return nil, fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(row), len(t.Columns))
+	}
+	out := make(sqltypes.Row, len(row))
+	for i, v := range row {
+		cv, err := sqltypes.CoerceToColumn(v, t.Columns[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("table %s column %s: %w", t.Name, t.Columns[i].Name, err)
+		}
+		if cv.IsNull() && t.Columns[i].NotNull {
+			return nil, fmt.Errorf("table %s: NOT NULL constraint on %s violated", t.Name, t.Columns[i].Name)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert appends a row. With a primary key, a duplicate key is an error.
+func (t *Table) Insert(row sqltypes.Row) error {
+	r, err := t.validate(row)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pkIndex != nil {
+		key := t.pkKey(r)
+		if _, ok := t.pkIndex.Get(key); ok {
+			return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+		}
+		t.pkIndex.Put(key, len(t.rows))
+	}
+	t.insertIndexedLocked(r, len(t.rows))
+	t.rows = append(t.rows, r)
+	t.live++
+	return nil
+}
+
+// Upsert inserts, or replaces the existing row with the same primary key
+// (DuckDB INSERT OR REPLACE). The table must have a primary key.
+func (t *Table) Upsert(row sqltypes.Row) error {
+	r, err := t.validate(row)
+	if err != nil {
+		return err
+	}
+	if t.pkIndex == nil {
+		return fmt.Errorf("table %s: INSERT OR REPLACE requires a primary key or unique index", t.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.pkKey(r)
+	if slot, ok := t.pkIndex.Get(key); ok {
+		old := t.rows[slot.(int)]
+		t.removeIndexedLocked(old, slot.(int))
+		t.rows[slot.(int)] = r
+		t.insertIndexedLocked(r, slot.(int))
+		return nil
+	}
+	t.pkIndex.Put(key, len(t.rows))
+	t.insertIndexedLocked(r, len(t.rows))
+	t.rows = append(t.rows, r)
+	t.live++
+	return nil
+}
+
+// UpsertMerge inserts or, on conflict, replaces only the given column
+// positions with values computed by merge(old, new) — used by the
+// PostgreSQL-dialect ON CONFLICT DO UPDATE path.
+func (t *Table) UpsertMerge(row sqltypes.Row, merge func(old, new sqltypes.Row) (sqltypes.Row, error)) error {
+	r, err := t.validate(row)
+	if err != nil {
+		return err
+	}
+	if t.pkIndex == nil {
+		return fmt.Errorf("table %s: ON CONFLICT requires a primary key", t.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.pkKey(r)
+	if slot, ok := t.pkIndex.Get(key); ok {
+		old := t.rows[slot.(int)]
+		merged, err := merge(old, r)
+		if err != nil {
+			return err
+		}
+		merged2, err := t.validate(merged)
+		if err != nil {
+			return err
+		}
+		t.removeIndexedLocked(old, slot.(int))
+		t.rows[slot.(int)] = merged2
+		t.insertIndexedLocked(merged2, slot.(int))
+		return nil
+	}
+	t.pkIndex.Put(key, len(t.rows))
+	t.insertIndexedLocked(r, len(t.rows))
+	t.rows = append(t.rows, r)
+	t.live++
+	return nil
+}
+
+// Delete removes all rows matching pred, returning them.
+func (t *Table) Delete(pred func(sqltypes.Row) (bool, error)) ([]sqltypes.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var deleted []sqltypes.Row
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		ok, err := pred(r)
+		if err != nil {
+			return deleted, err
+		}
+		if !ok {
+			continue
+		}
+		if t.pkIndex != nil {
+			t.pkIndex.Delete(t.pkKey(r))
+		}
+		t.removeIndexedLocked(r, i)
+		deleted = append(deleted, r)
+		t.rows[i] = nil
+		t.live--
+	}
+	return deleted, nil
+}
+
+// DeleteOne removes at most one row equal to the given row (used by Z-set
+// semantics: one deletion cancels one multiplicity unit, so duplicates
+// delete one copy at a time). Returns true if a row was removed.
+func (t *Table) DeleteOne(row sqltypes.Row) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rows {
+		if r == nil || !r.Equal(row) {
+			continue
+		}
+		if t.pkIndex != nil {
+			t.pkIndex.Delete(t.pkKey(r))
+		}
+		t.removeIndexedLocked(r, i)
+		t.rows[i] = nil
+		t.live--
+		return true
+	}
+	return false
+}
+
+// Update applies set to all rows matching pred, returning (old, new) pairs.
+func (t *Table) Update(pred func(sqltypes.Row) (bool, error), set func(sqltypes.Row) (sqltypes.Row, error)) (old, new []sqltypes.Row, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		ok, perr := pred(r)
+		if perr != nil {
+			return old, new, perr
+		}
+		if !ok {
+			continue
+		}
+		nr, serr := set(r)
+		if serr != nil {
+			return old, new, serr
+		}
+		nr, serr = t.validate(nr)
+		if serr != nil {
+			return old, new, serr
+		}
+		if t.pkIndex != nil {
+			oldKey := t.pkKey(r)
+			newKey := t.pkKey(nr)
+			if string(oldKey) != string(newKey) {
+				if _, exists := t.pkIndex.Get(newKey); exists {
+					return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+				}
+				t.pkIndex.Delete(oldKey)
+				t.pkIndex.Put(newKey, i)
+			}
+		}
+		t.removeIndexedLocked(r, i)
+		t.rows[i] = nr
+		t.insertIndexedLocked(nr, i)
+		old = append(old, r)
+		new = append(new, nr)
+	}
+	return old, new, nil
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = t.rows[:0]
+	t.live = 0
+	if t.pkIndex != nil {
+		t.pkIndex = art.New()
+	}
+	for _, idx := range t.indexes {
+		idx.tree = art.New()
+	}
+}
+
+// Scan calls fn for every live row. fn must not retain the row without
+// cloning. Returning an error stops the scan.
+func (t *Table) Scan(fn func(sqltypes.Row) error) error {
+	t.mu.RLock()
+	// Copy the slice header so concurrent appends don't race; slots already
+	// present are immutable rows or tombstones.
+	rows := t.rows
+	t.mu.RUnlock()
+	for _, r := range rows {
+		if r == nil {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns a snapshot copy of all live rows.
+func (t *Table) Rows() []sqltypes.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]sqltypes.Row, 0, t.live)
+	for _, r := range t.rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LookupPK returns the row with the given primary-key values, if present.
+func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
+	if t.pkIndex == nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(nil, vals...))
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot.(int)], true
+}
+
+// ---------------------------------------------------------------------------
+// Secondary indexes
+// ---------------------------------------------------------------------------
+
+// CreateIndex builds a secondary index over the named columns. The build
+// follows the paper's observation about ART construction: rows are loaded
+// in chunks, each chunk's sorted run is merged into the tree (art.BulkInsert).
+func (t *Table) CreateIndex(name string, cols []string, unique bool, ifNotExists bool) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := norm(name)
+	if _, ok := t.indexes[key]; ok {
+		if ifNotExists {
+			return t.indexes[key], nil
+		}
+		return nil, fmt.Errorf("catalog: index %q already exists on %s", name, t.Name)
+	}
+	idx := &Index{Name: name, Table: t.Name, Unique: unique, tree: art.New()}
+	for _, cn := range cols {
+		pos := t.columnPos(cn)
+		if pos < 0 {
+			return nil, fmt.Errorf("catalog: index column %q not in table %q", cn, t.Name)
+		}
+		idx.Columns = append(idx.Columns, pos)
+	}
+	// Chunked bulk build (paper: "more efficient to build small indexes for
+	// each chunk and merge them").
+	const chunk = 2048
+	for lo := 0; lo < len(t.rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(t.rows) {
+			hi = len(t.rows)
+		}
+		var pairs []art.KV
+		for slot := lo; slot < hi; slot++ {
+			r := t.rows[slot]
+			if r == nil {
+				continue
+			}
+			pairs = append(pairs, art.KV{Key: idx.keyFor(r), Val: slot})
+		}
+		if err := idx.mergeChunk(pairs); err != nil {
+			return nil, err
+		}
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// Indexes lists the table's secondary indexes sorted by name.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Index returns a secondary index by name.
+func (t *Table) Index(name string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[norm(name)]
+	return idx, ok
+}
+
+func (idx *Index) keyFor(r sqltypes.Row) []byte {
+	vals := make([]sqltypes.Value, len(idx.Columns))
+	for i, p := range idx.Columns {
+		vals[i] = r[p]
+	}
+	return sqltypes.EncodeKey(nil, vals...)
+}
+
+func (idx *Index) mergeChunk(pairs []art.KV) error {
+	if idx.Unique {
+		for _, kv := range pairs {
+			if _, ok := idx.tree.Get(kv.Key); ok {
+				return fmt.Errorf("catalog: unique index %q violated", idx.Name)
+			}
+			idx.tree.Put(kv.Key, []int{kv.Val.(int)})
+		}
+		return nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return string(pairs[i].Key) < string(pairs[j].Key) })
+	for _, kv := range pairs {
+		if v, ok := idx.tree.Get(kv.Key); ok {
+			idx.tree.Put(kv.Key, append(v.([]int), kv.Val.(int)))
+		} else {
+			idx.tree.Put(kv.Key, []int{kv.Val.(int)})
+		}
+	}
+	return nil
+}
+
+func (t *Table) insertIndexedLocked(r sqltypes.Row, slot int) {
+	for _, idx := range t.indexes {
+		key := idx.keyFor(r)
+		if v, ok := idx.tree.Get(key); ok {
+			idx.tree.Put(key, append(v.([]int), slot))
+		} else {
+			idx.tree.Put(key, []int{slot})
+		}
+	}
+}
+
+func (t *Table) removeIndexedLocked(r sqltypes.Row, slot int) {
+	for _, idx := range t.indexes {
+		key := idx.keyFor(r)
+		if v, ok := idx.tree.Get(key); ok {
+			slots := v.([]int)
+			for i, s := range slots {
+				if s == slot {
+					slots = append(slots[:i], slots[i+1:]...)
+					break
+				}
+			}
+			if len(slots) == 0 {
+				idx.tree.Delete(key)
+			} else {
+				idx.tree.Put(key, slots)
+			}
+		}
+	}
+}
+
+// LookupIndex returns the rows whose indexed columns equal vals.
+func (t *Table) LookupIndex(idx *Index, vals ...sqltypes.Value) []sqltypes.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := idx.tree.Get(sqltypes.EncodeKey(nil, vals...))
+	if !ok {
+		return nil
+	}
+	slots := v.([]int)
+	out := make([]sqltypes.Row, 0, len(slots))
+	for _, s := range slots {
+		if r := t.rows[s]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"openivm/internal/sqltypes"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	c := New()
+	tbl, err := c.CreateTable("t", []Column{
+		{Name: "id", Type: sqltypes.TypeInt, NotNull: true},
+		{Name: "name", Type: sqltypes.TypeString},
+		{Name: "score", Type: sqltypes.TypeFloat},
+	}, []string{"id"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func row(id int64, name string, score float64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewString(name), sqltypes.NewFloat(score)}
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	c := New()
+	cols := []Column{{Name: "a", Type: sqltypes.TypeInt}}
+	if _, err := c.CreateTable("t", cols, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("T", cols, nil, false); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	if _, err := c.CreateTable("t", cols, nil, true); err != nil {
+		t.Errorf("IF NOT EXISTS should succeed: %v", err)
+	}
+}
+
+func TestCreateTableBadPK(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, []string{"zzz"}, false); err == nil {
+		t.Error("unknown PK column should fail")
+	}
+}
+
+func TestCreateTableDuplicateColumn(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", []Column{
+		{Name: "a", Type: sqltypes.TypeInt}, {Name: "A", Type: sqltypes.TypeInt},
+	}, nil, false); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 10; i++ {
+		if err := tbl.Insert(row(int64(i), fmt.Sprint("n", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != 10 {
+		t.Errorf("count = %d", tbl.RowCount())
+	}
+	n := 0
+	tbl.Scan(func(r sqltypes.Row) error { n++; return nil })
+	if n != 10 {
+		t.Errorf("scanned %d", n)
+	}
+}
+
+func TestInsertPKViolation(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.Insert(row(1, "a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "b", 0)); err == nil {
+		t.Error("duplicate PK should fail")
+	}
+}
+
+func TestInsertNotNull(t *testing.T) {
+	tbl := testTable(t)
+	err := tbl.Insert(sqltypes.Row{sqltypes.Null, sqltypes.NewString("x"), sqltypes.Null})
+	if err == nil {
+		t.Error("NULL into NOT NULL should fail")
+	}
+}
+
+func TestInsertCoercion(t *testing.T) {
+	tbl := testTable(t)
+	// string id coerced to int; int score coerced to float
+	err := tbl.Insert(sqltypes.Row{sqltypes.NewString("7"), sqltypes.NewString("x"), sqltypes.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tbl.LookupPK(sqltypes.NewInt(7))
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if r[2].T != sqltypes.TypeFloat {
+		t.Errorf("score type = %v", r[2].T)
+	}
+}
+
+func TestInsertWrongArity(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.Insert(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.Upsert(row(1, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Upsert(row(1, "b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 1 {
+		t.Errorf("count = %d", tbl.RowCount())
+	}
+	r, _ := tbl.LookupPK(sqltypes.NewInt(1))
+	if r[1].S != "b" {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestUpsertIdempotent(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 5; i++ {
+		if err := tbl.Upsert(row(9, "same", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != 1 {
+		t.Errorf("count = %d", tbl.RowCount())
+	}
+}
+
+func TestUpsertNoPK(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	if err := tbl.Upsert(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Error("upsert without PK should fail")
+	}
+}
+
+func TestUpsertMerge(t *testing.T) {
+	tbl := testTable(t)
+	add := func(old, new sqltypes.Row) (sqltypes.Row, error) {
+		m := old.Clone()
+		s, err := sqltypes.Arith('+', old[2], new[2])
+		if err != nil {
+			return nil, err
+		}
+		m[2] = s
+		return m, nil
+	}
+	if err := tbl.UpsertMerge(row(1, "a", 10), add); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.UpsertMerge(row(1, "a", 5), add); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tbl.LookupPK(sqltypes.NewInt(1))
+	if r[2].AsFloat() != 15 {
+		t.Errorf("merged = %v", r)
+	}
+}
+
+func TestDeletePred(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 10; i++ {
+		tbl.Insert(row(int64(i), "x", float64(i)))
+	}
+	del, err := tbl.Delete(func(r sqltypes.Row) (bool, error) {
+		return r[0].I%2 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del) != 5 || tbl.RowCount() != 5 {
+		t.Errorf("deleted %d, left %d", len(del), tbl.RowCount())
+	}
+	if _, ok := tbl.LookupPK(sqltypes.NewInt(2)); ok {
+		t.Error("deleted row still in PK index")
+	}
+	if _, ok := tbl.LookupPK(sqltypes.NewInt(3)); !ok {
+		t.Error("surviving row lost from PK index")
+	}
+}
+
+func TestDeleteOne(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	tbl.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	tbl.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	tbl.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	if !tbl.DeleteOne(sqltypes.Row{sqltypes.NewInt(1)}) {
+		t.Fatal("DeleteOne failed")
+	}
+	if tbl.RowCount() != 2 {
+		t.Errorf("count = %d; DeleteOne must remove exactly one copy", tbl.RowCount())
+	}
+	if tbl.DeleteOne(sqltypes.Row{sqltypes.NewInt(9)}) {
+		t.Error("DeleteOne on absent row")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 5; i++ {
+		tbl.Insert(row(int64(i), "x", 0))
+	}
+	old, new_, err := tbl.Update(
+		func(r sqltypes.Row) (bool, error) { return r[0].I >= 3, nil },
+		func(r sqltypes.Row) (sqltypes.Row, error) {
+			n := r.Clone()
+			n[1] = sqltypes.NewString("upd")
+			return n, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 2 || len(new_) != 2 {
+		t.Fatalf("old=%d new=%d", len(old), len(new_))
+	}
+	r, _ := tbl.LookupPK(sqltypes.NewInt(4))
+	if r[1].S != "upd" {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestUpdatePKMove(t *testing.T) {
+	tbl := testTable(t)
+	tbl.Insert(row(1, "a", 0))
+	_, _, err := tbl.Update(
+		func(r sqltypes.Row) (bool, error) { return true, nil },
+		func(r sqltypes.Row) (sqltypes.Row, error) {
+			n := r.Clone()
+			n[0] = sqltypes.NewInt(99)
+			return n, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.LookupPK(sqltypes.NewInt(1)); ok {
+		t.Error("old PK still present")
+	}
+	if _, ok := tbl.LookupPK(sqltypes.NewInt(99)); !ok {
+		t.Error("new PK missing")
+	}
+}
+
+func TestUpdatePKConflict(t *testing.T) {
+	tbl := testTable(t)
+	tbl.Insert(row(1, "a", 0))
+	tbl.Insert(row(2, "b", 0))
+	_, _, err := tbl.Update(
+		func(r sqltypes.Row) (bool, error) { return r[0].I == 1, nil },
+		func(r sqltypes.Row) (sqltypes.Row, error) {
+			n := r.Clone()
+			n[0] = sqltypes.NewInt(2)
+			return n, nil
+		})
+	if err == nil {
+		t.Error("PK conflict on update should fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 10; i++ {
+		tbl.Insert(row(int64(i), "x", 0))
+	}
+	tbl.Truncate()
+	if tbl.RowCount() != 0 {
+		t.Errorf("count = %d", tbl.RowCount())
+	}
+	if err := tbl.Insert(row(1, "y", 0)); err != nil {
+		t.Errorf("insert after truncate: %v", err)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	tbl := testTable(t)
+	for i := 0; i < 100; i++ {
+		tbl.Insert(row(int64(i), fmt.Sprint("g", i%10), float64(i)))
+	}
+	idx, err := tbl.CreateIndex("idx_name", []string{"name"}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.LookupIndex(idx, sqltypes.NewString("g3"))
+	if len(rows) != 10 {
+		t.Errorf("lookup = %d rows", len(rows))
+	}
+	// Index maintained on subsequent DML.
+	tbl.Insert(row(1000, "g3", 1))
+	rows = tbl.LookupIndex(idx, sqltypes.NewString("g3"))
+	if len(rows) != 11 {
+		t.Errorf("after insert: %d rows", len(rows))
+	}
+	tbl.Delete(func(r sqltypes.Row) (bool, error) { return r[0].I == 1000, nil })
+	rows = tbl.LookupIndex(idx, sqltypes.NewString("g3"))
+	if len(rows) != 10 {
+		t.Errorf("after delete: %d rows", len(rows))
+	}
+}
+
+func TestUniqueIndexViolation(t *testing.T) {
+	tbl := testTable(t)
+	tbl.Insert(row(1, "same", 0))
+	tbl.Insert(row(2, "same", 0))
+	if _, err := tbl.CreateIndex("u", []string{"name"}, true, false); err == nil {
+		t.Error("unique index over duplicates should fail")
+	}
+}
+
+func TestIndexIfNotExists(t *testing.T) {
+	tbl := testTable(t)
+	if _, err := tbl.CreateIndex("i", []string{"name"}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("i", []string{"name"}, false, false); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := tbl.CreateIndex("i", []string{"name"}, false, true); err != nil {
+		t.Errorf("IF NOT EXISTS: %v", err)
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	if err := c.CreateView("v", "SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.View("V")
+	if !ok || v.SourceSQL != "SELECT 1" {
+		t.Fatalf("view = %#v, %v", v, ok)
+	}
+	if err := c.CreateView("v", "SELECT 2"); err == nil {
+		t.Error("duplicate view")
+	}
+	if err := c.DropView("v", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v", false); err == nil {
+		t.Error("drop missing view")
+	}
+	if err := c.DropView("v", true); err != nil {
+		t.Error("drop IF EXISTS")
+	}
+}
+
+func TestIVMMetadata(t *testing.T) {
+	c := New()
+	c.PutIVM(&IVMMetadata{ViewName: "mv1", BaseTables: []string{"groups"}})
+	c.PutIVM(&IVMMetadata{ViewName: "mv2", BaseTables: []string{"orders", "groups"}})
+	m, ok := c.IVM("MV1")
+	if !ok || m.ViewName != "mv1" {
+		t.Fatalf("IVM = %#v, %v", m, ok)
+	}
+	deps := c.IVMForBaseTable("groups")
+	if len(deps) != 2 || deps[0].ViewName != "mv1" {
+		t.Fatalf("deps = %v", deps)
+	}
+	if got := c.IVMForBaseTable("none"); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	c.DropIVM("mv1")
+	if len(c.IVMViews()) != 1 {
+		t.Error("drop failed")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	if !c.HasTable("t") {
+		t.Fatal("HasTable")
+	}
+	if err := c.DropTable("t", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasTable("t") {
+		t.Error("still present")
+	}
+	if err := c.DropTable("t", false); err == nil {
+		t.Error("double drop")
+	}
+	if err := c.DropTable("t", true); err != nil {
+		t.Error("IF EXISTS drop")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	c := New()
+	c.CreateTable("zeta", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	c.CreateTable("alpha", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestNameCollisionTableView(t *testing.T) {
+	c := New()
+	c.CreateTable("x", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false)
+	if err := c.CreateView("x", "SELECT 1"); err == nil {
+		t.Error("view colliding with table should fail")
+	}
+	c.CreateView("y", "SELECT 1")
+	if _, err := c.CreateTable("y", []Column{{Name: "a", Type: sqltypes.TypeInt}}, nil, false); err == nil {
+		t.Error("table colliding with view should fail")
+	}
+}

@@ -1,0 +1,409 @@
+// Package duckast implements the paper's intermediate operator tree: a
+// simplified abstract representation of relational operators ("DuckAST")
+// that sits between the engine's logical plan and emitted SQL text. The
+// IVM compiler builds these trees and re-emits them as SQL strings in the
+// dialect selected by a flag, following the technique of LinkedIn's Coral.
+//
+// The tree is deliberately simpler than the engine's logical plan: it
+// carries SQL fragments by structure (select lists, predicates, joins,
+// CTEs) rather than bound expressions, because its purpose is portable
+// re-emission, not execution.
+package duckast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dialect selects the SQL dialect for emission.
+type Dialect int
+
+// Dialects supported by the emitter.
+const (
+	DialectDuckDB Dialect = iota
+	DialectPostgres
+)
+
+// ParseDialect maps a flag string to a Dialect.
+func ParseDialect(s string) (Dialect, error) {
+	switch strings.ToLower(s) {
+	case "", "duckdb":
+		return DialectDuckDB, nil
+	case "postgres", "postgresql", "pg":
+		return DialectPostgres, nil
+	}
+	return DialectDuckDB, fmt.Errorf("duckast: unknown dialect %q", s)
+}
+
+// String names the dialect.
+func (d Dialect) String() string {
+	if d == DialectPostgres {
+		return "postgres"
+	}
+	return "duckdb"
+}
+
+// Node is any DuckAST operator that can emit itself as SQL.
+type Node interface {
+	// SQL renders the node in the given dialect.
+	SQL(d Dialect) string
+}
+
+// Raw is a verbatim SQL fragment (already dialect-neutral).
+type Raw struct{ Text string }
+
+// SQL implements Node.
+func (r *Raw) SQL(Dialect) string { return r.Text }
+
+// Col is a possibly qualified column reference.
+type Col struct {
+	Table string
+	Name  string
+}
+
+// SQL implements Node.
+func (c *Col) SQL(Dialect) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Node
+	Alias string
+}
+
+// TableRef names a FROM source with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SQL implements Node.
+func (t *TableRef) SQL(Dialect) string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// Join is an explicit join clause.
+type Join struct {
+	Kind  string // "JOIN", "LEFT JOIN", "FULL OUTER JOIN", ...
+	Left  Node   // TableRef, Join or SubSelect
+	Right Node
+	On    Node // predicate; nil for CROSS JOIN
+}
+
+// SQL implements Node.
+func (j *Join) SQL(d Dialect) string {
+	s := j.Left.SQL(d) + " " + j.Kind + " " + j.Right.SQL(d)
+	if j.On != nil {
+		s += " ON " + j.On.SQL(d)
+	}
+	return s
+}
+
+// SubSelect is a parenthesized derived table.
+type SubSelect struct {
+	Select *Select
+	Alias  string
+}
+
+// SQL implements Node.
+func (s *SubSelect) SQL(d Dialect) string {
+	out := "(" + s.Select.SQL(d) + ")"
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// CTE is one WITH entry.
+type CTE struct {
+	Name   string
+	Select *Select
+}
+
+// Select is a SELECT operator tree.
+type Select struct {
+	CTEs     []CTE
+	Distinct bool
+	Items    []SelectItem
+	From     Node // TableRef, Join, SubSelect; nil = no FROM
+	Where    Node
+	GroupBy  []Node
+	Having   Node
+	OrderBy  []string
+	Limit    string
+
+	// Set operation chaining.
+	SetOp string // "UNION ALL" etc.
+	Next  *Select
+}
+
+// SQL implements Node.
+func (s *Select) SQL(d Dialect) string {
+	var sb strings.Builder
+	if len(s.CTEs) > 0 {
+		sb.WriteString("WITH ")
+		for i, c := range s.CTEs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name + " AS (" + c.Select.SQL(d) + ")")
+		}
+		sb.WriteString(" ")
+	}
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.SQL(d))
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	if s.From != nil {
+		sb.WriteString(" FROM " + s.From.SQL(d))
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.SQL(d))
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.SQL(d))
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.SQL(d))
+	}
+	if s.SetOp != "" && s.Next != nil {
+		sb.WriteString(" " + s.SetOp + " " + s.Next.SQL(d))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY " + strings.Join(s.OrderBy, ", "))
+	}
+	if s.Limit != "" {
+		sb.WriteString(" LIMIT " + s.Limit)
+	}
+	return sb.String()
+}
+
+// Insert emits INSERT INTO, with upsert semantics translated per dialect:
+// DuckDB uses INSERT OR REPLACE; PostgreSQL uses ON CONFLICT (keys) DO
+// UPDATE SET col = EXCLUDED.col for every non-key column.
+type Insert struct {
+	Table   string
+	Columns []string
+	Select  *Select
+	// Upsert requests replace-on-conflict semantics. KeyColumns lists the
+	// conflict target (required for the PostgreSQL emission; DuckDB infers
+	// it from the primary key).
+	Upsert     bool
+	KeyColumns []string
+	// ValueColumns lists non-key columns for the PostgreSQL DO UPDATE SET
+	// clause; defaults to Columns minus KeyColumns.
+	ValueColumns []string
+}
+
+// SQL implements Node.
+func (ins *Insert) SQL(d Dialect) string {
+	var sb strings.Builder
+	if ins.Upsert && d == DialectDuckDB {
+		sb.WriteString("INSERT OR REPLACE INTO ")
+	} else {
+		sb.WriteString("INSERT INTO ")
+	}
+	sb.WriteString(ins.Table)
+	if len(ins.Columns) > 0 {
+		sb.WriteString(" (" + strings.Join(ins.Columns, ", ") + ")")
+	}
+	sb.WriteString(" " + ins.Select.SQL(d))
+	if ins.Upsert && d == DialectPostgres {
+		vals := ins.ValueColumns
+		if vals == nil {
+			keySet := map[string]bool{}
+			for _, k := range ins.KeyColumns {
+				keySet[k] = true
+			}
+			for _, c := range ins.Columns {
+				if !keySet[c] {
+					vals = append(vals, c)
+				}
+			}
+		}
+		sb.WriteString(" ON CONFLICT (" + strings.Join(ins.KeyColumns, ", ") + ") DO UPDATE SET ")
+		for i, c := range vals {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c + " = EXCLUDED." + c)
+		}
+	}
+	return sb.String()
+}
+
+// Delete emits DELETE FROM.
+type Delete struct {
+	Table string
+	Where Node // nil = delete all
+}
+
+// SQL implements Node.
+func (del *Delete) SQL(d Dialect) string {
+	s := "DELETE FROM " + del.Table
+	if del.Where != nil {
+		s += " WHERE " + del.Where.SQL(d)
+	}
+	return s
+}
+
+// CreateTable emits CREATE TABLE with typed columns in dialect spelling.
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	PrimaryKey  []string
+}
+
+// ColumnDef is a typed column for CreateTable.
+type ColumnDef struct {
+	Name string
+	Type string // logical type name: "VARCHAR", "INTEGER", "DOUBLE", "BOOLEAN"
+}
+
+// SQL implements Node.
+func (ct *CreateTable) SQL(d Dialect) string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	if ct.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(ct.Name + " (")
+	for i, c := range ct.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name + " " + typeName(c.Type, d))
+	}
+	if len(ct.PrimaryKey) > 0 {
+		sb.WriteString(", PRIMARY KEY (" + strings.Join(ct.PrimaryKey, ", ") + ")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func typeName(t string, d Dialect) string {
+	if d == DialectPostgres {
+		switch strings.ToUpper(t) {
+		case "VARCHAR":
+			return "TEXT"
+		case "DOUBLE":
+			return "DOUBLE PRECISION"
+		}
+	}
+	return strings.ToUpper(t)
+}
+
+// CreateTableAs emits CREATE TABLE name AS select.
+type CreateTableAs struct {
+	Name   string
+	Select *Select
+}
+
+// SQL implements Node.
+func (ct *CreateTableAs) SQL(d Dialect) string {
+	return "CREATE TABLE " + ct.Name + " AS " + ct.Select.SQL(d)
+}
+
+// DropTable emits DROP TABLE.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// SQL implements Node.
+func (dt *DropTable) SQL(Dialect) string {
+	if dt.IfExists {
+		return "DROP TABLE IF EXISTS " + dt.Name
+	}
+	return "DROP TABLE " + dt.Name
+}
+
+// CreateIndex emits CREATE INDEX.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// SQL implements Node.
+func (ci *CreateIndex) SQL(Dialect) string {
+	u := ""
+	if ci.Unique {
+		u = "UNIQUE "
+	}
+	return "CREATE " + u + "INDEX IF NOT EXISTS " + ci.Name + " ON " + ci.Table +
+		" (" + strings.Join(ci.Columns, ", ") + ")"
+}
+
+// Script is an ordered list of statements emitted with ';' terminators.
+type Script struct{ Stmts []Node }
+
+// SQL implements Node.
+func (s *Script) SQL(d Dialect) string {
+	var sb strings.Builder
+	for _, st := range s.Stmts {
+		sb.WriteString(st.SQL(d))
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Add appends statements.
+func (s *Script) Add(stmts ...Node) { s.Stmts = append(s.Stmts, stmts...) }
+
+// --- expression helpers (builders used by the IVM compiler) ---
+
+// Bin builds a binary expression fragment.
+func Bin(op string, l, r Node) Node {
+	return &Raw{Text: l.SQL(DialectDuckDB) + " " + op + " " + r.SQL(DialectDuckDB)}
+}
+
+// Eq builds l = r.
+func Eq(l, r Node) Node { return Bin("=", l, r) }
+
+// And chains predicates with AND; nil inputs are skipped.
+func And(preds ...Node) Node {
+	var parts []string
+	for _, p := range preds {
+		if p != nil {
+			parts = append(parts, p.SQL(DialectDuckDB))
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return &Raw{Text: strings.Join(parts, " AND ")}
+}
+
+// Fn builds a function-call fragment.
+func Fn(name string, args ...Node) Node {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.SQL(DialectDuckDB)
+	}
+	return &Raw{Text: name + "(" + strings.Join(parts, ", ") + ")"}
+}

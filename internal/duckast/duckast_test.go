@@ -1,0 +1,200 @@
+package duckast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDialect(t *testing.T) {
+	cases := map[string]Dialect{
+		"": DialectDuckDB, "duckdb": DialectDuckDB,
+		"postgres": DialectPostgres, "pg": DialectPostgres, "PostgreSQL": DialectPostgres,
+	}
+	for in, want := range cases {
+		got, err := ParseDialect(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDialect(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseDialect("oracle"); err == nil {
+		t.Error("unknown dialect should fail")
+	}
+	if DialectPostgres.String() != "postgres" || DialectDuckDB.String() != "duckdb" {
+		t.Error("dialect names")
+	}
+}
+
+func TestSelectSQL(t *testing.T) {
+	sel := &Select{
+		Items: []SelectItem{
+			{Expr: &Col{Name: "a"}},
+			{Expr: &Raw{Text: "SUM(b)"}, Alias: "s"},
+		},
+		From:    &TableRef{Name: "t"},
+		Where:   &Raw{Text: "a > 1"},
+		GroupBy: []Node{&Col{Name: "a"}},
+	}
+	want := "SELECT a, SUM(b) AS s FROM t WHERE a > 1 GROUP BY a"
+	if got := sel.SQL(DialectDuckDB); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestSelectWithCTEAndSetOp(t *testing.T) {
+	sel := &Select{
+		CTEs: []CTE{{Name: "c", Select: &Select{
+			Items: []SelectItem{{Expr: &Raw{Text: "1"}}},
+		}}},
+		Items: []SelectItem{{Expr: &Col{Name: "x"}}},
+		From:  &TableRef{Name: "c"},
+		SetOp: "UNION ALL",
+		Next: &Select{
+			Items: []SelectItem{{Expr: &Raw{Text: "2"}}},
+		},
+	}
+	got := sel.SQL(DialectDuckDB)
+	want := "WITH c AS (SELECT 1) SELECT x FROM c UNION ALL SELECT 2"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestSelectDistinctOrderLimit(t *testing.T) {
+	sel := &Select{
+		Distinct: true,
+		Items:    []SelectItem{{Expr: &Col{Name: "a"}}},
+		From:     &TableRef{Name: "t", Alias: "x"},
+		OrderBy:  []string{"a DESC"},
+		Limit:    "5",
+		Having:   &Raw{Text: "COUNT(*) > 1"},
+		GroupBy:  []Node{&Col{Name: "a"}},
+	}
+	got := sel.SQL(DialectDuckDB)
+	for _, want := range []string{"SELECT DISTINCT", "t AS x", "HAVING COUNT(*) > 1", "ORDER BY a DESC", "LIMIT 5"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestInsertUpsertDialects(t *testing.T) {
+	ins := &Insert{
+		Table:      "v",
+		Columns:    []string{"k", "s"},
+		Select:     &Select{Items: []SelectItem{{Expr: &Raw{Text: "1"}}, {Expr: &Raw{Text: "2"}}}},
+		Upsert:     true,
+		KeyColumns: []string{"k"},
+	}
+	duck := ins.SQL(DialectDuckDB)
+	if !strings.HasPrefix(duck, "INSERT OR REPLACE INTO v (k, s)") {
+		t.Errorf("duckdb: %q", duck)
+	}
+	pg := ins.SQL(DialectPostgres)
+	if !strings.Contains(pg, "ON CONFLICT (k) DO UPDATE SET s = EXCLUDED.s") {
+		t.Errorf("postgres: %q", pg)
+	}
+	if strings.Contains(pg, "OR REPLACE") {
+		t.Errorf("postgres leaked duckdb syntax: %q", pg)
+	}
+}
+
+func TestInsertPlain(t *testing.T) {
+	ins := &Insert{Table: "t", Select: &Select{Items: []SelectItem{{Expr: &Raw{Text: "1"}}}}}
+	if got := ins.SQL(DialectDuckDB); got != "INSERT INTO t SELECT 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDeleteSQL(t *testing.T) {
+	d := &Delete{Table: "t", Where: &Raw{Text: "a = 1"}}
+	if got := d.SQL(DialectDuckDB); got != "DELETE FROM t WHERE a = 1" {
+		t.Errorf("got %q", got)
+	}
+	d2 := &Delete{Table: "t"}
+	if got := d2.SQL(DialectDuckDB); got != "DELETE FROM t" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCreateTableDialectTypes(t *testing.T) {
+	ct := &CreateTable{
+		Name:        "t",
+		IfNotExists: true,
+		Columns: []ColumnDef{
+			{Name: "a", Type: "VARCHAR"},
+			{Name: "b", Type: "DOUBLE"},
+			{Name: "c", Type: "INTEGER"},
+		},
+		PrimaryKey: []string{"a"},
+	}
+	duck := ct.SQL(DialectDuckDB)
+	if !strings.Contains(duck, "a VARCHAR") || !strings.Contains(duck, "b DOUBLE,") {
+		t.Errorf("duckdb: %q", duck)
+	}
+	pg := ct.SQL(DialectPostgres)
+	if !strings.Contains(pg, "a TEXT") || !strings.Contains(pg, "b DOUBLE PRECISION") {
+		t.Errorf("postgres: %q", pg)
+	}
+	if !strings.Contains(pg, "PRIMARY KEY (a)") {
+		t.Errorf("pk missing: %q", pg)
+	}
+}
+
+func TestCreateTableAsAndDrop(t *testing.T) {
+	cta := &CreateTableAs{Name: "t2", Select: &Select{Items: []SelectItem{{Expr: &Raw{Text: "1"}}}}}
+	if got := cta.SQL(DialectDuckDB); got != "CREATE TABLE t2 AS SELECT 1" {
+		t.Errorf("got %q", got)
+	}
+	if got := (&DropTable{Name: "t"}).SQL(DialectDuckDB); got != "DROP TABLE t" {
+		t.Errorf("got %q", got)
+	}
+	if got := (&DropTable{Name: "t", IfExists: true}).SQL(DialectDuckDB); got != "DROP TABLE IF EXISTS t" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCreateIndexSQL(t *testing.T) {
+	ci := &CreateIndex{Name: "i", Table: "t", Columns: []string{"a", "b"}, Unique: true}
+	want := "CREATE UNIQUE INDEX IF NOT EXISTS i ON t (a, b)"
+	if got := ci.SQL(DialectDuckDB); got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestJoinAndSubSelect(t *testing.T) {
+	j := &Join{
+		Kind:  "LEFT JOIN",
+		Left:  &TableRef{Name: "a"},
+		Right: &SubSelect{Select: &Select{Items: []SelectItem{{Expr: &Raw{Text: "1"}}}}, Alias: "s"},
+		On:    &Raw{Text: "a.x = s.x"},
+	}
+	want := "a LEFT JOIN (SELECT 1) AS s ON a.x = s.x"
+	if got := j.SQL(DialectDuckDB); got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestScript(t *testing.T) {
+	s := &Script{}
+	s.Add(&Delete{Table: "a"}, &Delete{Table: "b"})
+	want := "DELETE FROM a;\nDELETE FROM b;\n"
+	if got := s.SQL(DialectDuckDB); got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	e := And(Eq(&Col{Name: "a"}, &Raw{Text: "1"}), nil, Bin(">", &Col{Name: "b"}, &Raw{Text: "2"}))
+	if got := e.SQL(DialectDuckDB); got != "a = 1 AND b > 2" {
+		t.Errorf("got %q", got)
+	}
+	if And(nil, nil) != nil {
+		t.Error("And of nils should be nil")
+	}
+	if got := Fn("COALESCE", &Col{Name: "x"}, &Raw{Text: "0"}).SQL(DialectDuckDB); got != "COALESCE(x, 0)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (&Col{Table: "t", Name: "c"}).SQL(DialectDuckDB); got != "t.c" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"openivm/internal/catalog"
+	"openivm/internal/exec"
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
+)
+
+// execInsert handles INSERT, INSERT OR REPLACE (DuckDB dialect) and
+// INSERT ... ON CONFLICT (PostgreSQL dialect).
+func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.Conflict != nil && !st.Conflict.DoNothing && !tbl.HasPrimaryKey() {
+		return nil, fmt.Errorf("engine: ON CONFLICT DO UPDATE requires a primary key on %s", st.Table)
+	}
+
+	// Source rows.
+	n, err := db.PlanSelect(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	srcRows, err := exec.Run(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column mapping: named columns or positional.
+	colPos := make([]int, 0, len(tbl.Columns))
+	if len(st.Columns) > 0 {
+		for _, cn := range st.Columns {
+			p := tbl.ColumnPos(cn)
+			if p < 0 {
+				return nil, fmt.Errorf("engine: column %q not in table %q", cn, st.Table)
+			}
+			colPos = append(colPos, p)
+		}
+	} else {
+		for i := range tbl.Columns {
+			colPos = append(colPos, i)
+		}
+	}
+
+	buildRow := func(src sqltypes.Row) (sqltypes.Row, error) {
+		if len(src) != len(colPos) {
+			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(src), len(colPos))
+		}
+		row := make(sqltypes.Row, len(tbl.Columns))
+		filled := make([]bool, len(tbl.Columns))
+		for i, p := range colPos {
+			row[p] = src[i]
+			filled[p] = true
+		}
+		for i := range row {
+			if !filled[i] {
+				if tbl.Columns[i].HasDef {
+					row[i] = tbl.Columns[i].Default
+				} else {
+					row[i] = sqltypes.Null
+				}
+			}
+		}
+		return row, nil
+	}
+
+	var inserted, replacedOld, replacedNew []sqltypes.Row
+	for _, src := range srcRows {
+		row, err := buildRow(src)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case st.OrReplace:
+			old, existed := lookupByPK(tbl, row)
+			if err := tbl.Upsert(row); err != nil {
+				return nil, err
+			}
+			if existed {
+				replacedOld = append(replacedOld, old)
+				replacedNew = append(replacedNew, row)
+				db.logUndo(func() error { return tbl.Upsert(old) })
+			} else {
+				inserted = append(inserted, row)
+				db.logUndo(func() error {
+					_, derr := tbl.Delete(matchPK(tbl, row))
+					return derr
+				})
+			}
+		case st.Conflict != nil:
+			old, existed := lookupByPK(tbl, row)
+			if existed && st.Conflict.DoNothing {
+				continue
+			}
+			if existed {
+				merged, err := db.applyConflictSet(tbl, st.Conflict, old, row)
+				if err != nil {
+					return nil, err
+				}
+				if err := tbl.Upsert(merged); err != nil {
+					return nil, err
+				}
+				replacedOld = append(replacedOld, old)
+				replacedNew = append(replacedNew, merged)
+				db.logUndo(func() error { return tbl.Upsert(old) })
+			} else {
+				if err := tbl.Insert(row); err != nil {
+					return nil, err
+				}
+				inserted = append(inserted, row)
+				db.logUndo(func() error {
+					_, derr := tbl.Delete(matchPK(tbl, row))
+					return derr
+				})
+			}
+		default:
+			if err := tbl.Insert(row); err != nil {
+				return nil, err
+			}
+			inserted = append(inserted, row)
+			r := row
+			db.logUndo(func() error { return undoInsert(tbl, r) })
+		}
+	}
+
+	if err := db.fire(st.Table, TrigInsert, nil, inserted); err != nil {
+		return nil, err
+	}
+	if err := db.fire(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(inserted) + len(replacedNew)}, nil
+}
+
+func undoInsert(tbl *catalog.Table, row sqltypes.Row) error {
+	if !tbl.DeleteOne(row) {
+		return fmt.Errorf("engine: rollback failed to remove inserted row")
+	}
+	return nil
+}
+
+// lookupByPK fetches the current row matching row's primary key.
+func lookupByPK(tbl *catalog.Table, row sqltypes.Row) (sqltypes.Row, bool) {
+	if !tbl.HasPrimaryKey() {
+		return nil, false
+	}
+	vals := make([]sqltypes.Value, 0, len(tbl.PrimaryKeyColumns()))
+	for _, p := range tbl.PrimaryKeyColumns() {
+		vals = append(vals, row[p])
+	}
+	return tbl.LookupPK(vals...)
+}
+
+func matchPK(tbl *catalog.Table, row sqltypes.Row) func(sqltypes.Row) (bool, error) {
+	pk := tbl.PrimaryKeyColumns()
+	return func(r sqltypes.Row) (bool, error) {
+		for _, p := range pk {
+			if !sqltypes.Equal(r[p], row[p]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// applyConflictSet computes the merged row for ON CONFLICT DO UPDATE.
+// Assignment expressions see the schema [table columns..., excluded.*].
+func (db *DB) applyConflictSet(tbl *catalog.Table, oc *sqlparser.OnConflict, old, new sqltypes.Row) (sqltypes.Row, error) {
+	schema := make([]plan.ColumnInfo, 0, 2*len(tbl.Columns))
+	for _, c := range tbl.Columns {
+		schema = append(schema, plan.ColumnInfo{Table: tbl.Name, Name: c.Name, Type: c.Type})
+	}
+	for _, c := range tbl.Columns {
+		schema = append(schema, plan.ColumnInfo{Table: "excluded", Name: c.Name, Type: c.Type})
+	}
+	env := make(sqltypes.Row, 0, 2*len(old))
+	env = append(env, old...)
+	env = append(env, new...)
+
+	merged := old.Clone()
+	b := db.newBinder()
+	for _, a := range oc.Set {
+		p := tbl.ColumnPos(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: ON CONFLICT SET column %q unknown", a.Column)
+		}
+		e, err := b.BindExprSchema(a.Value, schema)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		merged[p] = v
+	}
+	return merged, nil
+}
+
+func (db *DB) execUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tableSchema(tbl)
+	b := db.newBinder()
+
+	var pred expr.Expr
+	if st.Where != nil {
+		pred, err = b.BindExprSchema(st.Where, schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type setOp struct {
+		pos int
+		e   expr.Expr
+	}
+	var sets []setOp
+	for _, a := range st.Set {
+		p := tbl.ColumnPos(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: SET column %q unknown", a.Column)
+		}
+		e, err := b.BindExprSchema(a.Value, schema)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{pos: p, e: e})
+	}
+
+	old, new_, err := tbl.Update(
+		func(r sqltypes.Row) (bool, error) {
+			if pred == nil {
+				return true, nil
+			}
+			v, err := pred.Eval(r)
+			if err != nil {
+				return false, err
+			}
+			return v.IsTrue(), nil
+		},
+		func(r sqltypes.Row) (sqltypes.Row, error) {
+			nr := r.Clone()
+			for _, s := range sets {
+				v, err := s.e.Eval(r)
+				if err != nil {
+					return nil, err
+				}
+				nr[s.pos] = v
+			}
+			return nr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i := range old {
+		o, n := old[i], new_[i]
+		db.logUndo(func() error {
+			// Restore exactly one matching row (duplicates must each be
+			// reverted by their own undo entry).
+			done := false
+			_, _, uerr := tbl.Update(
+				func(r sqltypes.Row) (bool, error) { return !done && r.Equal(n), nil },
+				func(sqltypes.Row) (sqltypes.Row, error) { done = true; return o, nil })
+			return uerr
+		})
+	}
+	if err := db.fire(st.Table, TrigUpdate, old, new_); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(new_)}, nil
+}
+
+func (db *DB) execDelete(st *sqlparser.DeleteStmt) (*Result, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	var pred expr.Expr
+	if st.Where != nil {
+		pred, err = db.newBinder().BindExprSchema(st.Where, tableSchema(tbl))
+		if err != nil {
+			return nil, err
+		}
+	}
+	deleted, err := tbl.Delete(func(r sqltypes.Row) (bool, error) {
+		if pred == nil {
+			return true, nil
+		}
+		v, err := pred.Eval(r)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deleted {
+		r := d
+		db.logUndo(func() error { return tbl.Insert(r) })
+	}
+	if err := db.fire(st.Table, TrigDelete, deleted, nil); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(deleted)}, nil
+}
+
+func (db *DB) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := tbl.Rows()
+	tbl.Truncate()
+	db.logUndo(func() error {
+		for _, r := range rows {
+			if err := tbl.Insert(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := db.fire(st.Table, TrigDelete, rows, nil); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(rows)}, nil
+}
+
+func tableSchema(tbl *catalog.Table) []plan.ColumnInfo {
+	out := make([]plan.ColumnInfo, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		out[i] = plan.ColumnInfo{Table: tbl.Name, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// ApplyDeltaRow replays one captured delta row against a table: an
+// insertion (mult=true) inserts the row, a deletion (mult=false) removes
+// exactly one matching copy (Z-set semantics). Row-level triggers fire, so
+// IVM delta capture observes the replayed change — this is the primitive
+// the cross-system HTAP pipeline uses to mirror remote deltas locally.
+func (db *DB) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
+	tbl, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if mult {
+		if err := tbl.Insert(row); err != nil {
+			return err
+		}
+		return db.fire(table, TrigInsert, nil, []sqltypes.Row{row})
+	}
+	if !tbl.DeleteOne(row) {
+		return fmt.Errorf("engine: delta deletion found no matching row in %s", table)
+	}
+	return db.fire(table, TrigDelete, []sqltypes.Row{row}, nil)
+}
+
+// --- transactions ---
+
+// txnState is a simple undo-log transaction: single writer, no isolation
+// levels (the engine holds a global lock per statement anyway); ROLLBACK
+// replays the undo log in reverse.
+type txnState struct {
+	undo []func() error
+}
+
+func (db *DB) logUndo(fn func() error) {
+	if db.txn != nil {
+		db.txn.undo = append(db.txn.undo, fn)
+	}
+}
+
+func (db *DB) execBegin() (*Result, error) {
+	if db.txn != nil {
+		return nil, fmt.Errorf("engine: transaction already in progress")
+	}
+	db.txn = &txnState{}
+	return &Result{}, nil
+}
+
+func (db *DB) execCommit() (*Result, error) {
+	if db.txn == nil {
+		return nil, fmt.Errorf("engine: no transaction in progress")
+	}
+	db.txn = nil
+	return &Result{}, nil
+}
+
+func (db *DB) execRollback() (*Result, error) {
+	if db.txn == nil {
+		return nil, fmt.Errorf("engine: no transaction in progress")
+	}
+	undo := db.txn.undo
+	db.txn = nil // undo actions must not re-log
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return &Result{}, firstErr
+}
+
+// --- lazy scalar subquery ---
+
+// lazySubquery evaluates an uncorrelated scalar subquery on first use and
+// caches the result.
+type lazySubquery struct {
+	db     *DB
+	sel    *sqlparser.SelectStmt
+	done   bool
+	cached sqltypes.Value
+	typ    sqltypes.Type
+}
+
+func newLazySubquery(db *DB, sel *sqlparser.SelectStmt) *lazySubquery {
+	return &lazySubquery{db: db, sel: sel, typ: sqltypes.TypeAny}
+}
+
+// Eval implements expr.Expr.
+func (l *lazySubquery) Eval(sqltypes.Row) (sqltypes.Value, error) {
+	if l.done {
+		return l.cached, nil
+	}
+	n, err := l.db.PlanSelect(l.sel)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	rows, err := exec.Run(n)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch {
+	case len(rows) == 0:
+		l.cached = sqltypes.Null
+	case len(rows) == 1 && len(rows[0]) == 1:
+		l.cached = rows[0][0]
+	default:
+		return sqltypes.Null, fmt.Errorf("engine: scalar subquery returned %d rows", len(rows))
+	}
+	l.done = true
+	return l.cached, nil
+}
+
+// Type implements expr.Expr.
+func (l *lazySubquery) Type() sqltypes.Type { return l.typ }
+
+// String implements expr.Expr.
+func (l *lazySubquery) String() string { return "(<subquery>)" }
+
+// --- result formatting ---
+
+// Format renders a result as an aligned text table (shell output).
+func (r *Result) Format() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v)
+			if w := widths[i] - len(v); w > 0 && i < len(vals)-1 {
+				sb.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.Columns) > 0 {
+		writeRow(r.Columns)
+		total := 0
+		for _, w := range widths {
+			total += w + 3
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,521 @@
+// Package engine implements the embedded SQL database used throughout this
+// reproduction — the stand-in for DuckDB (and, with the Postgres dialect,
+// for PostgreSQL) in the paper's architecture. It wires the parser, binder,
+// optimizer and executor together and exposes the extension points OpenIVM
+// relies on:
+//
+//   - fallback parsers, tried when the main parser rejects a statement
+//     (the paper's CREATE MATERIALIZED VIEW fallback-parser mechanism);
+//   - statement hooks, which intercept statements before execution (the
+//     paper's optimizer-rule injection used to reroute base-table DML into
+//     delta tables and trigger propagation);
+//   - row-level triggers, the PostgreSQL-side delta-capture mechanism;
+//   - pragmas, the paper's "compiler switches" controlling IVM strategy.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"openivm/internal/catalog"
+	"openivm/internal/exec"
+	"openivm/internal/expr"
+	"openivm/internal/optimizer"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
+)
+
+// Dialect selects SQL dialect behaviour for statements whose syntax differs
+// across systems.
+type Dialect int
+
+// Dialects.
+const (
+	DialectDuckDB Dialect = iota
+	DialectPostgres
+)
+
+// String names the dialect.
+func (d Dialect) String() string {
+	if d == DialectPostgres {
+		return "postgres"
+	}
+	return "duckdb"
+}
+
+// Result carries the outcome of a statement.
+type Result struct {
+	Columns      []string
+	Rows         []sqltypes.Row
+	RowsAffected int
+}
+
+// TriggerEvent identifies the DML kind a trigger fires for.
+type TriggerEvent string
+
+// Trigger events.
+const (
+	TrigInsert TriggerEvent = "INSERT"
+	TrigDelete TriggerEvent = "DELETE"
+	TrigUpdate TriggerEvent = "UPDATE"
+)
+
+// TriggerFunc receives the affected rows after a DML statement commits.
+// For UPDATE both oldRows and newRows are set pairwise; for INSERT only
+// newRows; for DELETE only oldRows.
+type TriggerFunc func(db *DB, table string, event TriggerEvent, oldRows, newRows []sqltypes.Row) error
+
+// StatementHook may intercept a parsed statement before standard execution.
+// Returning handled=true short-circuits.
+type StatementHook func(db *DB, stmt sqlparser.Statement) (handled bool, res *Result, err error)
+
+// FallbackParser is tried when the primary parser fails, mirroring DuckDB's
+// extension parser chain. It returns ok=false to pass to the next parser.
+type FallbackParser func(sql string) (stmt sqlparser.Statement, ok bool, err error)
+
+// trigger is a registered row-level trigger.
+type trigger struct {
+	name    string
+	events  map[TriggerEvent]bool
+	handler TriggerFunc
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	Name    string
+	dialect Dialect
+
+	mu  sync.Mutex
+	cat *catalog.Catalog
+
+	pragmas map[string]string
+
+	fallbacks    []FallbackParser
+	hooks        []StatementHook
+	triggers     map[string][]*trigger // table -> triggers
+	trigHandlers map[string]TriggerFunc
+
+	// DisableTriggers suppresses trigger firing (used by internal writes).
+	triggersOff bool
+
+	txn *txnState
+}
+
+// Open creates a fresh in-memory database with the given dialect.
+func Open(name string, dialect Dialect) *DB {
+	return &DB{
+		Name:         name,
+		dialect:      dialect,
+		cat:          catalog.New(),
+		pragmas:      map[string]string{},
+		triggers:     map[string][]*trigger{},
+		trigHandlers: map[string]TriggerFunc{},
+	}
+}
+
+// Catalog exposes the catalog (used by the IVM compiler and tests).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Dialect returns the database's SQL dialect.
+func (db *DB) Dialect() Dialect { return db.dialect }
+
+// Pragma returns a pragma value ("" when unset).
+func (db *DB) Pragma(name string) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pragmas[strings.ToLower(name)]
+}
+
+// SetPragma sets a pragma programmatically.
+func (db *DB) SetPragma(name, value string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pragmas[strings.ToLower(name)] = value
+}
+
+// RegisterFallbackParser appends a parser tried when the main parse fails.
+func (db *DB) RegisterFallbackParser(p FallbackParser) { db.fallbacks = append(db.fallbacks, p) }
+
+// RegisterStatementHook appends a pre-execution statement hook.
+func (db *DB) RegisterStatementHook(h StatementHook) { db.hooks = append(db.hooks, h) }
+
+// RegisterTriggerHandler names a trigger implementation so CREATE TRIGGER
+// ... EXECUTE 'name' can reference it.
+func (db *DB) RegisterTriggerHandler(name string, fn TriggerFunc) {
+	db.trigHandlers[strings.ToLower(name)] = fn
+}
+
+// AddTrigger registers a row-level trigger programmatically.
+func (db *DB) AddTrigger(table, name string, events []TriggerEvent, fn TriggerFunc) {
+	tr := &trigger{name: name, events: map[TriggerEvent]bool{}, handler: fn}
+	for _, e := range events {
+		tr.events[e] = true
+	}
+	key := strings.ToLower(table)
+	db.triggers[key] = append(db.triggers[key], tr)
+}
+
+// WithoutTriggers runs fn with trigger firing suppressed — the engine's own
+// internal writes (e.g. IVM propagation filling delta tables) must not
+// re-enter delta capture.
+func (db *DB) WithoutTriggers(fn func() error) error {
+	db.triggersOff = true
+	defer func() { db.triggersOff = false }()
+	return fn()
+}
+
+func (db *DB) fire(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
+	if db.triggersOff || len(oldRows)+len(newRows) == 0 {
+		return nil
+	}
+	for _, tr := range db.triggers[strings.ToLower(table)] {
+		if tr.events[ev] {
+			if err := tr.handler(db, table, ev, oldRows, newRows); err != nil {
+				return fmt.Errorf("trigger %s: %w", tr.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse parses one statement, consulting fallback parsers on failure.
+func (db *DB) Parse(sql string) (sqlparser.Statement, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err == nil {
+		return stmt, nil
+	}
+	for _, fp := range db.fallbacks {
+		if st, ok, ferr := fp(sql); ok {
+			return st, ferr
+		}
+	}
+	return nil, err
+}
+
+// Exec parses and executes a single statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result.
+func (db *DB) ExecScript(sql string) (*Result, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		// Retry statement-by-statement so fallback parsers get a chance.
+		return db.execScriptWithFallback(sql)
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := db.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// execScriptWithFallback splits naively on top-level semicolons and runs
+// each piece through Exec (which consults fallback parsers).
+func (db *DB) execScriptWithFallback(sql string) (*Result, error) {
+	var last *Result
+	for _, piece := range SplitStatements(sql) {
+		r, err := db.Exec(piece)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// SplitStatements splits a script on semicolons outside quotes.
+func SplitStatements(sql string) []string {
+	var out []string
+	depth := 0
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		switch {
+		case inStr:
+			sb.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(sql) && sql[i+1] == '\'' {
+					sb.WriteByte(sql[i+1])
+					i++
+				} else {
+					inStr = false
+				}
+			}
+		case c == '\'':
+			inStr = true
+			sb.WriteByte(c)
+		case c == '(':
+			depth++
+			sb.WriteByte(c)
+		case c == ')':
+			depth--
+			sb.WriteByte(c)
+		case c == ';' && depth == 0:
+			if s := strings.TrimSpace(sb.String()); s != "" {
+				out = append(out, s)
+			}
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Query is Exec restricted to row-returning statements (for readability at
+// call sites).
+func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	// Statement hooks first (IVM interception etc.).
+	for _, h := range db.hooks {
+		handled, res, err := h(db, stmt)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return res, nil
+		}
+	}
+
+	switch st := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return db.execSelect(st)
+	case *sqlparser.CreateTableStmt:
+		return db.execCreateTable(st)
+	case *sqlparser.CreateIndexStmt:
+		return db.execCreateIndex(st)
+	case *sqlparser.CreateViewStmt:
+		if st.Materialized {
+			return nil, fmt.Errorf("engine: CREATE MATERIALIZED VIEW requires the IVM extension (openivm/internal/ivmext)")
+		}
+		if err := db.cat.CreateView(st.Name, st.SourceSQL); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.DropStmt:
+		return db.execDrop(st)
+	case *sqlparser.InsertStmt:
+		return db.execInsert(st)
+	case *sqlparser.UpdateStmt:
+		return db.execUpdate(st)
+	case *sqlparser.DeleteStmt:
+		return db.execDelete(st)
+	case *sqlparser.TruncateStmt:
+		return db.execTruncate(st)
+	case *sqlparser.BeginStmt:
+		return db.execBegin()
+	case *sqlparser.CommitStmt:
+		return db.execCommit()
+	case *sqlparser.RollbackStmt:
+		return db.execRollback()
+	case *sqlparser.PragmaStmt:
+		db.SetPragma(st.Name, st.Value)
+		return &Result{}, nil
+	case *sqlparser.ExplainStmt:
+		return db.execExplain(st)
+	case *sqlparser.CreateTriggerStmt:
+		return db.execCreateTrigger(st)
+	case *sqlparser.RefreshStmt:
+		return nil, fmt.Errorf("engine: REFRESH MATERIALIZED VIEW requires the IVM extension")
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// newBinder builds a binder with scalar-subquery support wired to this DB.
+func (db *DB) newBinder() *plan.Binder {
+	b := plan.NewBinder(db.cat)
+	b.SubqueryFn = func(sel *sqlparser.SelectStmt) (expr.Expr, error) {
+		return newLazySubquery(db, sel), nil
+	}
+	b.SubqueryRowsFn = func(sel *sqlparser.SelectStmt) (func() ([]sqltypes.Value, error), error) {
+		var cached []sqltypes.Value
+		done := false
+		return func() ([]sqltypes.Value, error) {
+			if done {
+				return cached, nil
+			}
+			n, err := db.PlanSelect(sel)
+			if err != nil {
+				return nil, err
+			}
+			rows, err := exec.Run(n)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if len(r) != 1 {
+					return nil, fmt.Errorf("engine: IN subquery must return one column")
+				}
+				cached = append(cached, r[0])
+			}
+			done = true
+			return cached, nil
+		}, nil
+	}
+	return b
+}
+
+// PlanSelect binds and optimizes a SELECT, returning the logical plan.
+// Exposed for the IVM compiler, which rewrites view plans.
+func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
+	n, err := db.newBinder().BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Optimize(n), nil
+}
+
+func (db *DB) execSelect(sel *sqlparser.SelectStmt) (*Result, error) {
+	n, err := db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Run(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Rows: rows}
+	for _, c := range n.Schema() {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	return res, nil
+}
+
+func (db *DB) execExplain(st *sqlparser.ExplainStmt) (*Result, error) {
+	sel, ok := st.Stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
+	}
+	n, err := db.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewString(line)})
+	}
+	return res, nil
+}
+
+func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
+	if st.AsSelect != nil {
+		n, err := db.PlanSelect(st.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Run(n)
+		if err != nil {
+			return nil, err
+		}
+		var cols []catalog.Column
+		for _, c := range n.Schema() {
+			t := c.Type
+			if t == sqltypes.TypeAny || t == sqltypes.TypeNull {
+				t = sqltypes.TypeString
+			}
+			cols = append(cols, catalog.Column{Name: c.Name, Type: t})
+		}
+		tbl, err := db.cat.CreateTable(st.Name, cols, nil, st.IfNotExists)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if err := tbl.Insert(r); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{RowsAffected: len(rows)}, nil
+	}
+	var cols []catalog.Column
+	for _, cd := range st.Columns {
+		col := catalog.Column{Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull}
+		if cd.Default != nil {
+			b := db.newBinder()
+			e, err := b.BindExprNoInput(cd.Default)
+			if err != nil {
+				return nil, fmt.Errorf("engine: DEFAULT for %s: %w", cd.Name, err)
+			}
+			v, err := e.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			col.Default = v
+			col.HasDef = true
+		}
+		cols = append(cols, col)
+	}
+	if _, err := db.cat.CreateTable(st.Name, cols, st.PrimaryKey, st.IfNotExists); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tbl.CreateIndex(st.Name, st.Columns, st.Unique, st.IfNotExists); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execDrop(st *sqlparser.DropStmt) (*Result, error) {
+	switch st.Kind {
+	case "TABLE":
+		if err := db.cat.DropTable(st.Name, st.IfExists); err != nil {
+			return nil, err
+		}
+	case "VIEW":
+		// Materialized views are stored as tables + metadata (+ an exposed
+		// plain view under AVG decomposition).
+		if m, ok := db.cat.IVM(st.Name); ok {
+			db.cat.DropIVM(st.Name)
+			db.cat.DropView(st.Name, true)
+			storage := m.StorageTable
+			if storage == "" {
+				storage = st.Name
+			}
+			return &Result{}, db.cat.DropTable(storage, true)
+		}
+		if err := db.cat.DropView(st.Name, st.IfExists); err != nil {
+			return nil, err
+		}
+	case "INDEX":
+		return nil, fmt.Errorf("engine: DROP INDEX not supported")
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateTrigger(st *sqlparser.CreateTriggerStmt) (*Result, error) {
+	fn, ok := db.trigHandlers[strings.ToLower(st.Handler)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown trigger handler %q", st.Handler)
+	}
+	var events []TriggerEvent
+	for _, e := range st.Events {
+		events = append(events, TriggerEvent(e))
+	}
+	db.AddTrigger(st.Table, st.Name, events, fn)
+	return &Result{}, nil
+}

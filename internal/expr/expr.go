@@ -1,0 +1,668 @@
+// Package expr defines bound (resolved) scalar expressions and their
+// evaluator, plus the aggregate-function machinery used by the hash
+// aggregation operator and the IVM delta-combination logic.
+//
+// Bound expressions reference input columns by position; the binder in
+// internal/plan resolves parser ASTs against an operator's input schema.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"openivm/internal/sqltypes"
+)
+
+// Expr is a bound scalar expression evaluable against a row.
+type Expr interface {
+	// Eval computes the expression over the input row.
+	Eval(row sqltypes.Row) (sqltypes.Value, error)
+	// Type returns the static result type (TypeAny when unknown).
+	Type() sqltypes.Type
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// Column references an input column by position.
+type Column struct {
+	Idx  int
+	Name string
+	Typ  sqltypes.Type
+}
+
+// Eval implements Expr.
+func (c *Column) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	if c.Idx < 0 || c.Idx >= len(row) {
+		return sqltypes.Null, fmt.Errorf("expr: column index %d out of range (row width %d)", c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+// Type implements Expr.
+func (c *Column) Type() sqltypes.Type { return c.Typ }
+
+// String implements Expr.
+func (c *Column) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Idx)
+}
+
+// Literal is a constant.
+type Literal struct{ Val sqltypes.Value }
+
+// Eval implements Expr.
+func (l *Literal) Eval(sqltypes.Row) (sqltypes.Value, error) { return l.Val, nil }
+
+// Type implements Expr.
+func (l *Literal) Type() sqltypes.Type { return l.Val.T }
+
+// String implements Expr.
+func (l *Literal) String() string { return l.Val.SQLLiteral() }
+
+// Binary applies a binary operator. Op: + - * / % = <> < <= > >= AND OR LIKE ||.
+type Binary struct {
+	Op          string
+	Left, Right Expr
+}
+
+// Eval implements Expr with SQL three-valued logic for comparisons and
+// AND/OR, and NULL propagation for arithmetic.
+func (b *Binary) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	switch b.Op {
+	case "AND":
+		l, err := b.Left.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if l.T == sqltypes.TypeBool && !l.B {
+			return sqltypes.NewBool(false), nil
+		}
+		r, err := b.Right.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if r.T == sqltypes.TypeBool && !r.B {
+			return sqltypes.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(l.B && r.B), nil
+	case "OR":
+		l, err := b.Left.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if l.T == sqltypes.TypeBool && l.B {
+			return sqltypes.NewBool(true), nil
+		}
+		r, err := b.Right.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if r.T == sqltypes.TypeBool && r.B {
+			return sqltypes.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(l.B || r.B), nil
+	}
+	l, err := b.Left.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r, err := b.Right.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch b.Op {
+	case "+", "-", "*", "/", "%":
+		return sqltypes.Arith(b.Op[0], l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewString(l.String() + r.String()), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		cmp, ok := sqltypes.CompareSQL(l, r)
+		if !ok {
+			return sqltypes.Null, nil
+		}
+		var res bool
+		switch b.Op {
+		case "=":
+			res = cmp == 0
+		case "<>":
+			res = cmp != 0
+		case "<":
+			res = cmp < 0
+		case "<=":
+			res = cmp <= 0
+		case ">":
+			res = cmp > 0
+		case ">=":
+			res = cmp >= 0
+		}
+		return sqltypes.NewBool(res), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(likeMatch(l.String(), r.String())), nil
+	}
+	return sqltypes.Null, fmt.Errorf("expr: unknown operator %q", b.Op)
+}
+
+// Type implements Expr.
+func (b *Binary) Type() sqltypes.Type {
+	switch b.Op {
+	case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
+		return sqltypes.TypeBool
+	case "||":
+		return sqltypes.TypeString
+	}
+	lt, rt := b.Left.Type(), b.Right.Type()
+	if lt == sqltypes.TypeFloat || rt == sqltypes.TypeFloat {
+		return sqltypes.TypeFloat
+	}
+	if lt == sqltypes.TypeInt && rt == sqltypes.TypeInt {
+		return sqltypes.TypeInt
+	}
+	if lt == sqltypes.TypeString && rt == sqltypes.TypeString && b.Op == "+" {
+		return sqltypes.TypeString
+	}
+	return sqltypes.TypeAny
+}
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op      string // "NOT" or "-"
+	Operand Expr
+}
+
+// Eval implements Expr.
+func (u *Unary) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := u.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch u.Op {
+	case "NOT":
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(!v.IsTrue()), nil
+	case "-":
+		return sqltypes.Neg(v)
+	}
+	return sqltypes.Null, fmt.Errorf("expr: unknown unary %q", u.Op)
+}
+
+// Type implements Expr.
+func (u *Unary) Type() sqltypes.Type {
+	if u.Op == "NOT" {
+		return sqltypes.TypeBool
+	}
+	return u.Operand.Type()
+}
+
+// String implements Expr.
+func (u *Unary) String() string { return "(" + u.Op + " " + u.Operand.String() + ")" }
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	Operand Expr
+	Negate  bool
+}
+
+// Eval implements Expr.
+func (e *IsNull) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewBool(v.IsNull() != e.Negate), nil
+}
+
+// Type implements Expr.
+func (e *IsNull) Type() sqltypes.Type { return sqltypes.TypeBool }
+
+// String implements Expr.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return "(" + e.Operand.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Operand.String() + " IS NULL)"
+}
+
+// In is x [NOT] IN (list).
+type In struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+// Eval implements Expr with SQL NULL semantics: NULL operand yields NULL;
+// a non-matching list containing NULL yields NULL.
+func (e *In) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	sawNull := false
+	for _, item := range e.List {
+		iv, err := item.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if cmp, ok := sqltypes.CompareSQL(v, iv); ok && cmp == 0 {
+			return sqltypes.NewBool(!e.Negate), nil
+		}
+	}
+	if sawNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(e.Negate), nil
+}
+
+// Type implements Expr.
+func (e *In) Type() sqltypes.Type { return sqltypes.TypeBool }
+
+// String implements Expr.
+func (e *In) String() string {
+	var sb strings.Builder
+	sb.WriteString("(" + e.Operand.String())
+	if e.Negate {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	for i, it := range e.List {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+// InQuery is x [NOT] IN (SELECT ...). Fetch returns the subquery's column
+// values; providers should evaluate lazily and cache.
+type InQuery struct {
+	Operand Expr
+	Fetch   func() ([]sqltypes.Value, error)
+	Negate  bool
+}
+
+// Eval implements Expr with the same NULL semantics as In.
+func (e *InQuery) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	list, err := e.Fetch()
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	sawNull := false
+	for _, iv := range list {
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if cmp, ok := sqltypes.CompareSQL(v, iv); ok && cmp == 0 {
+			return sqltypes.NewBool(!e.Negate), nil
+		}
+	}
+	if sawNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(e.Negate), nil
+}
+
+// Type implements Expr.
+func (e *InQuery) Type() sqltypes.Type { return sqltypes.TypeBool }
+
+// String implements Expr.
+func (e *InQuery) String() string {
+	neg := ""
+	if e.Negate {
+		neg = " NOT"
+	}
+	return "(" + e.Operand.String() + neg + " IN (<subquery>))"
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	Operand, Lo, Hi Expr
+	Negate          bool
+}
+
+// Eval implements Expr.
+func (e *Between) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	lo, err := e.Lo.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	hi, err := e.Hi.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	c1, ok1 := sqltypes.CompareSQL(v, lo)
+	c2, ok2 := sqltypes.CompareSQL(v, hi)
+	if !ok1 || !ok2 {
+		return sqltypes.Null, nil
+	}
+	res := c1 >= 0 && c2 <= 0
+	return sqltypes.NewBool(res != e.Negate), nil
+}
+
+// Type implements Expr.
+func (e *Between) Type() sqltypes.Type { return sqltypes.TypeBool }
+
+// String implements Expr.
+func (e *Between) String() string {
+	neg := ""
+	if e.Negate {
+		neg = " NOT"
+	}
+	return "(" + e.Operand.String() + neg + " BETWEEN " + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+// Case is CASE [operand] WHEN .. THEN .. ELSE .. END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // nil -> NULL
+}
+
+// CaseWhen is one arm.
+type CaseWhen struct{ When, Then Expr }
+
+// Eval implements Expr.
+func (e *Case) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	var base sqltypes.Value
+	hasBase := e.Operand != nil
+	if hasBase {
+		var err error
+		base, err = e.Operand.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+	}
+	for _, w := range e.Whens {
+		wv, err := w.When.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		match := false
+		if hasBase {
+			if cmp, ok := sqltypes.CompareSQL(base, wv); ok && cmp == 0 {
+				match = true
+			}
+		} else {
+			match = wv.IsTrue()
+		}
+		if match {
+			return w.Then.Eval(row)
+		}
+	}
+	if e.Else != nil {
+		return e.Else.Eval(row)
+	}
+	return sqltypes.Null, nil
+}
+
+// Type implements Expr.
+func (e *Case) Type() sqltypes.Type {
+	if len(e.Whens) > 0 {
+		return e.Whens[0].Then.Type()
+	}
+	return sqltypes.TypeAny
+}
+
+// String implements Expr.
+func (e *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if e.Operand != nil {
+		sb.WriteString(" " + e.Operand.String())
+	}
+	for _, w := range e.Whens {
+		sb.WriteString(" WHEN " + w.When.String() + " THEN " + w.Then.String())
+	}
+	if e.Else != nil {
+		sb.WriteString(" ELSE " + e.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// Cast converts to a target type.
+type Cast struct {
+	Operand Expr
+	Target  sqltypes.Type
+}
+
+// Eval implements Expr.
+func (e *Cast) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.Operand.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.Cast(v, e.Target)
+}
+
+// Type implements Expr.
+func (e *Cast) Type() sqltypes.Type { return e.Target }
+
+// String implements Expr.
+func (e *Cast) String() string {
+	return "CAST(" + e.Operand.String() + " AS " + e.Target.String() + ")"
+}
+
+// ScalarFunc is a non-aggregate function call (COALESCE, ABS, ...).
+type ScalarFunc struct {
+	Name string
+	Args []Expr
+	Fn   func(args []sqltypes.Value) (sqltypes.Value, error)
+	Typ  sqltypes.Type
+}
+
+// Eval implements Expr.
+func (e *ScalarFunc) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	args := make([]sqltypes.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		args[i] = v
+	}
+	return e.Fn(args)
+}
+
+// Type implements Expr.
+func (e *ScalarFunc) Type() sqltypes.Type { return e.Typ }
+
+// String implements Expr.
+func (e *ScalarFunc) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Name + "(")
+	for i, a := range e.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// ScalarFuncs is the registry of built-in scalar functions. Each entry
+// returns the implementation and static result type for an arg count.
+var ScalarFuncs = map[string]func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error){
+	"COALESCE": func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) == 0 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("COALESCE requires at least one argument")
+		}
+		t := sqltypes.TypeAny
+		for _, at := range argTypes {
+			if at != sqltypes.TypeNull && at != sqltypes.TypeAny {
+				t = at
+				break
+			}
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			for _, a := range args {
+				if !a.IsNull() {
+					return a, nil
+				}
+			}
+			return sqltypes.Null, nil
+		}, t, nil
+	},
+	"ABS": func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) != 1 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("ABS requires one argument")
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			v := args[0]
+			switch v.T {
+			case sqltypes.TypeNull:
+				return sqltypes.Null, nil
+			case sqltypes.TypeInt:
+				if v.I < 0 {
+					return sqltypes.NewInt(-v.I), nil
+				}
+				return v, nil
+			case sqltypes.TypeFloat:
+				if v.F < 0 {
+					return sqltypes.NewFloat(-v.F), nil
+				}
+				return v, nil
+			}
+			return sqltypes.Null, fmt.Errorf("ABS: non-numeric argument %s", v.T)
+		}, argTypes[0], nil
+	},
+	"LENGTH": func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) != 1 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("LENGTH requires one argument")
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			if args[0].IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewInt(int64(len(args[0].String()))), nil
+		}, sqltypes.TypeInt, nil
+	},
+	"LOWER": stringFunc(strings.ToLower),
+	"UPPER": stringFunc(strings.ToUpper),
+	"GREATEST": func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) == 0 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("GREATEST requires arguments")
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			best := sqltypes.Null
+			for _, a := range args {
+				if a.IsNull() {
+					return sqltypes.Null, nil
+				}
+				if best.IsNull() || sqltypes.Compare(a, best) > 0 {
+					best = a
+				}
+			}
+			return best, nil
+		}, argTypes[0], nil
+	},
+	"LEAST": func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) == 0 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("LEAST requires arguments")
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			best := sqltypes.Null
+			for _, a := range args {
+				if a.IsNull() {
+					return sqltypes.Null, nil
+				}
+				if best.IsNull() || sqltypes.Compare(a, best) < 0 {
+					best = a
+				}
+			}
+			return best, nil
+		}, argTypes[0], nil
+	},
+}
+
+func stringFunc(fn func(string) string) func([]sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+	return func(argTypes []sqltypes.Type) (func([]sqltypes.Value) (sqltypes.Value, error), sqltypes.Type, error) {
+		if len(argTypes) != 1 {
+			return nil, sqltypes.TypeAny, fmt.Errorf("function requires one argument")
+		}
+		return func(args []sqltypes.Value) (sqltypes.Value, error) {
+			if args[0].IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewString(fn(args[0].String())), nil
+		}, sqltypes.TypeString, nil
+	}
+}

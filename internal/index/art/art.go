@@ -1,0 +1,661 @@
+// Package art implements an Adaptive Radix Tree (Leis et al., ICDE 2013) —
+// the index structure DuckDB uses for primary keys and upserts, and which
+// the paper builds on materialized aggregate tables (keyed by the GROUP BY
+// columns) so that INSERT OR REPLACE can locate groups quickly.
+//
+// The tree stores arbitrary []byte keys in sorted order with four adaptive
+// node sizes (4, 16, 48, 256 children), path compression (each inner node
+// carries a prefix) and single-value leaves. Values are opaque interface{}.
+//
+// Arbitrary keys are supported: internally every key is escaped into a
+// prefix-free, order-preserving form (0x00 -> 0x00 0xFF, terminated by
+// 0x00 0x00), so no key can be a proper prefix of another.
+package art
+
+import "bytes"
+
+// escape converts key to the internal prefix-free representation.
+func escape(key []byte) []byte {
+	out := make([]byte, 0, len(key)+2)
+	for _, b := range key {
+		out = append(out, b)
+		if b == 0x00 {
+			out = append(out, 0xFF)
+		}
+	}
+	return append(out, 0x00, 0x00)
+}
+
+// unescape inverts escape.
+func unescape(ek []byte) []byte {
+	ek = ek[:len(ek)-2] // strip terminator
+	out := make([]byte, 0, len(ek))
+	for i := 0; i < len(ek); i++ {
+		out = append(out, ek[i])
+		if ek[i] == 0x00 {
+			i++ // skip 0xFF
+		}
+	}
+	return out
+}
+
+// KV is a key/value pair, used by bulk-build helpers.
+type KV struct {
+	Key []byte
+	Val any
+}
+
+// Tree is an adaptive radix tree mapping []byte keys to values.
+type Tree struct {
+	root node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+type node interface {
+	// child returns the child for byte b, or nil.
+	child(b byte) node
+	// setChild inserts/overwrites the child for byte b; reports whether the
+	// node had room (false means the caller must grow it first).
+	setChild(b byte, n node) bool
+	// removeChild deletes the child for byte b.
+	removeChild(b byte)
+	// numChildren returns the current child count.
+	numChildren() int
+	// prefix returns the compressed path for this inner node.
+	getPrefix() []byte
+	setPrefix(p []byte)
+	// walk iterates children in byte order.
+	walk(fn func(b byte, n node) bool) bool
+	// minChild returns the smallest-byte child.
+	minChild() node
+}
+
+// leaf holds a full key copy plus its value.
+type leaf struct {
+	key []byte
+	val any
+}
+
+func (l *leaf) child(byte) node                 { return nil }
+func (l *leaf) setChild(byte, node) bool        { return true }
+func (l *leaf) removeChild(byte)                {}
+func (l *leaf) numChildren() int                { return 0 }
+func (l *leaf) getPrefix() []byte               { return nil }
+func (l *leaf) setPrefix([]byte)                {}
+func (l *leaf) walk(func(byte, node) bool) bool { return true }
+func (l *leaf) minChild() node                  { return nil }
+
+// node4: up to 4 children, sorted key bytes.
+type node4 struct {
+	prefix   []byte
+	keys     [4]byte
+	children [4]node
+	n        int
+}
+
+func (nd *node4) child(b byte) node {
+	for i := 0; i < nd.n; i++ {
+		if nd.keys[i] == b {
+			return nd.children[i]
+		}
+	}
+	return nil
+}
+
+func (nd *node4) setChild(b byte, c node) bool {
+	for i := 0; i < nd.n; i++ {
+		if nd.keys[i] == b {
+			nd.children[i] = c
+			return true
+		}
+	}
+	if nd.n == 4 {
+		return false
+	}
+	i := nd.n
+	for i > 0 && nd.keys[i-1] > b {
+		nd.keys[i] = nd.keys[i-1]
+		nd.children[i] = nd.children[i-1]
+		i--
+	}
+	nd.keys[i] = b
+	nd.children[i] = c
+	nd.n++
+	return true
+}
+
+func (nd *node4) removeChild(b byte) {
+	for i := 0; i < nd.n; i++ {
+		if nd.keys[i] == b {
+			copy(nd.keys[i:], nd.keys[i+1:nd.n])
+			copy(nd.children[i:], nd.children[i+1:nd.n])
+			nd.n--
+			nd.children[nd.n] = nil
+			return
+		}
+	}
+}
+
+func (nd *node4) numChildren() int   { return nd.n }
+func (nd *node4) getPrefix() []byte  { return nd.prefix }
+func (nd *node4) setPrefix(p []byte) { nd.prefix = p }
+
+func (nd *node4) walk(fn func(byte, node) bool) bool {
+	for i := 0; i < nd.n; i++ {
+		if !fn(nd.keys[i], nd.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (nd *node4) minChild() node {
+	if nd.n == 0 {
+		return nil
+	}
+	return nd.children[0]
+}
+
+// node16: up to 16 children, sorted key bytes (binary search).
+type node16 struct {
+	prefix   []byte
+	keys     [16]byte
+	children [16]node
+	n        int
+}
+
+func (nd *node16) find(b byte) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (nd *node16) child(b byte) node {
+	i := nd.find(b)
+	if i < nd.n && nd.keys[i] == b {
+		return nd.children[i]
+	}
+	return nil
+}
+
+func (nd *node16) setChild(b byte, c node) bool {
+	i := nd.find(b)
+	if i < nd.n && nd.keys[i] == b {
+		nd.children[i] = c
+		return true
+	}
+	if nd.n == 16 {
+		return false
+	}
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.children[i+1:nd.n+1], nd.children[i:nd.n])
+	nd.keys[i] = b
+	nd.children[i] = c
+	nd.n++
+	return true
+}
+
+func (nd *node16) removeChild(b byte) {
+	i := nd.find(b)
+	if i < nd.n && nd.keys[i] == b {
+		copy(nd.keys[i:], nd.keys[i+1:nd.n])
+		copy(nd.children[i:], nd.children[i+1:nd.n])
+		nd.n--
+		nd.children[nd.n] = nil
+	}
+}
+
+func (nd *node16) numChildren() int   { return nd.n }
+func (nd *node16) getPrefix() []byte  { return nd.prefix }
+func (nd *node16) setPrefix(p []byte) { nd.prefix = p }
+
+func (nd *node16) walk(fn func(byte, node) bool) bool {
+	for i := 0; i < nd.n; i++ {
+		if !fn(nd.keys[i], nd.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (nd *node16) minChild() node {
+	if nd.n == 0 {
+		return nil
+	}
+	return nd.children[0]
+}
+
+// node48: 256-entry indirection table into up to 48 children.
+type node48 struct {
+	prefix   []byte
+	index    [256]int8 // -1 = absent
+	children [48]node
+	n        int
+}
+
+func newNode48() *node48 {
+	nd := &node48{}
+	for i := range nd.index {
+		nd.index[i] = -1
+	}
+	return nd
+}
+
+func (nd *node48) child(b byte) node {
+	if i := nd.index[b]; i >= 0 {
+		return nd.children[i]
+	}
+	return nil
+}
+
+func (nd *node48) setChild(b byte, c node) bool {
+	if i := nd.index[b]; i >= 0 {
+		nd.children[i] = c
+		return true
+	}
+	if nd.n == 48 {
+		return false
+	}
+	nd.index[b] = int8(nd.n)
+	nd.children[nd.n] = c
+	nd.n++
+	return true
+}
+
+func (nd *node48) removeChild(b byte) {
+	i := nd.index[b]
+	if i < 0 {
+		return
+	}
+	// Move the last child into the vacated slot to keep the array dense.
+	last := int8(nd.n - 1)
+	nd.children[i] = nd.children[last]
+	for bb := 0; bb < 256; bb++ {
+		if nd.index[bb] == last {
+			nd.index[bb] = i
+			break
+		}
+	}
+	nd.children[last] = nil
+	nd.index[b] = -1
+	nd.n--
+}
+
+func (nd *node48) numChildren() int   { return nd.n }
+func (nd *node48) getPrefix() []byte  { return nd.prefix }
+func (nd *node48) setPrefix(p []byte) { nd.prefix = p }
+
+func (nd *node48) walk(fn func(byte, node) bool) bool {
+	for b := 0; b < 256; b++ {
+		if i := nd.index[b]; i >= 0 {
+			if !fn(byte(b), nd.children[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (nd *node48) minChild() node {
+	for b := 0; b < 256; b++ {
+		if i := nd.index[b]; i >= 0 {
+			return nd.children[i]
+		}
+	}
+	return nil
+}
+
+// node256: direct array of children.
+type node256 struct {
+	prefix   []byte
+	children [256]node
+	n        int
+}
+
+func (nd *node256) child(b byte) node { return nd.children[b] }
+
+func (nd *node256) setChild(b byte, c node) bool {
+	if nd.children[b] == nil {
+		nd.n++
+	}
+	nd.children[b] = c
+	return true
+}
+
+func (nd *node256) removeChild(b byte) {
+	if nd.children[b] != nil {
+		nd.children[b] = nil
+		nd.n--
+	}
+}
+
+func (nd *node256) numChildren() int   { return nd.n }
+func (nd *node256) getPrefix() []byte  { return nd.prefix }
+func (nd *node256) setPrefix(p []byte) { nd.prefix = p }
+
+func (nd *node256) walk(fn func(byte, node) bool) bool {
+	for b := 0; b < 256; b++ {
+		if c := nd.children[b]; c != nil {
+			if !fn(byte(b), c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (nd *node256) minChild() node {
+	for b := 0; b < 256; b++ {
+		if c := nd.children[b]; c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// grow returns a larger copy of nd.
+func grow(nd node) node {
+	switch old := nd.(type) {
+	case *node4:
+		nn := &node16{prefix: old.prefix}
+		for i := 0; i < old.n; i++ {
+			nn.setChild(old.keys[i], old.children[i])
+		}
+		return nn
+	case *node16:
+		nn := newNode48()
+		nn.prefix = old.prefix
+		for i := 0; i < old.n; i++ {
+			nn.setChild(old.keys[i], old.children[i])
+		}
+		return nn
+	case *node48:
+		nn := &node256{prefix: old.prefix}
+		old.walk(func(b byte, c node) bool {
+			nn.setChild(b, c)
+			return true
+		})
+		return nn
+	}
+	return nd
+}
+
+// shrink returns a smaller copy of nd when underfull, or nd itself.
+func shrink(nd node) node {
+	switch old := nd.(type) {
+	case *node16:
+		if old.n > 3 {
+			return nd
+		}
+		nn := &node4{prefix: old.prefix}
+		for i := 0; i < old.n; i++ {
+			nn.setChild(old.keys[i], old.children[i])
+		}
+		return nn
+	case *node48:
+		if old.n > 12 {
+			return nd
+		}
+		nn := &node16{prefix: old.prefix}
+		old.walk(func(b byte, c node) bool {
+			nn.setChild(b, c)
+			return true
+		})
+		return nn
+	case *node256:
+		if old.n > 40 {
+			return nd
+		}
+		nn := newNode48()
+		nn.prefix = old.prefix
+		old.walk(func(b byte, c node) bool {
+			nn.setChild(b, c)
+			return true
+		})
+		return nn
+	}
+	return nd
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (any, bool) {
+	return t.get(escape(key))
+}
+
+func (t *Tree) get(key []byte) (any, bool) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if l, ok := n.(*leaf); ok {
+			if bytes.Equal(l.key, key) {
+				return l.val, true
+			}
+			return nil, false
+		}
+		p := n.getPrefix()
+		if len(p) > 0 {
+			if depth+len(p) > len(key) || !bytes.Equal(key[depth:depth+len(p)], p) {
+				return nil, false
+			}
+			depth += len(p)
+		}
+		if depth >= len(key) {
+			// Keys are self-delimiting (prefix-free); a key that ends at an
+			// inner node is absent.
+			return nil, false
+		}
+		n = n.child(key[depth])
+		depth++
+	}
+	return nil, false
+}
+
+// Put inserts or overwrites key.
+func (t *Tree) Put(key []byte, val any) {
+	k := escape(key)
+	if t.root == nil {
+		t.root = &leaf{key: k, val: val}
+		t.size++
+		return
+	}
+	if t.put(&t.root, k, val, 0) {
+		t.size++
+	}
+}
+
+// put inserts into *ref at depth; reports whether a new key was added.
+func (t *Tree) put(ref *node, key []byte, val any, depth int) bool {
+	n := *ref
+	if l, ok := n.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			l.val = val
+			return false
+		}
+		// Split: create a node4 with the common prefix of the two keys.
+		pl := commonPrefixLen(l.key[depth:], key[depth:])
+		nn := &node4{prefix: append([]byte(nil), key[depth:depth+pl]...)}
+		// Self-delimiting keys guarantee both continue past depth+pl.
+		nn.setChild(l.key[depth+pl], l)
+		nn.setChild(key[depth+pl], &leaf{key: key, val: val})
+		*ref = nn
+		return true
+	}
+
+	p := n.getPrefix()
+	pl := commonPrefixLen(p, key[depth:])
+	if pl < len(p) {
+		// Prefix mismatch: split the prefix.
+		nn := &node4{prefix: append([]byte(nil), p[:pl]...)}
+		n.setPrefix(append([]byte(nil), p[pl+1:]...))
+		nn.setChild(p[pl], n)
+		nn.setChild(key[depth+pl], &leaf{key: key, val: val})
+		*ref = nn
+		return true
+	}
+	depth += len(p)
+	b := key[depth]
+	child := n.child(b)
+	if child == nil {
+		lf := &leaf{key: key, val: val}
+		if !n.setChild(b, lf) {
+			n = grow(n)
+			n.setChild(b, lf)
+			*ref = n
+		}
+		return true
+	}
+	// Descend; need addressable child reference.
+	added := t.put(&child, key, val, depth+1)
+	n.setChild(b, child)
+	return added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	key = escape(key)
+	if t.root == nil {
+		return false
+	}
+	if l, ok := t.root.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			t.root = nil
+			t.size--
+			return true
+		}
+		return false
+	}
+	if t.del(&t.root, key, 0) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Tree) del(ref *node, key []byte, depth int) bool {
+	n := *ref
+	p := n.getPrefix()
+	if len(p) > 0 {
+		if depth+len(p) > len(key) || !bytes.Equal(key[depth:depth+len(p)], p) {
+			return false
+		}
+		depth += len(p)
+	}
+	if depth >= len(key) {
+		return false
+	}
+	b := key[depth]
+	child := n.child(b)
+	if child == nil {
+		return false
+	}
+	if l, ok := child.(*leaf); ok {
+		if !bytes.Equal(l.key, key) {
+			return false
+		}
+		n.removeChild(b)
+		// Collapse single-child node4 into its child (path compression).
+		if n4, ok := n.(*node4); ok && n4.n == 1 {
+			only := n4.children[0]
+			if _, isLeaf := only.(*leaf); !isLeaf {
+				np := append(append(append([]byte(nil), n4.prefix...), n4.keys[0]), only.getPrefix()...)
+				only.setPrefix(np)
+				*ref = only
+			} else if n4.n == 1 {
+				*ref = only
+			}
+		} else {
+			*ref = shrink(n)
+		}
+		return true
+	}
+	ok := t.del(&child, key, depth+1)
+	if ok {
+		n.setChild(b, child)
+	}
+	return ok
+}
+
+// Ascend iterates all key/value pairs in ascending key order; fn returning
+// false stops iteration. Keys passed to fn are the original (unescaped) keys.
+func (t *Tree) Ascend(fn func(key []byte, val any) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend(n node, fn func([]byte, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	if l, ok := n.(*leaf); ok {
+		return fn(unescape(l.key), l.val)
+	}
+	return n.walk(func(_ byte, c node) bool {
+		return ascend(c, fn)
+	})
+}
+
+// AscendPrefix iterates pairs whose key starts with prefix, ascending.
+func (t *Tree) AscendPrefix(prefix []byte, fn func(key []byte, val any) bool) {
+	t.Ascend(func(k []byte, v any) bool {
+		if len(k) < len(prefix) {
+			if bytes.Compare(k, prefix) > 0 {
+				return false
+			}
+			return true
+		}
+		c := bytes.Compare(k[:len(prefix)], prefix)
+		if c > 0 {
+			return false
+		}
+		if c < 0 {
+			return true
+		}
+		return fn(k, v)
+	})
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min() ([]byte, any, bool) {
+	n := t.root
+	for n != nil {
+		if l, ok := n.(*leaf); ok {
+			return unescape(l.key), l.val, true
+		}
+		n = n.minChild()
+	}
+	return nil, nil, false
+}
+
+// BulkInsert inserts a batch of pairs. Sorting the batch first improves
+// locality (the chunk-and-merge strategy the paper describes for building
+// the materialized-aggregate ART after population).
+func (t *Tree) BulkInsert(pairs []KV) {
+	for _, kv := range pairs {
+		t.Put(kv.Key, kv.Val)
+	}
+}

@@ -1,0 +1,394 @@
+package art
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree len != 0")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Error("Get on empty tree")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Error("Delete on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("hello"), 1)
+	v, ok := tr.Get([]byte("hello"))
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := tr.Get([]byte("hell")); ok {
+		t.Error("prefix key should be absent")
+	}
+	if _, ok := tr.Get([]byte("hello!")); ok {
+		t.Error("extension key should be absent")
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), 1)
+	tr.Put([]byte("k"), 2)
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	v, _ := tr.Get([]byte("k"))
+	if v.(int) != 2 {
+		t.Errorf("v = %v", v)
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// Keys where one is a prefix of another must coexist.
+	tr := New()
+	keys := []string{"a", "ab", "abc", "abcd", "", "b"}
+	for i, k := range keys {
+		tr.Put([]byte(k), i)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || v.(int) != i {
+			t.Errorf("Get(%q) = %v, %v; want %d", k, v, ok, i)
+		}
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	tr := New()
+	keys := [][]byte{{0}, {0, 0}, {0, 1}, {1, 0}, {0xFF}, {0, 0xFF}}
+	for i, k := range keys {
+		tr.Put(k, i)
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v.(int) != i {
+			t.Errorf("Get(%v) = %v, %v; want %d", k, v, ok, i)
+		}
+	}
+}
+
+func TestNodeGrowth(t *testing.T) {
+	// Insert 256 distinct first-bytes to force node4 -> 16 -> 48 -> 256.
+	tr := New()
+	for i := 0; i < 256; i++ {
+		tr.Put([]byte{byte(i), 'x'}, i)
+	}
+	if tr.Len() != 256 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 256; i++ {
+		v, ok := tr.Get([]byte{byte(i), 'x'})
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestNodeShrink(t *testing.T) {
+	tr := New()
+	for i := 0; i < 256; i++ {
+		tr.Put([]byte{byte(i)}, i)
+	}
+	// Delete most, verify remaining survive shrink transitions.
+	for i := 0; i < 250; i++ {
+		if !tr.Delete([]byte{byte(i)}) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 250; i < 256; i++ {
+		if _, ok := tr.Get([]byte{byte(i)}); !ok {
+			t.Errorf("key %d lost after shrink", i)
+		}
+	}
+}
+
+func TestDeleteRestores(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("shared-prefix-a"), 1)
+	tr.Put([]byte("shared-prefix-b"), 2)
+	tr.Put([]byte("shared-prefix-c"), 3)
+	if !tr.Delete([]byte("shared-prefix-b")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tr.Get([]byte("shared-prefix-b")); ok {
+		t.Error("deleted key still present")
+	}
+	for _, k := range []string{"shared-prefix-a", "shared-prefix-c"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Errorf("%q lost", k)
+		}
+	}
+	if tr.Delete([]byte("shared-prefix-b")) {
+		t.Error("double delete reported true")
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := New()
+	keys := []string{"banana", "apple", "cherry", "date", "apricot", "a", "b", ""}
+	for _, k := range keys {
+		tr.Put([]byte(k), k)
+	}
+	var got []string
+	tr.Ascend(func(k []byte, v any) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ascend[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	n := 0
+	tr.Ascend(func(k []byte, v any) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("visited %d", n)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"aa1", "aa2", "ab1", "b", "aa"} {
+		tr.Put([]byte(k), k)
+	}
+	var got []string
+	tr.AscendPrefix([]byte("aa"), func(k []byte, v any) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"aa", "aa1", "aa2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("m"), 1)
+	tr.Put([]byte("a"), 2)
+	tr.Put([]byte("z"), 3)
+	k, v, ok := tr.Min()
+	if !ok || string(k) != "a" || v.(int) != 2 {
+		t.Errorf("Min = %q, %v, %v", k, v, ok)
+	}
+}
+
+func TestBulkInsert(t *testing.T) {
+	tr := New()
+	var pairs []KV
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, KV{Key: []byte(fmt.Sprintf("key-%04d", i)), Val: i})
+	}
+	tr.BulkInsert(pairs)
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	v, ok := tr.Get([]byte("key-0500"))
+	if !ok || v.(int) != 500 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+}
+
+// TestAgainstMapRandom compares the tree with a reference map under a long
+// random workload of puts, gets and deletes.
+func TestAgainstMapRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	ref := map[string]int{}
+	randKey := func() []byte {
+		n := rng.Intn(12)
+		k := make([]byte, n)
+		for i := range k {
+			k[i] = byte(rng.Intn(8)) // few distinct bytes -> deep shared prefixes
+		}
+		return k
+	}
+	for op := 0; op < 50000; op++ {
+		k := randKey()
+		switch rng.Intn(3) {
+		case 0:
+			tr.Put(k, op)
+			ref[string(k)] = op
+		case 1:
+			got, ok := tr.Get(k)
+			want, wok := ref[string(k)]
+			if ok != wok || (ok && got.(int) != want) {
+				t.Fatalf("op %d: Get(%v) = %v,%v want %v,%v", op, k, got, ok, want, wok)
+			}
+		case 2:
+			got := tr.Delete(k)
+			_, wok := ref[string(k)]
+			if got != wok {
+				t.Fatalf("op %d: Delete(%v) = %v want %v", op, k, got, wok)
+			}
+			delete(ref, string(k))
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", op, tr.Len(), len(ref))
+		}
+	}
+	// Final: ascend order must equal sorted ref keys.
+	var keys []string
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Ascend(func(k []byte, v any) bool {
+		if i >= len(keys) || string(k) != keys[i] {
+			t.Fatalf("ascend[%d] = %q, want %q", i, k, keys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("ascend visited %d, want %d", i, len(keys))
+	}
+}
+
+func TestQuickPutGet(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		ref := map[string]int{}
+		for i, k := range keys {
+			tr.Put(k, i)
+			ref[string(k)] = i
+		}
+		for k, want := range ref {
+			v, ok := tr.Get([]byte(k))
+			if !ok || v.(int) != want {
+				return false
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAscendSorted(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		for i, k := range keys {
+			tr.Put(k, i)
+		}
+		var prev []byte
+		first := true
+		okAll := true
+		tr.Ascend(func(k []byte, v any) bool {
+			if !first && bytes.Compare(prev, k) >= 0 {
+				okAll = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			first = false
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeRoundtrip(t *testing.T) {
+	f := func(k []byte) bool {
+		return bytes.Equal(unescape(escape(k)), k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeOrderPreserving(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ea, eb := escape(a), escape(b)
+		c1, c2 := bytes.Compare(a, b), bytes.Compare(ea, eb)
+		return (c1 < 0) == (c2 < 0) && (c1 == 0) == (c2 == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapePrefixFree(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ea, eb := escape(a), escape(b)
+		return !bytes.HasPrefix(eb, ea) && !bytes.HasPrefix(ea, eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkARTPut(b *testing.B) {
+	keys := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("group-%06d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New()
+		for _, k := range keys {
+			tr.Put(k, i)
+		}
+	}
+}
+
+func BenchmarkARTGet(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("group-%06d", i))
+		tr.Put(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}

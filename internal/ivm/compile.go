@@ -1,0 +1,384 @@
+package ivm
+
+import (
+	"fmt"
+	"strings"
+
+	"openivm/internal/duckast"
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+)
+
+// Compile classifies the view query, validates it against the schema using
+// the embedded engine's planner, and generates the setup DDL, initial
+// population script and propagation script.
+func (c *Compiler) Compile(viewName string, sel *sqlparser.SelectStmt, sourceSQL string) (*Compilation, error) {
+	if err := checkViewShape(sel); err != nil {
+		return nil, fmt.Errorf("ivm: view %q: %w", viewName, err)
+	}
+
+	// Validate and type the query with the engine's planner ("DuckDB
+	// inside OpenIVM"): binding errors surface here, and the plan's output
+	// schema supplies the view column types.
+	node, err := c.DB.PlanSelect(sel)
+	if err != nil {
+		return nil, fmt.Errorf("ivm: view %q: %w", viewName, err)
+	}
+	outSchema := node.Schema()
+
+	comp := &Compilation{
+		ViewName:  viewName,
+		Options:   c.Opts,
+		Select:    sel,
+		SourceSQL: sourceSQL,
+		DeltaView: c.Opts.DeltaPrefix + viewName,
+	}
+
+	// Base tables.
+	if err := c.resolveBases(comp, sel.From); err != nil {
+		return nil, fmt.Errorf("ivm: view %q: %w", viewName, err)
+	}
+
+	// Classify and extract view columns.
+	if err := c.classify(comp, sel, outSchema); err != nil {
+		return nil, fmt.Errorf("ivm: view %q: %w", viewName, err)
+	}
+
+	// AVG decomposition: maintain hidden SUM/COUNT columns in a storage
+	// table and expose the declared columns through a plain SQL view.
+	comp.Storage = comp.ViewName
+	if comp.HasAvg() {
+		comp.Storage = comp.ViewName + "_ivm_storage"
+	}
+
+	// Generate scripts.
+	c.genSetup(comp)
+	c.genPopulate(comp)
+	if err := c.genPropagate(comp); err != nil {
+		return nil, fmt.Errorf("ivm: view %q: %w", viewName, err)
+	}
+	return comp, nil
+}
+
+// checkViewShape rejects constructs outside the compiler's supported class.
+func checkViewShape(sel *sqlparser.SelectStmt) error {
+	switch {
+	case sel.Values != nil:
+		return fmt.Errorf("VALUES cannot be materialized incrementally")
+	case len(sel.CTEs) > 0:
+		return fmt.Errorf("WITH clauses are not supported in materialized views")
+	case sel.Next != nil:
+		return fmt.Errorf("set operations are not supported in materialized views")
+	case sel.Distinct:
+		return fmt.Errorf("DISTINCT is not supported in materialized views")
+	case sel.Having != nil:
+		return fmt.Errorf("HAVING is not supported (groups could enter and leave the result non-incrementally)")
+	case len(sel.OrderBy) > 0 || sel.Limit != nil || sel.Offset != nil:
+		return fmt.Errorf("ORDER BY/LIMIT are not supported in materialized views")
+	case sel.From == nil:
+		return fmt.Errorf("materialized views require a FROM clause")
+	}
+	return nil
+}
+
+// resolveBases fills comp.Bases from the FROM clause: one named table, or
+// an inner equi-join of exactly two named tables.
+func (c *Compiler) resolveBases(comp *Compilation, from sqlparser.TableRef) error {
+	add := func(nt *sqlparser.NamedTable) error {
+		tbl, err := c.DB.Catalog().Table(nt.Name)
+		if err != nil {
+			return err
+		}
+		alias := nt.Alias
+		if alias == "" {
+			alias = nt.Name
+		}
+		bt := BaseTable{Name: tbl.Name, Alias: alias, Delta: c.Opts.DeltaPrefix + tbl.Name}
+		for _, col := range tbl.Columns {
+			bt.Columns = append(bt.Columns, duckast.ColumnDef{Name: col.Name, Type: col.Type.String()})
+		}
+		comp.Bases = append(comp.Bases, bt)
+		return nil
+	}
+	switch f := from.(type) {
+	case *sqlparser.NamedTable:
+		return add(f)
+	case *sqlparser.JoinTable:
+		if f.Kind != sqlparser.JoinInner {
+			return fmt.Errorf("only INNER equi-joins are supported in materialized views (got %s)", f.Kind)
+		}
+		lt, lok := f.Left.(*sqlparser.NamedTable)
+		rt, rok := f.Right.(*sqlparser.NamedTable)
+		if !lok || !rok {
+			return fmt.Errorf("joins of more than two tables are not yet supported in materialized views")
+		}
+		if f.On == nil && len(f.Using) == 0 {
+			return fmt.Errorf("join views require an ON or USING clause")
+		}
+		if err := add(lt); err != nil {
+			return err
+		}
+		return add(rt)
+	case *sqlparser.SubqueryTable:
+		return fmt.Errorf("derived tables are not supported in materialized views")
+	}
+	return fmt.Errorf("unsupported FROM clause")
+}
+
+// classify determines the query class and extracts the view columns.
+func (c *Compiler) classify(comp *Compilation, sel *sqlparser.SelectStmt, outSchema []plan.ColumnInfo) error {
+	hasAgg := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if f, ok := it.Expr.(*sqlparser.FuncExpr); ok && expr.IsAggregateName(f.Name) {
+			hasAgg = true
+		}
+	}
+	isJoin := len(comp.Bases) == 2
+
+	switch {
+	case hasAgg && isJoin:
+		comp.Class = ClassJoinAggregate
+		comp.JoinDelta = c.Opts.DeltaPrefix + "join_" + comp.ViewName
+	case hasAgg:
+		comp.Class = ClassAggregate
+	case isJoin:
+		comp.Class = ClassJoin
+	default:
+		comp.Class = ClassProjection
+	}
+
+	if !hasAgg {
+		for i, it := range sel.Items {
+			comp.Columns = append(comp.Columns, ViewColumn{
+				Name:      outSchema[i].Name,
+				Type:      outSchema[i].Type,
+				SourceSQL: sqlparser.ExprString(it.Expr),
+			})
+		}
+		return nil
+	}
+
+	// Aggregate classes: every select item is either a group key (matching
+	// a GROUP BY expression) or a supported aggregate call.
+	groupKeys := map[string]bool{}
+	for _, g := range sel.GroupBy {
+		if _, ok := g.(*sqlparser.ColumnRef); !ok {
+			return fmt.Errorf("GROUP BY expressions must be plain columns (got %s)", sqlparser.ExprString(g))
+		}
+		groupKeys[strings.ToLower(sqlparser.ExprString(g))] = true
+	}
+	seenGroups := 0
+	for i, it := range sel.Items {
+		key := strings.ToLower(sqlparser.ExprString(it.Expr))
+		if groupKeys[key] {
+			comp.Columns = append(comp.Columns, ViewColumn{
+				Name:       outSchema[i].Name,
+				Type:       outSchema[i].Type,
+				IsGroupKey: true,
+				SourceSQL:  sqlparser.ExprString(it.Expr),
+			})
+			seenGroups++
+			continue
+		}
+		f, ok := it.Expr.(*sqlparser.FuncExpr)
+		if !ok || !expr.IsAggregateName(f.Name) {
+			return fmt.Errorf("select item %q must be a GROUP BY column or an aggregate", sqlparser.ExprString(it.Expr))
+		}
+		if f.Distinct {
+			return fmt.Errorf("DISTINCT aggregates are not supported in materialized views")
+		}
+		if f.Star && f.Name != "COUNT" {
+			return fmt.Errorf("%s(*) is not valid", f.Name)
+		}
+		// AVG is not directly maintainable (as the paper notes); it is
+		// decomposed into hidden SUM and COUNT storage columns and exposed
+		// through a plain view — see Compilation.StorageColumns.
+		kind, _ := expr.ParseAggKind(f.Name, f.Star)
+		vc := ViewColumn{
+			Name:   outSchema[i].Name,
+			Type:   outSchema[i].Type,
+			Agg:    kind,
+			HasAgg: true,
+			ArgIdx: len(comp.AggColumns()),
+		}
+		if !f.Star {
+			if containsAgg(f.Args[0]) {
+				return fmt.Errorf("nested aggregates are not supported")
+			}
+			vc.SourceSQL = sqlparser.ExprString(f.Args[0])
+		}
+		comp.Columns = append(comp.Columns, vc)
+	}
+	if seenGroups != len(sel.GroupBy) {
+		return fmt.Errorf("every GROUP BY column must appear in the select list (found %d of %d)", seenGroups, len(sel.GroupBy))
+	}
+	if len(comp.AggColumns()) == 0 {
+		return fmt.Errorf("aggregate views require at least one aggregate column")
+	}
+	return nil
+}
+
+func containsAgg(e sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncExpr); ok && expr.IsAggregateName(f.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// needsIndex reports whether the compiled view requires the ART-backed
+// group-key index (DuckDB needs an index to apply upserts — paper §2).
+func (c *Compilation) needsIndex() bool {
+	return (c.Class == ClassAggregate || c.Class == ClassJoinAggregate) &&
+		c.Options.Strategy == StrategyUpsertLeftJoin
+}
+
+// usesHiddenCount reports whether the hidden COUNT(*) column is maintained.
+func (c *Compilation) usesHiddenCount() bool {
+	return (c.Class == ClassAggregate || c.Class == ClassJoinAggregate) &&
+		c.Options.Empty == EmptyHiddenCount
+}
+
+// hasMinMax reports whether any aggregate column is MIN or MAX.
+func (c *Compilation) hasMinMax() bool {
+	for _, col := range c.AggColumns() {
+		if col.Agg == expr.AggMin || col.Agg == expr.AggMax {
+			return true
+		}
+	}
+	return false
+}
+
+// genSetup builds the DDL script: ΔT per base table, V, ΔV, the
+// intermediate join-delta table when needed, and the group-key index.
+func (c *Compiler) genSetup(comp *Compilation) {
+	s := &duckast.Script{}
+
+	// Delta tables for the base tables.
+	for _, b := range comp.Bases {
+		cols := append([]duckast.ColumnDef{}, b.Columns...)
+		cols = append(cols, duckast.ColumnDef{Name: MultiplicityColumn, Type: "BOOLEAN"})
+		s.Add(&duckast.CreateTable{Name: b.Delta, IfNotExists: true, Columns: cols})
+	}
+
+	// The table materializing the view (the storage table when AVG
+	// decomposition applies).
+	var viewCols []duckast.ColumnDef
+	for _, col := range comp.StorageColumns() {
+		viewCols = append(viewCols, duckast.ColumnDef{Name: col.Name, Type: col.Type.String()})
+	}
+	if comp.usesHiddenCount() {
+		viewCols = append(viewCols, duckast.ColumnDef{Name: HiddenCountColumn, Type: "INTEGER"})
+	}
+	vt := &duckast.CreateTable{Name: comp.Storage, IfNotExists: true, Columns: viewCols}
+	if comp.needsIndex() && comp.Options.CreateIndex {
+		// The ART index on the group columns, realized as the table's
+		// primary key (our engine's INSERT OR REPLACE resolves conflicts
+		// through the primary-key ART, exactly like DuckDB).
+		for _, g := range comp.GroupColumns() {
+			vt.PrimaryKey = append(vt.PrimaryKey, g.Name)
+		}
+	}
+	s.Add(vt)
+
+	// The delta-view table ΔV.
+	dvCols := append([]duckast.ColumnDef{}, viewCols...)
+	dvCols = append(dvCols, duckast.ColumnDef{Name: MultiplicityColumn, Type: "BOOLEAN"})
+	s.Add(&duckast.CreateTable{Name: comp.DeltaView, IfNotExists: true, Columns: dvCols})
+
+	// Intermediate join-delta table for join+aggregate views: the join's
+	// pre-aggregation projection (group keys and aggregate arguments).
+	if comp.Class == ClassJoinAggregate {
+		var jd []duckast.ColumnDef
+		for _, col := range comp.Columns {
+			if col.IsGroupKey {
+				jd = append(jd, duckast.ColumnDef{Name: col.Name, Type: col.Type.String()})
+			}
+		}
+		for _, col := range comp.AggColumns() {
+			if col.SourceSQL == "" { // COUNT(*)
+				continue
+			}
+			jd = append(jd, duckast.ColumnDef{Name: fmt.Sprintf("ivm_arg_%d", col.ArgIdx), Type: col.Type.String()})
+		}
+		jd = append(jd, duckast.ColumnDef{Name: MultiplicityColumn, Type: "BOOLEAN"})
+		s.Add(&duckast.CreateTable{Name: comp.JoinDelta, IfNotExists: true, Columns: jd})
+	}
+
+	comp.Setup = s
+}
+
+// fromSQL reconstructs the view's FROM clause (with aliases) as SQL.
+func fromSQL(comp *Compilation, sel *sqlparser.SelectStmt) string {
+	if len(comp.Bases) == 1 {
+		b := comp.Bases[0]
+		if b.Alias != b.Name {
+			return b.Name + " AS " + b.Alias
+		}
+		return b.Name
+	}
+	jt := sel.From.(*sqlparser.JoinTable)
+	l, r := comp.Bases[0], comp.Bases[1]
+	ls, rs := l.Name, r.Name
+	if l.Alias != l.Name {
+		ls += " AS " + l.Alias
+	}
+	if r.Alias != r.Name {
+		rs += " AS " + r.Alias
+	}
+	on := joinOnSQL(jt, l.Alias, r.Alias)
+	return ls + " JOIN " + rs + " ON " + on
+}
+
+// joinOnSQL renders the join predicate (expanding USING).
+func joinOnSQL(jt *sqlparser.JoinTable, lAlias, rAlias string) string {
+	if len(jt.Using) > 0 {
+		parts := make([]string, len(jt.Using))
+		for i, col := range jt.Using {
+			parts[i] = fmt.Sprintf("%s.%s = %s.%s", lAlias, col, rAlias, col)
+		}
+		return strings.Join(parts, " AND ")
+	}
+	return sqlparser.ExprString(jt.On)
+}
+
+// genPopulate builds the initial-materialization script: V := Q(T).
+func (c *Compiler) genPopulate(comp *Compilation) {
+	s := &duckast.Script{}
+	sel := &duckast.Select{From: &duckast.Raw{Text: fromSQL(comp, comp.Select)}}
+	for _, col := range comp.StorageColumns() {
+		switch {
+		case col.HasAgg:
+			sel.Items = append(sel.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: aggCallSQL(col.Agg, col.SourceSQL)}, Alias: col.Name})
+		default:
+			sel.Items = append(sel.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+		}
+	}
+	if comp.usesHiddenCount() {
+		sel.Items = append(sel.Items, duckast.SelectItem{
+			Expr: &duckast.Raw{Text: "COUNT(*)"}, Alias: HiddenCountColumn})
+	}
+	if comp.Select.Where != nil {
+		sel.Where = &duckast.Raw{Text: sqlparser.ExprString(comp.Select.Where)}
+	}
+	for _, g := range comp.GroupColumns() {
+		sel.GroupBy = append(sel.GroupBy, &duckast.Raw{Text: g.SourceSQL})
+	}
+	s.Add(&duckast.Insert{Table: comp.Storage, Select: sel})
+	comp.Populate = s
+}
+
+// aggCallSQL renders an aggregate call over a source expression.
+func aggCallSQL(kind expr.AggKind, src string) string {
+	if kind == expr.AggCountStar {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", kind, src)
+}

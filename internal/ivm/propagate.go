@@ -1,0 +1,622 @@
+package ivm
+
+import (
+	"fmt"
+	"strings"
+
+	"openivm/internal/duckast"
+	"openivm/internal/expr"
+	"openivm/internal/sqlparser"
+)
+
+// genPropagate builds the 4-step propagation script for the compiled view.
+//
+// Step 1  insert Q*(ΔT) into ΔV (the DBSP-rewritten query over the deltas);
+// Step 2  fold ΔV into V using the selected combine strategy;
+// Step 3  delete invalidated rows from V (empty groups / deleted tuples);
+// Step 4  truncate ΔV and every ΔT.
+func (c *Compiler) genPropagate(comp *Compilation) error {
+	s, err := c.buildBody(comp, comp.Options.Strategy)
+	if err != nil {
+		return err
+	}
+	comp.PropagateBody = s
+
+	// Alternative combine plans for the runtime's cost-based choice.
+	// The upsert plan is only valid when the setup created the group-key
+	// index (primary key); the rebuild plans work either way.
+	if comp.Class == ClassAggregate || comp.Class == ClassJoinAggregate {
+		comp.AltBodies = map[Strategy]*duckast.Script{}
+		for _, strat := range []Strategy{StrategyUpsertLeftJoin, StrategyUnionRegroup, StrategyFullOuterJoin} {
+			if strat == StrategyUpsertLeftJoin && !(comp.needsIndex() && comp.Options.CreateIndex) {
+				continue
+			}
+			alt, err := c.buildBody(comp, strat)
+			if err != nil {
+				return err
+			}
+			comp.AltBodies[strat] = alt
+		}
+	}
+
+	// Step 4b: truncate the base delta tables.
+	trunc := &duckast.Script{}
+	for _, b := range comp.Bases {
+		trunc.Add(&duckast.Delete{Table: b.Delta})
+	}
+	comp.TruncateBase = trunc
+
+	// The standalone paper-faithful script is body followed by truncation.
+	full := &duckast.Script{}
+	full.Add(s.Stmts...)
+	full.Add(trunc.Stmts...)
+	comp.Propagate = full
+	return nil
+}
+
+// buildBody assembles steps 1–3 plus view-local delta truncation under the
+// given combine strategy.
+func (c *Compiler) buildBody(comp *Compilation, strat Strategy) (*duckast.Script, error) {
+	s := &duckast.Script{}
+	var err error
+	switch comp.Class {
+	case ClassProjection:
+		err = c.propProjection(comp, s)
+	case ClassAggregate:
+		err = c.propAggregate(comp, s, strat)
+	case ClassJoin:
+		err = c.propJoin(comp, s)
+	case ClassJoinAggregate:
+		err = c.propJoinAggregate(comp, s, strat)
+	default:
+		err = fmt.Errorf("unsupported query class %v", comp.Class)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Step 4a: truncate the view-local delta tables.
+	s.Add(&duckast.Delete{Table: comp.DeltaView})
+	if comp.JoinDelta != "" {
+		s.Add(&duckast.Delete{Table: comp.JoinDelta})
+	}
+	return s, nil
+}
+
+// mcol returns the multiplicity column reference, optionally qualified.
+func mcol(qual string) string {
+	if qual == "" {
+		return MultiplicityColumn
+	}
+	return qual + "." + MultiplicityColumn
+}
+
+// keyExpr builds a row-identity expression over the given column names,
+// optionally qualified: a single column stays bare; multiple columns are
+// concatenated with a separator (the portable-SQL trick for row-valued IN).
+func keyExpr(qual string, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		if qual != "" {
+			parts[i] = qual + "." + c
+		} else {
+			parts[i] = c
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return strings.Join(parts, " || '|' || ")
+}
+
+func viewColNames(cols []ViewColumn) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func groupSrcSQL(cols []ViewColumn) []string {
+	var out []string
+	for _, c := range cols {
+		if c.IsGroupKey {
+			out = append(out, c.SourceSQL)
+		}
+	}
+	return out
+}
+
+// whereSQL renders the view's WHERE predicate ("" when absent).
+func whereSQL(comp *Compilation) string {
+	if comp.Select.Where == nil {
+		return ""
+	}
+	return sqlparser.ExprString(comp.Select.Where)
+}
+
+// deltaSourceSQL returns the single-table FROM clause with the base table
+// replaced by its delta, keeping the original alias so that the view's
+// expressions still resolve.
+func deltaSourceSQL(b BaseTable) string {
+	if b.Alias != b.Name {
+		return b.Delta + " AS " + b.Alias
+	}
+	return b.Delta
+}
+
+// --- projection / filter views -------------------------------------------
+
+// propProjection emits the σ/π incremental form: identical query over ΔT,
+// multiplicity carried through (DBSP: σ* = σ, π* = π).
+func (c *Compiler) propProjection(comp *Compilation, s *duckast.Script) error {
+	b := comp.Bases[0]
+
+	// Step 1: ΔV := π(σ(ΔT)).
+	sel := &duckast.Select{From: &duckast.Raw{Text: deltaSourceSQL(b)}}
+	for _, col := range comp.Columns {
+		sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+	}
+	sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: MultiplicityColumn}})
+	if w := whereSQL(comp); w != "" {
+		sel.Where = &duckast.Raw{Text: w}
+	}
+	s.Add(&duckast.Insert{Table: comp.DeltaView, Select: sel})
+
+	// Step 2: insert the insertions (multiplicity TRUE), dropping the
+	// multiplicity column.
+	names := viewColNames(comp.Columns)
+	ins := &duckast.Select{From: &duckast.Raw{Text: comp.DeltaView}, Where: &duckast.Raw{Text: mcol("") + " = TRUE"}}
+	for _, n := range names {
+		ins.Items = append(ins.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: n}})
+	}
+	s.Add(&duckast.Insert{Table: comp.ViewName, Select: ins})
+
+	// Step 3: delete rows invalidated by FALSE multiplicity.
+	key := keyExpr("", names)
+	s.Add(&duckast.Delete{
+		Table: comp.ViewName,
+		Where: &duckast.Raw{Text: fmt.Sprintf("%s IN (SELECT %s FROM %s WHERE %s = FALSE)",
+			key, key, comp.DeltaView, MultiplicityColumn)},
+	})
+	return nil
+}
+
+// --- aggregate views -------------------------------------------------------
+
+// signedDeltaSQL renders the per-group signed combination of one ΔV column
+// inside the ivm_cte (paper Listing 2 line 8): additive aggregates negate
+// under FALSE multiplicity; MIN/MAX keep only insertions (deletions are
+// handled by the rescan-repair steps).
+func signedDeltaSQL(col ViewColumn) string {
+	switch col.Agg {
+	case expr.AggMin:
+		return fmt.Sprintf("MIN(CASE WHEN %s = TRUE THEN %s END)", MultiplicityColumn, col.Name)
+	case expr.AggMax:
+		return fmt.Sprintf("MAX(CASE WHEN %s = TRUE THEN %s END)", MultiplicityColumn, col.Name)
+	default: // SUM, COUNT, COUNT(*), hidden count
+		return fmt.Sprintf("SUM(CASE WHEN %s = FALSE THEN -%s ELSE %s END)",
+			MultiplicityColumn, col.Name, col.Name)
+	}
+}
+
+// combineSQL renders the V ⊕ ΔV combination for one aggregate column,
+// given the view alias v and delta alias d.
+func combineSQL(col ViewColumn, v, d string) string {
+	vc := v + "." + col.Name
+	dc := d + "." + col.Name
+	switch col.Agg {
+	case expr.AggMin:
+		return fmt.Sprintf("LEAST(COALESCE(%s, %s), COALESCE(%s, %s))", vc, dc, dc, vc)
+	case expr.AggMax:
+		return fmt.Sprintf("GREATEST(COALESCE(%s, %s), COALESCE(%s, %s))", vc, dc, dc, vc)
+	default:
+		return fmt.Sprintf("COALESCE(%s, 0) + COALESCE(%s, 0)", vc, dc)
+	}
+}
+
+// aggDeltaColumns returns the ΔV columns in table order: view columns,
+// then the hidden count when enabled.
+func aggDeltaColumns(comp *Compilation) []ViewColumn {
+	cols := append([]ViewColumn{}, comp.StorageColumns()...)
+	if comp.usesHiddenCount() {
+		cols = append(cols, ViewColumn{
+			Name: HiddenCountColumn, Agg: expr.AggCountStar, HasAgg: true,
+		})
+	}
+	return cols
+}
+
+// propAggregate emits the GROUP BY incremental form (paper Listing 2).
+func (c *Compiler) propAggregate(comp *Compilation, s *duckast.Script, strat Strategy) error {
+	b := comp.Bases[0]
+
+	// Step 1: ΔV := γ(ΔT) grouped by (keys, multiplicity).
+	step1 := &duckast.Select{From: &duckast.Raw{Text: deltaSourceSQL(b)}}
+	for _, col := range aggDeltaColumns(comp) {
+		switch {
+		case col.IsGroupKey:
+			step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+		case col.Name == HiddenCountColumn:
+			step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: "COUNT(*)"}, Alias: HiddenCountColumn})
+		default:
+			step1.Items = append(step1.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: aggCallSQL(col.Agg, col.SourceSQL)}, Alias: col.Name})
+		}
+	}
+	step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: MultiplicityColumn}})
+	if w := whereSQL(comp); w != "" {
+		step1.Where = &duckast.Raw{Text: w}
+	}
+	for _, g := range groupSrcSQL(comp.Columns) {
+		step1.GroupBy = append(step1.GroupBy, &duckast.Raw{Text: g})
+	}
+	step1.GroupBy = append(step1.GroupBy, &duckast.Raw{Text: MultiplicityColumn})
+	s.Add(&duckast.Insert{Table: comp.DeltaView, Select: step1})
+
+	// Step 2: combine ΔV into V under the selected strategy.
+	c.emitCombine(comp, s, comp.DeltaView, strat)
+
+	// Steps 2b/2c: MIN/MAX deletions cannot be combined incrementally —
+	// rescan-repair the affected groups from the base table.
+	if comp.hasMinMax() {
+		c.emitMinMaxRepair(comp, s, fromSQL(comp, comp.Select))
+	}
+
+	// Step 3: delete invalidated rows.
+	c.emitEmptyGroupDelete(comp, s)
+	return nil
+}
+
+// emitCombine emits the strategy-selected step 2, reading ΔV from dvName.
+func (c *Compiler) emitCombine(comp *Compilation, s *duckast.Script, dvName string, strat Strategy) {
+	groups := comp.GroupColumns()
+	dAlias := "ivm_delta"
+	vName := comp.Storage
+
+	// The shared CTE: per-group signed aggregation of ΔV (Listing 2 lines 6-10).
+	cte := &duckast.Select{From: &duckast.Raw{Text: dvName}}
+	for _, g := range groups {
+		cte.Items = append(cte.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: g.Name}})
+		cte.GroupBy = append(cte.GroupBy, &duckast.Raw{Text: g.Name})
+	}
+	for _, col := range aggDeltaColumns(comp) {
+		if col.IsGroupKey {
+			continue
+		}
+		cte.Items = append(cte.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: signedDeltaSQL(col)}, Alias: col.Name})
+	}
+
+	allCols := viewColNames(aggDeltaColumns(comp))
+	groupNames := viewColNames(groups)
+
+	switch strat {
+	case StrategyUpsertLeftJoin:
+		// Listing 2: INSERT OR REPLACE ... ivm_cte LEFT JOIN view.
+		var onParts []string
+		for _, g := range groupNames {
+			onParts = append(onParts, fmt.Sprintf("%s.%s = %s.%s", vName, g, dAlias, g))
+		}
+		sel := &duckast.Select{
+			CTEs: []duckast.CTE{{Name: "ivm_cte", Select: cte}},
+			From: &duckast.Raw{Text: fmt.Sprintf("ivm_cte AS %s LEFT JOIN %s ON %s",
+				dAlias, vName, strings.Join(onParts, " AND "))},
+		}
+		for _, g := range groupNames {
+			sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Col{Table: dAlias, Name: g}})
+		}
+		for _, col := range aggDeltaColumns(comp) {
+			if col.IsGroupKey {
+				continue
+			}
+			sel.Items = append(sel.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: combineSQL(col, vName, dAlias)}, Alias: col.Name})
+		}
+		s.Add(&duckast.Insert{
+			Table: vName, Columns: allCols, Select: sel,
+			Upsert: true, KeyColumns: groupNames,
+		})
+
+	case StrategyUnionRegroup:
+		// V_new := γ(V ∪ signed ΔV); rebuild the table.
+		union := &duckast.Select{From: &duckast.Raw{Text: vName}}
+		for _, col := range aggDeltaColumns(comp) {
+			union.Items = append(union.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.Name}})
+		}
+		deltaPart := &duckast.Select{From: &duckast.Raw{Text: dvName}}
+		for _, col := range aggDeltaColumns(comp) {
+			switch {
+			case col.IsGroupKey:
+				deltaPart.Items = append(deltaPart.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.Name}})
+			case col.Agg == expr.AggMin || col.Agg == expr.AggMax:
+				deltaPart.Items = append(deltaPart.Items, duckast.SelectItem{
+					Expr: &duckast.Raw{Text: fmt.Sprintf("CASE WHEN %s = TRUE THEN %s END", MultiplicityColumn, col.Name)}})
+			default:
+				deltaPart.Items = append(deltaPart.Items, duckast.SelectItem{
+					Expr: &duckast.Raw{Text: fmt.Sprintf("CASE WHEN %s = FALSE THEN -%s ELSE %s END",
+						MultiplicityColumn, col.Name, col.Name)}})
+			}
+		}
+		union.SetOp = "UNION ALL"
+		union.Next = deltaPart
+
+		regroup := &duckast.Select{From: &duckast.SubSelect{Select: union, Alias: "ivm_union"}}
+		for _, g := range groupNames {
+			regroup.Items = append(regroup.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: g}})
+			regroup.GroupBy = append(regroup.GroupBy, &duckast.Raw{Text: g})
+		}
+		for _, col := range aggDeltaColumns(comp) {
+			if col.IsGroupKey {
+				continue
+			}
+			fn := "SUM"
+			if col.Agg == expr.AggMin {
+				fn = "MIN"
+			} else if col.Agg == expr.AggMax {
+				fn = "MAX"
+			}
+			regroup.Items = append(regroup.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: fmt.Sprintf("%s(%s)", fn, col.Name)}, Alias: col.Name})
+		}
+		tmp := vName + "_ivm_new"
+		s.Add(&duckast.CreateTableAs{Name: tmp, Select: regroup})
+		s.Add(&duckast.Delete{Table: vName})
+		refill := &duckast.Select{From: &duckast.Raw{Text: tmp}}
+		for _, n := range allCols {
+			refill.Items = append(refill.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: n}})
+		}
+		s.Add(&duckast.Insert{Table: vName, Columns: allCols, Select: refill})
+		s.Add(&duckast.DropTable{Name: tmp})
+
+	case StrategyFullOuterJoin:
+		// V_new := V ⟗ ivm_cte on the group keys.
+		var onParts []string
+		for _, g := range groupNames {
+			onParts = append(onParts, fmt.Sprintf("ivm_v.%s = %s.%s", g, dAlias, g))
+		}
+		sel := &duckast.Select{
+			CTEs: []duckast.CTE{{Name: "ivm_cte", Select: cte}},
+			From: &duckast.Raw{Text: fmt.Sprintf("%s AS ivm_v FULL OUTER JOIN ivm_cte AS %s ON %s",
+				vName, dAlias, strings.Join(onParts, " AND "))},
+		}
+		for _, g := range groupNames {
+			sel.Items = append(sel.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: fmt.Sprintf("COALESCE(ivm_v.%s, %s.%s)", g, dAlias, g)}, Alias: g})
+		}
+		for _, col := range aggDeltaColumns(comp) {
+			if col.IsGroupKey {
+				continue
+			}
+			var e string
+			switch col.Agg {
+			case expr.AggMin:
+				e = fmt.Sprintf("LEAST(COALESCE(ivm_v.%s, %s.%s), COALESCE(%s.%s, ivm_v.%s))",
+					col.Name, dAlias, col.Name, dAlias, col.Name, col.Name)
+			case expr.AggMax:
+				e = fmt.Sprintf("GREATEST(COALESCE(ivm_v.%s, %s.%s), COALESCE(%s.%s, ivm_v.%s))",
+					col.Name, dAlias, col.Name, dAlias, col.Name, col.Name)
+			default:
+				e = fmt.Sprintf("COALESCE(ivm_v.%s, 0) + COALESCE(%s.%s, 0)", col.Name, dAlias, col.Name)
+			}
+			sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: e}, Alias: col.Name})
+		}
+		tmp := vName + "_ivm_new"
+		s.Add(&duckast.CreateTableAs{Name: tmp, Select: sel})
+		s.Add(&duckast.Delete{Table: vName})
+		refill := &duckast.Select{From: &duckast.Raw{Text: tmp}}
+		for _, n := range allCols {
+			refill.Items = append(refill.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: n}})
+		}
+		s.Add(&duckast.Insert{Table: vName, Columns: allCols, Select: refill})
+		s.Add(&duckast.DropTable{Name: tmp})
+	}
+}
+
+// emitMinMaxRepair emits the rescan-repair for MIN/MAX deletions: groups
+// touched by a deletion are recomputed from the base relation, and groups
+// that vanished entirely are removed.
+func (c *Compiler) emitMinMaxRepair(comp *Compilation, s *duckast.Script, from string) {
+	groups := comp.GroupColumns()
+	groupNames := viewColNames(groups)
+	srcKey := keyExpr("", groupSrcSQL(comp.Columns))
+	dvKey := keyExpr("", groupNames)
+	allCols := viewColNames(aggDeltaColumns(comp))
+
+	deletedGroups := fmt.Sprintf("SELECT DISTINCT %s FROM %s WHERE %s = FALSE",
+		dvKey, comp.DeltaView, MultiplicityColumn)
+
+	// Recompute affected groups from the base relation.
+	recompute := &duckast.Select{From: &duckast.Raw{Text: from}}
+	for _, col := range aggDeltaColumns(comp) {
+		switch {
+		case col.IsGroupKey:
+			recompute.Items = append(recompute.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+		case col.Name == HiddenCountColumn:
+			recompute.Items = append(recompute.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: "COUNT(*)"}, Alias: col.Name})
+		default:
+			recompute.Items = append(recompute.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: aggCallSQL(col.Agg, col.SourceSQL)}, Alias: col.Name})
+		}
+	}
+	cond := fmt.Sprintf("%s IN (%s)", srcKey, deletedGroups)
+	if w := whereSQL(comp); w != "" {
+		cond = "(" + w + ") AND " + cond
+	}
+	recompute.Where = &duckast.Raw{Text: cond}
+	for _, g := range groupSrcSQL(comp.Columns) {
+		recompute.GroupBy = append(recompute.GroupBy, &duckast.Raw{Text: g})
+	}
+	s.Add(&duckast.Insert{
+		Table: comp.Storage, Columns: allCols, Select: recompute,
+		Upsert: true, KeyColumns: groupNames,
+	})
+
+	// Remove groups whose last row was deleted.
+	baseKeys := fmt.Sprintf("SELECT %s FROM %s", srcKey, from)
+	if w := whereSQL(comp); w != "" {
+		baseKeys += " WHERE " + w
+	}
+	s.Add(&duckast.Delete{
+		Table: comp.Storage,
+		Where: &duckast.Raw{Text: fmt.Sprintf("%s IN (%s) AND %s NOT IN (%s)",
+			dvKey, deletedGroups, dvKey, baseKeys)},
+	})
+}
+
+// emitEmptyGroupDelete emits step 3 under the configured detection mode.
+func (c *Compiler) emitEmptyGroupDelete(comp *Compilation, s *duckast.Script) {
+	if comp.usesHiddenCount() {
+		s.Add(&duckast.Delete{Table: comp.Storage,
+			Where: &duckast.Raw{Text: HiddenCountColumn + " = 0"}})
+		return
+	}
+	// Paper behaviour: prefer a COUNT column, else a SUM column — over the
+	// physical storage layout, so AVG's decomposed COUNT part qualifies.
+	// Views with only MIN/MAX aggregates are fully handled by the repair
+	// steps.
+	var col string
+	for _, a := range comp.StorageColumns() {
+		if a.HasAgg && (a.Agg == expr.AggCount || a.Agg == expr.AggCountStar) {
+			col = a.Name
+			break
+		}
+	}
+	if col == "" {
+		for _, a := range comp.StorageColumns() {
+			if a.HasAgg && a.Agg == expr.AggSum {
+				col = a.Name
+				break
+			}
+		}
+	}
+	if col != "" {
+		s.Add(&duckast.Delete{Table: comp.Storage,
+			Where: &duckast.Raw{Text: col + " = 0"}})
+	}
+}
+
+// --- join views -------------------------------------------------------------
+
+// joinDeltaTerms emits the DBSP product-rule terms as three SELECTs over
+// (ΔA ⋈ B'), (A' ⋈ ΔB) and (ΔA ⋈ ΔB), with multiplicity expressions
+// ΔA.m, ΔB.m and (ΔA.m <> ΔB.m) respectively — the last term compensates
+// for the deltas already being applied to the (post-state) base tables.
+// items(selector) produces the projection for each term.
+func joinDeltaTerms(comp *Compilation, items func(sel *duckast.Select)) []*duckast.Select {
+	jt := comp.Select.From.(*sqlparser.JoinTable)
+	a, b := comp.Bases[0], comp.Bases[1]
+	on := joinOnSQL(jt, a.Alias, b.Alias)
+	w := whereSQL(comp)
+
+	mk := func(left, right, multExpr string) *duckast.Select {
+		sel := &duckast.Select{From: &duckast.Raw{Text: left + " JOIN " + right + " ON " + on}}
+		items(sel)
+		sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: multExpr}, Alias: MultiplicityColumn})
+		if w != "" {
+			sel.Where = &duckast.Raw{Text: w}
+		}
+		return sel
+	}
+	aliased := func(table, alias string) string {
+		if alias != table {
+			return table + " AS " + alias
+		}
+		return table
+	}
+	return []*duckast.Select{
+		mk(aliased(a.Delta, a.Alias), aliased(b.Name, b.Alias), mcol(a.Alias)),
+		mk(aliased(a.Name, a.Alias), aliased(b.Delta, b.Alias), mcol(b.Alias)),
+		mk(aliased(a.Delta, a.Alias), aliased(b.Delta, b.Alias),
+			fmt.Sprintf("%s <> %s", mcol(a.Alias), mcol(b.Alias))),
+	}
+}
+
+// propJoin emits the incremental form of a two-table equi-join view.
+func (c *Compiler) propJoin(comp *Compilation, s *duckast.Script) error {
+	// Step 1: the three product-rule terms feed ΔV.
+	terms := joinDeltaTerms(comp, func(sel *duckast.Select) {
+		for _, col := range comp.Columns {
+			sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+		}
+	})
+	for _, t := range terms {
+		s.Add(&duckast.Insert{Table: comp.DeltaView, Select: t})
+	}
+
+	// Step 2: net ΔV per row (the compensation term produces cancelling
+	// pairs even for insert-only workloads) and apply insertions.
+	names := viewColNames(comp.Columns)
+	signed := fmt.Sprintf("SUM(CASE WHEN %s = TRUE THEN 1 ELSE -1 END)", MultiplicityColumn)
+	ins := &duckast.Select{From: &duckast.Raw{Text: comp.DeltaView},
+		Having: &duckast.Raw{Text: signed + " > 0"}}
+	for _, n := range names {
+		ins.Items = append(ins.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: n}})
+		ins.GroupBy = append(ins.GroupBy, &duckast.Raw{Text: n})
+	}
+	s.Add(&duckast.Insert{Table: comp.ViewName, Select: ins})
+
+	// Step 3: apply net deletions.
+	key := keyExpr("", names)
+	var groupKey []string
+	for _, n := range names {
+		groupKey = append(groupKey, n)
+	}
+	s.Add(&duckast.Delete{
+		Table: comp.ViewName,
+		Where: &duckast.Raw{Text: fmt.Sprintf(
+			"%s IN (SELECT %s FROM %s GROUP BY %s HAVING %s < 0)",
+			key, key, comp.DeltaView, strings.Join(groupKey, ", "), signed)},
+	})
+	return nil
+}
+
+// propJoinAggregate composes the join product rule with aggregation through
+// the intermediate join-delta table.
+func (c *Compiler) propJoinAggregate(comp *Compilation, s *duckast.Script, strat Strategy) error {
+	// Step 1a-c: fill the join-delta intermediate.
+	aggCols := comp.AggColumns()
+	terms := joinDeltaTerms(comp, func(sel *duckast.Select) {
+		for _, col := range comp.Columns {
+			if col.IsGroupKey {
+				sel.Items = append(sel.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: col.Name})
+			}
+		}
+		for _, col := range aggCols {
+			if col.SourceSQL == "" {
+				continue // COUNT(*) needs no argument column
+			}
+			sel.Items = append(sel.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: col.SourceSQL}, Alias: fmt.Sprintf("ivm_arg_%d", col.ArgIdx)})
+		}
+	})
+	for _, t := range terms {
+		s.Add(&duckast.Insert{Table: comp.JoinDelta, Select: t})
+	}
+
+	// Step 1d: aggregate the join-delta into ΔV, grouped by (keys, m).
+	// Aggregate argument columns are named ivm_arg_<i> where i indexes the
+	// view's aggregate columns (matching joinDeltaTerms and genSetup).
+	step1 := &duckast.Select{From: &duckast.Raw{Text: comp.JoinDelta}}
+	for _, col := range aggDeltaColumns(comp) {
+		switch {
+		case col.IsGroupKey:
+			step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: col.Name}})
+			step1.GroupBy = append(step1.GroupBy, &duckast.Raw{Text: col.Name})
+		case col.Name == HiddenCountColumn, col.Agg == expr.AggCountStar:
+			step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: "COUNT(*)"}, Alias: col.Name})
+		default:
+			step1.Items = append(step1.Items, duckast.SelectItem{
+				Expr: &duckast.Raw{Text: aggCallSQL(col.Agg, fmt.Sprintf("ivm_arg_%d", col.ArgIdx))}, Alias: col.Name})
+		}
+	}
+	step1.Items = append(step1.Items, duckast.SelectItem{Expr: &duckast.Raw{Text: MultiplicityColumn}})
+	step1.GroupBy = append(step1.GroupBy, &duckast.Raw{Text: MultiplicityColumn})
+	s.Add(&duckast.Insert{Table: comp.DeltaView, Select: step1})
+
+	// Step 2: combine, with MIN/MAX repair recomputing from the full join.
+	c.emitCombine(comp, s, comp.DeltaView, strat)
+	if comp.hasMinMax() {
+		c.emitMinMaxRepair(comp, s, fromSQL(comp, comp.Select))
+	}
+	c.emitEmptyGroupDelete(comp, s)
+	return nil
+}

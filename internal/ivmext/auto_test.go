@@ -1,0 +1,93 @@
+package ivmext
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"openivm/internal/engine"
+)
+
+// Tests for PRAGMA ivm_strategy='auto' — the runtime cost-based combine
+// choice the paper lists as the goal of its strategy search space.
+
+func TestAutoStrategyChoosesUpsertForLargeView(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, "PRAGMA ivm_strategy='auto'")
+	// Large view (many groups), tiny delta -> upsert must win.
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO groups VALUES ('g%d', %d)", i, i))
+	}
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('g1', 5)")
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW qg")
+	if ext.Stats.AutoChoices["upsert_left_join"] == 0 {
+		t.Errorf("choices = %v, want upsert for large view / small delta", ext.Stats.AutoChoices)
+	}
+	viewEquals(t, db, "group_index, total_value, n", "qg",
+		"SELECT group_index, SUM(group_value), COUNT(*) FROM groups GROUP BY group_index")
+}
+
+func TestAutoStrategyChoosesRegroupForSmallView(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, "PRAGMA ivm_strategy='auto'")
+	// Tiny view, big delta batch -> regroup must win.
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY group_index`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO groups VALUES ('%s', %d)", []string{"a", "b"}[i%2], i))
+	}
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW qg")
+	if ext.Stats.AutoChoices["union_regroup"] == 0 {
+		t.Errorf("choices = %v, want union_regroup for small view / big delta", ext.Stats.AutoChoices)
+	}
+	viewEquals(t, db, "group_index, total_value, n", "qg",
+		"SELECT group_index, SUM(group_value), COUNT(*) FROM groups GROUP BY group_index")
+}
+
+func TestAutoStrategyPropertyWorkload(t *testing.T) {
+	// The correctness invariant must hold when the strategy flips run to
+	// run under auto selection.
+	db := propertyDB(t,
+		"PRAGMA ivm_strategy='auto'",
+		"PRAGMA ivm_empty='hidden_count'")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW vw AS SELECT k,
+		SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k`)
+	rng := rand.New(rand.NewSource(101))
+	randWorkload(t, db, rng, 150, "vw", "k, s, n",
+		"SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+}
+
+func TestAutoStrategyJoinAggregate(t *testing.T) {
+	db := engine.Open("auto", engine.DialectDuckDB)
+	ext := Install(db)
+	mustExec(t, db, "PRAGMA ivm_strategy='auto'")
+	mustExec(t, db, "CREATE TABLE c (cid INTEGER, region VARCHAR)")
+	mustExec(t, db, "CREATE TABLE o (oid INTEGER, cid INTEGER, amt INTEGER)")
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO c VALUES (%d, 'r%d')", i, i%50))
+		mustExec(t, db, fmt.Sprintf("INSERT INTO o VALUES (%d, %d, %d)", i, i, i%40))
+	}
+	mustExec(t, db, `CREATE MATERIALIZED VIEW ja AS SELECT c.region,
+		SUM(o.amt) AS total, COUNT(*) AS n FROM o JOIN c ON o.cid = c.cid GROUP BY c.region`)
+	mustExec(t, db, "INSERT INTO o VALUES (1000, 1, 9)")
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW ja")
+	if len(ext.Stats.AutoChoices) == 0 {
+		t.Error("auto choice not recorded for join aggregate")
+	}
+	viewEquals(t, db, "region, total, n", "ja",
+		"SELECT c.region, SUM(o.amt), COUNT(*) FROM o JOIN c ON o.cid = c.cid GROUP BY c.region")
+}
+
+func TestAutoFallsBackWithoutAlternatives(t *testing.T) {
+	// Projection views have no strategy alternatives; auto must be a no-op.
+	db, _ := setup(t)
+	mustExec(t, db, "PRAGMA ivm_strategy='auto'")
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW pv AS SELECT group_index, group_value FROM groups WHERE group_value > 0`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('b', 2)")
+	viewEquals(t, db, "group_index, group_value", "pv",
+		"SELECT group_index, group_value FROM groups WHERE group_value > 0")
+}

@@ -1,0 +1,475 @@
+package ivmext
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"openivm/internal/engine"
+	"openivm/internal/sqltypes"
+)
+
+// setup creates an engine with the IVM extension and the paper's Listing 1
+// schema loaded.
+func setup(t *testing.T) (*engine.DB, *Extension) {
+	t.Helper()
+	db := engine.Open("test", engine.DialectDuckDB)
+	ext := Install(db)
+	mustExec(t, db, "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+	return db, ext
+}
+
+func mustExec(t *testing.T, db *engine.DB, sql string) *engine.Result {
+	t.Helper()
+	r, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return r
+}
+
+// viewEquals checks that the maintained view matches recomputing the query
+// from scratch, ignoring row order (the IVM correctness invariant).
+func viewEquals(t *testing.T, db *engine.DB, viewCols string, view, query string) {
+	t.Helper()
+	got := mustExec(t, db, "SELECT "+viewCols+" FROM "+view).Rows
+	want := mustExec(t, db, query).Rows
+	g := make([]string, len(got))
+	for i, r := range got {
+		g[i] = r.String()
+	}
+	w := make([]string, len(want))
+	for i, r := range want {
+		w[i] = r.String()
+	}
+	sort.Strings(g)
+	sort.Strings(w)
+	if strings.Join(g, "\n") != strings.Join(w, "\n") {
+		t.Fatalf("view %s diverged from recompute\n got: %v\nwant: %v", view, g, w)
+	}
+}
+
+func TestListing1CreateMaterializedView(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+
+	// Paper's generated artifacts exist:
+	for _, tbl := range []string{"query_groups", "delta_groups", "delta_query_groups"} {
+		if !db.Catalog().HasTable(tbl) {
+			t.Errorf("table %q missing after CREATE MATERIALIZED VIEW", tbl)
+		}
+	}
+	meta, ok := db.Catalog().IVM("query_groups")
+	if !ok {
+		t.Fatal("metadata missing")
+	}
+	if meta.QueryType != "aggregate" {
+		t.Errorf("query type = %q", meta.QueryType)
+	}
+	if !strings.Contains(meta.PropagateSQL, "INSERT OR REPLACE INTO query_groups") {
+		t.Errorf("propagate SQL missing upsert:\n%s", meta.PropagateSQL)
+	}
+	if len(ext.Views()) != 1 {
+		t.Errorf("views = %v", ext.Views())
+	}
+}
+
+func TestAggregateInsertPropagation(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 10)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+
+	// Initial population.
+	viewEquals(t, db, "group_index, total_value", "qg",
+		"SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+
+	// Insert into an existing group and a new group; lazy refresh on query.
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 5), ('c', 7)")
+	viewEquals(t, db, "group_index, total_value", "qg",
+		"SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+}
+
+func TestAggregateDeletePropagation(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 10)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		COUNT(*) AS n, SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+
+	mustExec(t, db, "DELETE FROM groups WHERE group_value = 2")
+	viewEquals(t, db, "group_index, n, total_value", "qg",
+		"SELECT group_index, COUNT(*), SUM(group_value) FROM groups GROUP BY group_index")
+
+	// Delete the whole 'b' group: the COUNT=0 row must disappear (step 3).
+	mustExec(t, db, "DELETE FROM groups WHERE group_index = 'b'")
+	viewEquals(t, db, "group_index, n, total_value", "qg",
+		"SELECT group_index, COUNT(*), SUM(group_value) FROM groups GROUP BY group_index")
+}
+
+func TestAggregateUpdatePropagation(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 10)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY group_index`)
+	mustExec(t, db, "UPDATE groups SET group_value = group_value + 100 WHERE group_index = 'a'")
+	viewEquals(t, db, "group_index, total_value, n", "qg",
+		"SELECT group_index, SUM(group_value), COUNT(*) FROM groups GROUP BY group_index")
+}
+
+func TestEagerMode(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, "PRAGMA ivm_mode='eager'")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('x', 5)")
+	// Eager: the delta tables must already be empty and the view current,
+	// without any query-triggered refresh.
+	dt, _ := db.Catalog().Table("delta_groups")
+	if dt.RowCount() != 0 {
+		t.Errorf("delta table not drained in eager mode: %d rows", dt.RowCount())
+	}
+	if ext.Stats.EagerRefreshes == 0 {
+		t.Error("no eager refresh recorded")
+	}
+	vt, _ := db.Catalog().Table("qg")
+	if vt.RowCount() != 1 {
+		t.Errorf("view rows = %d", vt.RowCount())
+	}
+}
+
+func TestLazyModeRefreshOnQuery(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('x', 5)")
+	dt, _ := db.Catalog().Table("delta_groups")
+	if dt.RowCount() != 1 {
+		t.Fatalf("lazy mode should buffer deltas, got %d", dt.RowCount())
+	}
+	rows := mustExec(t, db, "SELECT total_value FROM qg").Rows
+	if len(rows) != 1 || rows[0][0].I != 5 {
+		t.Fatalf("got %v", rows)
+	}
+	if dt.RowCount() != 0 {
+		t.Error("delta not drained after lazy refresh")
+	}
+	if ext.Stats.LazyRefreshes == 0 {
+		t.Error("no lazy refresh recorded")
+	}
+}
+
+func TestExplicitRefresh(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('x', 5)")
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW qg")
+	dt, _ := db.Catalog().Table("delta_groups")
+	if dt.RowCount() != 0 {
+		t.Error("REFRESH did not drain deltas")
+	}
+}
+
+func TestProjectionView(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', -5), ('c', 10)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW pos AS SELECT group_index, group_value
+		FROM groups WHERE group_value > 0`)
+	viewEquals(t, db, "group_index, group_value", "pos",
+		"SELECT group_index, group_value FROM groups WHERE group_value > 0")
+
+	mustExec(t, db, "INSERT INTO groups VALUES ('d', 4), ('e', -1)")
+	mustExec(t, db, "DELETE FROM groups WHERE group_index = 'a'")
+	viewEquals(t, db, "group_index, group_value", "pos",
+		"SELECT group_index, group_value FROM groups WHERE group_value > 0")
+}
+
+func TestProjectionExpression(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW doubled AS SELECT group_index,
+		group_value * 2 AS dv FROM groups`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('b', 21)")
+	viewEquals(t, db, "group_index, dv", "doubled",
+		"SELECT group_index, group_value * 2 FROM groups")
+}
+
+func TestMinMaxView(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 5), ('a', 3), ('b', 7)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW mm AS SELECT group_index,
+		MIN(group_value) AS lo, MAX(group_value) AS hi, COUNT(*) AS n
+		FROM groups GROUP BY group_index`)
+	viewEquals(t, db, "group_index, lo, hi, n", "mm",
+		"SELECT group_index, MIN(group_value), MAX(group_value), COUNT(*) FROM groups GROUP BY group_index")
+
+	// Inserts extend min/max incrementally.
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 100)")
+	viewEquals(t, db, "group_index, lo, hi, n", "mm",
+		"SELECT group_index, MIN(group_value), MAX(group_value), COUNT(*) FROM groups GROUP BY group_index")
+
+	// Deleting the current minimum forces the rescan repair.
+	mustExec(t, db, "DELETE FROM groups WHERE group_value = 1")
+	viewEquals(t, db, "group_index, lo, hi, n", "mm",
+		"SELECT group_index, MIN(group_value), MAX(group_value), COUNT(*) FROM groups GROUP BY group_index")
+
+	// Deleting a whole group removes its row.
+	mustExec(t, db, "DELETE FROM groups WHERE group_index = 'b'")
+	viewEquals(t, db, "group_index, lo, hi, n", "mm",
+		"SELECT group_index, MIN(group_value), MAX(group_value), COUNT(*) FROM groups GROUP BY group_index")
+}
+
+func TestJoinView(t *testing.T) {
+	db := engine.Open("test", engine.DialectDuckDB)
+	Install(db)
+	mustExec(t, db, "CREATE TABLE customers (cid INTEGER, name VARCHAR)")
+	mustExec(t, db, "CREATE TABLE orders (oid INTEGER, cid INTEGER, amount INTEGER)")
+	mustExec(t, db, "INSERT INTO customers VALUES (1, 'ann'), (2, 'bob')")
+	mustExec(t, db, "INSERT INTO orders VALUES (100, 1, 10), (101, 2, 20)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW ordnames AS
+		SELECT o.oid, c.name, o.amount FROM orders AS o JOIN customers AS c ON o.cid = c.cid`)
+
+	recompute := "SELECT o.oid, c.name, o.amount FROM orders AS o JOIN customers AS c ON o.cid = c.cid"
+	viewEquals(t, db, "oid, name, amount", "ordnames", recompute)
+
+	// New order for existing customer.
+	mustExec(t, db, "INSERT INTO orders VALUES (102, 1, 30)")
+	viewEquals(t, db, "oid, name, amount", "ordnames", recompute)
+
+	// New customer plus their order in the same batch window (tests the
+	// ΔA⋈ΔB compensation term).
+	mustExec(t, db, "INSERT INTO customers VALUES (3, 'cyn')")
+	mustExec(t, db, "INSERT INTO orders VALUES (103, 3, 40)")
+	viewEquals(t, db, "oid, name, amount", "ordnames", recompute)
+
+	// Deletions on both sides.
+	mustExec(t, db, "DELETE FROM orders WHERE oid = 100")
+	viewEquals(t, db, "oid, name, amount", "ordnames", recompute)
+	mustExec(t, db, "DELETE FROM customers WHERE cid = 2")
+	viewEquals(t, db, "oid, name, amount", "ordnames", recompute)
+}
+
+func TestJoinAggregateView(t *testing.T) {
+	db := engine.Open("test", engine.DialectDuckDB)
+	Install(db)
+	mustExec(t, db, "CREATE TABLE customers (cid INTEGER, region VARCHAR)")
+	mustExec(t, db, "CREATE TABLE orders (oid INTEGER, cid INTEGER, amount INTEGER)")
+	mustExec(t, db, "INSERT INTO customers VALUES (1, 'eu'), (2, 'us'), (3, 'eu')")
+	mustExec(t, db, "INSERT INTO orders VALUES (100, 1, 10), (101, 2, 20), (102, 3, 30)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW region_sales AS
+		SELECT c.region, SUM(o.amount) AS total, COUNT(*) AS n
+		FROM orders AS o JOIN customers AS c ON o.cid = c.cid
+		GROUP BY c.region`)
+
+	recompute := `SELECT c.region, SUM(o.amount), COUNT(*)
+		FROM orders AS o JOIN customers AS c ON o.cid = c.cid GROUP BY c.region`
+	viewEquals(t, db, "region, total, n", "region_sales", recompute)
+
+	mustExec(t, db, "INSERT INTO orders VALUES (103, 1, 100)")
+	viewEquals(t, db, "region, total, n", "region_sales", recompute)
+
+	mustExec(t, db, "DELETE FROM orders WHERE cid = 2")
+	viewEquals(t, db, "region, total, n", "region_sales", recompute)
+
+	// Moving a customer between regions is an update on the build side.
+	mustExec(t, db, "UPDATE customers SET region = 'us' WHERE cid = 3")
+	viewEquals(t, db, "region, total, n", "region_sales", recompute)
+}
+
+func TestFilteredAggregate(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('a', -2), ('b', 10)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value, COUNT(*) AS n FROM groups
+		WHERE group_value > 0 GROUP BY group_index`)
+	recompute := `SELECT group_index, SUM(group_value), COUNT(*) FROM groups
+		WHERE group_value > 0 GROUP BY group_index`
+	viewEquals(t, db, "group_index, total_value, n", "qg", recompute)
+
+	// Deltas that fail the filter must not affect the view.
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', -100), ('c', 3)")
+	viewEquals(t, db, "group_index, total_value, n", "qg", recompute)
+}
+
+func TestStrategies(t *testing.T) {
+	for _, strat := range []string{"upsert_left_join", "union_regroup", "full_outer_join"} {
+		t.Run(strat, func(t *testing.T) {
+			db, _ := setup(t)
+			mustExec(t, db, "PRAGMA ivm_strategy='"+strat+"'")
+			mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+			mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+				SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY group_index`)
+			recompute := "SELECT group_index, SUM(group_value), COUNT(*) FROM groups GROUP BY group_index"
+			mustExec(t, db, "INSERT INTO groups VALUES ('a', 10), ('c', 3)")
+			viewEquals(t, db, "group_index, total_value, n", "qg", recompute)
+			mustExec(t, db, "DELETE FROM groups WHERE group_index = 'b'")
+			viewEquals(t, db, "group_index, total_value, n", "qg", recompute)
+		})
+	}
+}
+
+func TestHiddenCountDetection(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "PRAGMA ivm_empty='hidden_count'")
+	// A view whose SUM can legitimately reach zero — the paper's sum_zero
+	// heuristic would wrongly delete the group; hidden_count must not.
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 5), ('a', -5)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('b', 1)")
+	rows := mustExec(t, db, "SELECT group_index, total_value FROM qg").Rows
+	if len(rows) != 2 {
+		t.Fatalf("hidden_count lost the zero-sum group: %v", rows)
+	}
+	// And a fully deleted group must still disappear.
+	mustExec(t, db, "DELETE FROM groups WHERE group_index = 'a'")
+	rows = mustExec(t, db, "SELECT group_index FROM qg").Rows
+	if len(rows) != 1 || rows[0][0].S != "b" {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestSumZeroPaperSemantics(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 5)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "DELETE FROM groups WHERE group_index = 'a'")
+	rows := mustExec(t, db, "SELECT group_index FROM qg").Rows
+	if len(rows) != 0 {
+		t.Fatalf("emptied group should be deleted (Listing 2 step 3): %v", rows)
+	}
+}
+
+func TestMultiColumnGroupKeys(t *testing.T) {
+	db := engine.Open("test", engine.DialectDuckDB)
+	Install(db)
+	mustExec(t, db, "CREATE TABLE sales (region VARCHAR, product VARCHAR, amount INTEGER)")
+	mustExec(t, db, "INSERT INTO sales VALUES ('eu', 'x', 1), ('eu', 'y', 2), ('us', 'x', 3)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW s2 AS SELECT region, product,
+		SUM(amount) AS total, COUNT(*) AS n FROM sales GROUP BY region, product`)
+	recompute := "SELECT region, product, SUM(amount), COUNT(*) FROM sales GROUP BY region, product"
+	viewEquals(t, db, "region, product, total, n", "s2", recompute)
+	mustExec(t, db, "INSERT INTO sales VALUES ('eu', 'x', 10), ('ap', 'z', 5)")
+	mustExec(t, db, "DELETE FROM sales WHERE region = 'us'")
+	viewEquals(t, db, "region, product, total, n", "s2", recompute)
+}
+
+func TestMultipleViewsOneBase(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW v1 AS SELECT group_index,
+		SUM(group_value) AS s FROM groups GROUP BY group_index`)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW v2 AS SELECT group_index, group_value
+		FROM groups WHERE group_value > 1`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 5), ('c', 9)")
+	viewEquals(t, db, "group_index, s", "v1",
+		"SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+	viewEquals(t, db, "group_index, group_value", "v2",
+		"SELECT group_index, group_value FROM groups WHERE group_value > 1")
+}
+
+func TestScriptsSavedAndInspectable(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	setupSQL, prop, err := ext.Scripts("qg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CREATE TABLE IF NOT EXISTS delta_groups", "_duckdb_ivm_multiplicity BOOLEAN"} {
+		if !strings.Contains(setupSQL, want) {
+			t.Errorf("setup missing %q:\n%s", want, setupSQL)
+		}
+	}
+	for _, want := range []string{
+		"INSERT INTO delta_qg",
+		"GROUP BY group_index, _duckdb_ivm_multiplicity",
+		"INSERT OR REPLACE INTO qg",
+		"WITH ivm_cte AS",
+		"LEFT JOIN",
+		"DELETE FROM delta_qg",
+		"DELETE FROM delta_groups",
+	} {
+		if !strings.Contains(prop, want) {
+			t.Errorf("propagate missing %q:\n%s", want, prop)
+		}
+	}
+	dir := t.TempDir()
+	if err := ext.SaveScripts(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropMaterializedView(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "DROP VIEW qg")
+	if db.Catalog().HasTable("qg") {
+		t.Error("view table still present")
+	}
+}
+
+func TestUnsupportedViewsRejected(t *testing.T) {
+	db, _ := setup(t)
+	for _, bad := range []string{
+		"CREATE MATERIALIZED VIEW b1 AS SELECT DISTINCT group_index FROM groups",
+		"CREATE MATERIALIZED VIEW b2 AS SELECT group_index FROM groups ORDER BY group_index",
+		"CREATE MATERIALIZED VIEW b3 AS SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index HAVING SUM(group_value) > 0",
+		"CREATE MATERIALIZED VIEW b4 AS SELECT AVG(group_value) FROM groups GROUP BY group_index",
+		"CREATE MATERIALIZED VIEW b5 AS SELECT group_index FROM groups UNION SELECT group_index FROM groups",
+		"CREATE MATERIALIZED VIEW b6 AS SELECT COUNT(DISTINCT group_value) FROM groups GROUP BY group_index",
+	} {
+		if _, err := db.Exec(bad); err == nil {
+			t.Errorf("%q should be rejected", bad)
+		}
+	}
+}
+
+func TestDeltaRowsCounted(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+	mustExec(t, db, "UPDATE groups SET group_value = 3 WHERE group_index = 'a'")
+	// 2 inserts + update (1 delete + 1 insert) = 4 delta rows.
+	if ext.Stats.DeltasCaught != 4 {
+		t.Errorf("deltas = %d, want 4", ext.Stats.DeltasCaught)
+	}
+}
+
+func TestViewWithAlias(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW qa AS SELECT g.group_index,
+		SUM(g.group_value) AS s FROM groups AS g GROUP BY g.group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 4)")
+	viewEquals(t, db, "group_index, s", "qa",
+		"SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+}
+
+func TestPostgresDialectScripts(t *testing.T) {
+	db := engine.Open("pg", engine.DialectPostgres)
+	ext := Install(db)
+	mustExec(t, db, "CREATE TABLE t (k VARCHAR, v INTEGER)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW vsum AS SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k`)
+	_, prop, err := ext.Scripts("vsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prop, "ON CONFLICT (k) DO UPDATE SET") {
+		t.Errorf("postgres dialect should emit ON CONFLICT:\n%s", prop)
+	}
+	if strings.Contains(prop, "INSERT OR REPLACE") {
+		t.Errorf("postgres dialect must not emit INSERT OR REPLACE:\n%s", prop)
+	}
+	// And the engine in postgres dialect can execute its own scripts.
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)")
+	viewEquals(t, db, "k, s, n", "vsum", "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+	mustExec(t, db, "DELETE FROM t WHERE k = 'b'")
+	viewEquals(t, db, "k, s, n", "vsum", "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+}
+
+var _ = sqltypes.Null

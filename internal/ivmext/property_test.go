@@ -1,0 +1,262 @@
+package ivmext
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"openivm/internal/engine"
+)
+
+// The central IVM correctness invariant, exercised by randomized workloads:
+// after any interleaving of INSERT/DELETE/UPDATE batches and refreshes, the
+// maintained view equals recomputing its query from scratch.
+
+// randWorkload drives n random DML statements against table "t" with
+// columns (k VARCHAR, v INTEGER), refreshing the view at random points.
+func randWorkload(t *testing.T, db *engine.DB, rng *rand.Rand, n int, view, viewCols, recompute string) {
+	t.Helper()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < n; i++ {
+		k := keys[rng.Intn(len(keys))]
+		v := rng.Intn(41) - 20
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert-heavy
+			mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES ('%s', %d)", k, v))
+		case 5, 6:
+			mustExec(t, db, fmt.Sprintf("DELETE FROM t WHERE k = '%s' AND v = %d", k, v))
+		case 7:
+			mustExec(t, db, fmt.Sprintf("DELETE FROM t WHERE k = '%s'", k))
+		case 8:
+			mustExec(t, db, fmt.Sprintf("UPDATE t SET v = v + %d WHERE k = '%s'", rng.Intn(7)-3, k))
+		case 9:
+			mustExec(t, db, "REFRESH MATERIALIZED VIEW "+view)
+		}
+		if rng.Intn(13) == 0 {
+			checkView(t, db, i, view, viewCols, recompute)
+		}
+	}
+	checkView(t, db, n, view, viewCols, recompute)
+}
+
+func checkView(t *testing.T, db *engine.DB, step int, view, viewCols, recompute string) {
+	t.Helper()
+	got := mustExec(t, db, "SELECT "+viewCols+" FROM "+view).Rows
+	want := mustExec(t, db, recompute).Rows
+	g := make([]string, len(got))
+	for i, r := range got {
+		g[i] = r.String()
+	}
+	w := make([]string, len(want))
+	for i, r := range want {
+		w[i] = r.String()
+	}
+	sort.Strings(g)
+	sort.Strings(w)
+	if strings.Join(g, "\n") != strings.Join(w, "\n") {
+		t.Fatalf("step %d: view %s diverged\n got: %v\nwant: %v", step, view, g, w)
+	}
+}
+
+func propertyDB(t *testing.T, pragmas ...string) *engine.DB {
+	t.Helper()
+	db := engine.Open("prop", engine.DialectDuckDB)
+	Install(db)
+	for _, p := range pragmas {
+		mustExec(t, db, p)
+	}
+	mustExec(t, db, "CREATE TABLE t (k VARCHAR, v INTEGER)")
+	return db
+}
+
+func TestPropertySumCount(t *testing.T) {
+	for _, strat := range []string{"upsert_left_join", "union_regroup", "full_outer_join"} {
+		for _, mode := range []string{"lazy", "eager"} {
+			t.Run(strat+"_"+mode, func(t *testing.T) {
+				db := propertyDB(t,
+					"PRAGMA ivm_strategy='"+strat+"'",
+					"PRAGMA ivm_mode='"+mode+"'",
+					"PRAGMA ivm_empty='hidden_count'")
+				mustExec(t, db, `CREATE MATERIALIZED VIEW vw AS SELECT k,
+					SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k`)
+				rng := rand.New(rand.NewSource(int64(len(strat) + len(mode))))
+				randWorkload(t, db, rng, 120, "vw", "k, s, n",
+					"SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+			})
+		}
+	}
+}
+
+func TestPropertyMinMax(t *testing.T) {
+	db := propertyDB(t, "PRAGMA ivm_empty='hidden_count'")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW mm AS SELECT k,
+		MIN(v) AS lo, MAX(v) AS hi, COUNT(*) AS n FROM t GROUP BY k`)
+	rng := rand.New(rand.NewSource(7))
+	randWorkload(t, db, rng, 150, "mm", "k, lo, hi, n",
+		"SELECT k, MIN(v), MAX(v), COUNT(*) FROM t GROUP BY k")
+}
+
+func TestPropertyFilteredAggregate(t *testing.T) {
+	db := propertyDB(t, "PRAGMA ivm_empty='hidden_count'")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW pf AS SELECT k,
+		SUM(v) AS s, COUNT(*) AS n FROM t WHERE v > 0 GROUP BY k`)
+	rng := rand.New(rand.NewSource(11))
+	randWorkload(t, db, rng, 150, "pf", "k, s, n",
+		"SELECT k, SUM(v), COUNT(*) FROM t WHERE v > 0 GROUP BY k")
+}
+
+func TestPropertyProjectionDistinctRows(t *testing.T) {
+	// Projection views assume row-identity (no duplicate rows); give each
+	// row a unique id so the workload respects that.
+	db := engine.Open("prop", engine.DialectDuckDB)
+	Install(db)
+	mustExec(t, db, "CREATE TABLE t (id INTEGER, k VARCHAR, v INTEGER)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW pv AS SELECT id, k, v FROM t WHERE v >= 10`)
+	rng := rand.New(rand.NewSource(13))
+	next := 0
+	for i := 0; i < 150; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'k%d', %d)", next, rng.Intn(4), rng.Intn(30)))
+			next++
+		case 2:
+			if next > 0 {
+				mustExec(t, db, fmt.Sprintf("DELETE FROM t WHERE id = %d", rng.Intn(next)))
+			}
+		case 3:
+			if next > 0 {
+				mustExec(t, db, fmt.Sprintf("UPDATE t SET v = %d WHERE id = %d", rng.Intn(30), rng.Intn(next)))
+			}
+		}
+		if rng.Intn(11) == 0 {
+			checkView(t, db, i, "pv", "id, k, v", "SELECT id, k, v FROM t WHERE v >= 10")
+		}
+	}
+	checkView(t, db, 150, "pv", "id, k, v", "SELECT id, k, v FROM t WHERE v >= 10")
+}
+
+func TestPropertyJoin(t *testing.T) {
+	db := engine.Open("prop", engine.DialectDuckDB)
+	Install(db)
+	mustExec(t, db, "CREATE TABLE c (cid INTEGER, region VARCHAR)")
+	mustExec(t, db, "CREATE TABLE o (oid INTEGER, cid INTEGER, amt INTEGER)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW jv AS
+		SELECT o.oid, c.region, o.amt FROM o JOIN c ON o.cid = c.cid`)
+	recompute := "SELECT o.oid, c.region, o.amt FROM o JOIN c ON o.cid = c.cid"
+	rng := rand.New(rand.NewSource(17))
+	nextC, nextO := 0, 0
+	for i := 0; i < 150; i++ {
+		switch rng.Intn(8) {
+		case 0, 1:
+			mustExec(t, db, fmt.Sprintf("INSERT INTO c VALUES (%d, 'r%d')", nextC, rng.Intn(3)))
+			nextC++
+		case 2, 3, 4:
+			if nextC > 0 {
+				mustExec(t, db, fmt.Sprintf("INSERT INTO o VALUES (%d, %d, %d)", nextO, rng.Intn(nextC), rng.Intn(100)))
+				nextO++
+			}
+		case 5:
+			if nextO > 0 {
+				mustExec(t, db, fmt.Sprintf("DELETE FROM o WHERE oid = %d", rng.Intn(nextO)))
+			}
+		case 6:
+			if nextC > 0 {
+				mustExec(t, db, fmt.Sprintf("DELETE FROM c WHERE cid = %d", rng.Intn(nextC)))
+			}
+		case 7:
+			if nextC > 0 {
+				mustExec(t, db, fmt.Sprintf("UPDATE c SET region = 'r%d' WHERE cid = %d", rng.Intn(3), rng.Intn(nextC)))
+			}
+		}
+		if rng.Intn(11) == 0 {
+			checkView(t, db, i, "jv", "oid, region, amt", recompute)
+		}
+	}
+	checkView(t, db, 150, "jv", "oid, region, amt", recompute)
+}
+
+func TestPropertyJoinAggregate(t *testing.T) {
+	for _, strat := range []string{"upsert_left_join", "union_regroup"} {
+		t.Run(strat, func(t *testing.T) {
+			db := engine.Open("prop", engine.DialectDuckDB)
+			Install(db)
+			mustExec(t, db, "PRAGMA ivm_strategy='"+strat+"'")
+			mustExec(t, db, "PRAGMA ivm_empty='hidden_count'")
+			mustExec(t, db, "CREATE TABLE c (cid INTEGER, region VARCHAR)")
+			mustExec(t, db, "CREATE TABLE o (oid INTEGER, cid INTEGER, amt INTEGER)")
+			mustExec(t, db, `CREATE MATERIALIZED VIEW ja AS
+				SELECT c.region, SUM(o.amt) AS total, COUNT(*) AS n
+				FROM o JOIN c ON o.cid = c.cid GROUP BY c.region`)
+			recompute := `SELECT c.region, SUM(o.amt), COUNT(*)
+				FROM o JOIN c ON o.cid = c.cid GROUP BY c.region`
+			rng := rand.New(rand.NewSource(23))
+			nextC, nextO := 0, 0
+			for i := 0; i < 120; i++ {
+				switch rng.Intn(8) {
+				case 0, 1:
+					mustExec(t, db, fmt.Sprintf("INSERT INTO c VALUES (%d, 'r%d')", nextC, rng.Intn(3)))
+					nextC++
+				case 2, 3, 4:
+					if nextC > 0 {
+						mustExec(t, db, fmt.Sprintf("INSERT INTO o VALUES (%d, %d, %d)", nextO, rng.Intn(nextC), rng.Intn(100)))
+						nextO++
+					}
+				case 5:
+					if nextO > 0 {
+						mustExec(t, db, fmt.Sprintf("DELETE FROM o WHERE oid = %d", rng.Intn(nextO)))
+					}
+				case 6:
+					if nextC > 0 {
+						mustExec(t, db, fmt.Sprintf("DELETE FROM c WHERE cid = %d", rng.Intn(nextC)))
+					}
+				case 7:
+					mustExec(t, db, "REFRESH MATERIALIZED VIEW ja")
+				}
+				if rng.Intn(11) == 0 {
+					checkView(t, db, i, "ja", "region, total, n", recompute)
+				}
+			}
+			checkView(t, db, 120, "ja", "region, total, n", recompute)
+		})
+	}
+}
+
+func TestPropertyTwoViewsSharedBase(t *testing.T) {
+	db := propertyDB(t, "PRAGMA ivm_empty='hidden_count'")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW s1 AS SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k`)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW s2 AS SELECT k, MAX(v) AS hi, COUNT(*) AS n FROM t GROUP BY k`)
+	rng := rand.New(rand.NewSource(29))
+	keys := []string{"a", "b", "c"}
+	for i := 0; i < 120; i++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(6) {
+		case 0, 1, 2, 3:
+			mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES ('%s', %d)", k, rng.Intn(50)))
+		case 4:
+			mustExec(t, db, fmt.Sprintf("DELETE FROM t WHERE k = '%s' AND v < %d", k, rng.Intn(25)))
+		case 5:
+			mustExec(t, db, "REFRESH MATERIALIZED VIEW s1")
+		}
+		if rng.Intn(9) == 0 {
+			checkView(t, db, i, "s1", "k, s, n", "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+			checkView(t, db, i, "s2", "k, hi, n", "SELECT k, MAX(v), COUNT(*) FROM t GROUP BY k")
+		}
+	}
+	checkView(t, db, 120, "s1", "k, s, n", "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+	checkView(t, db, 120, "s2", "k, hi, n", "SELECT k, MAX(v), COUNT(*) FROM t GROUP BY k")
+}
+
+func TestPropertyPostgresDialectEngine(t *testing.T) {
+	// The same invariant holds when both the engine and the emitted SQL
+	// use the PostgreSQL dialect (ON CONFLICT upserts).
+	db := engine.Open("pgprop", engine.DialectPostgres)
+	Install(db)
+	mustExec(t, db, "PRAGMA ivm_empty='hidden_count'")
+	mustExec(t, db, "CREATE TABLE t (k VARCHAR, v INTEGER)")
+	mustExec(t, db, `CREATE MATERIALIZED VIEW vw AS SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k`)
+	rng := rand.New(rand.NewSource(31))
+	randWorkload(t, db, rng, 120, "vw", "k, s, n",
+		"SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k")
+}

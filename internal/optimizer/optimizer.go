@@ -1,0 +1,251 @@
+// Package optimizer implements logical-plan rewrite rules: constant
+// folding, filter pushdown into scans, and projection pruning. It also
+// exposes the rule-registration hook that the paper's IVM extension uses to
+// inject its own rewrites into the optimization pipeline.
+package optimizer
+
+import (
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+)
+
+// Rule transforms a plan node (returning the node unchanged is a no-op).
+type Rule func(plan.Node) plan.Node
+
+// Optimize applies the built-in rules plus any extras, bottom-up.
+func Optimize(n plan.Node, extra ...Rule) plan.Node {
+	rules := []Rule{FoldConstants, PushFilterIntoScan, PruneScanColumns}
+	rules = append(rules, extra...)
+	return rewrite(n, rules)
+}
+
+// rewrite applies rules to children first, then the node, repeating each
+// rule once (our rules are idempotent).
+func rewrite(n plan.Node, rules []Rule) plan.Node {
+	switch x := n.(type) {
+	case *plan.Filter:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.Project:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.Aggregate:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.Join:
+		x.Left = rewrite(x.Left, rules)
+		x.Right = rewrite(x.Right, rules)
+	case *plan.Distinct:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.Sort:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.Limit:
+		x.Input = rewrite(x.Input, rules)
+	case *plan.SetOp:
+		x.Left = rewrite(x.Left, rules)
+		x.Right = rewrite(x.Right, rules)
+	}
+	for _, r := range rules {
+		n = r(n)
+	}
+	return n
+}
+
+// FoldConstants evaluates constant sub-expressions in filters and
+// projections at plan time.
+func FoldConstants(n plan.Node) plan.Node {
+	switch x := n.(type) {
+	case *plan.Filter:
+		x.Pred = foldExpr(x.Pred)
+		// WHERE TRUE disappears.
+		if lit, ok := x.Pred.(*expr.Literal); ok && lit.Val.IsTrue() {
+			return x.Input
+		}
+	case *plan.Project:
+		for i, e := range x.Exprs {
+			x.Exprs[i] = foldExpr(e)
+		}
+	}
+	return n
+}
+
+// foldExpr folds constant subtrees: if every leaf of a deterministic
+// expression is a literal, evaluate it now.
+func foldExpr(e expr.Expr) expr.Expr {
+	switch x := e.(type) {
+	case *expr.Binary:
+		x.Left = foldExpr(x.Left)
+		x.Right = foldExpr(x.Right)
+		if isLit(x.Left) && isLit(x.Right) {
+			if v, err := x.Eval(nil); err == nil {
+				return &expr.Literal{Val: v}
+			}
+		}
+	case *expr.Unary:
+		x.Operand = foldExpr(x.Operand)
+		if isLit(x.Operand) {
+			if v, err := x.Eval(nil); err == nil {
+				return &expr.Literal{Val: v}
+			}
+		}
+	case *expr.Cast:
+		x.Operand = foldExpr(x.Operand)
+		if isLit(x.Operand) {
+			if v, err := x.Eval(nil); err == nil {
+				return &expr.Literal{Val: v}
+			}
+		}
+	}
+	return e
+}
+
+func isLit(e expr.Expr) bool {
+	_, ok := e.(*expr.Literal)
+	return ok
+}
+
+// PushFilterIntoScan moves Filter predicates that reference only scan
+// columns into the scan itself (so deleted-row skipping and predicate
+// evaluation happen in one pass). Only applies when the scan has no
+// projection pruning yet (predicates are bound against full rows).
+func PushFilterIntoScan(n plan.Node) plan.Node {
+	f, ok := n.(*plan.Filter)
+	if !ok {
+		return n
+	}
+	s, ok := f.Input.(*plan.Scan)
+	if !ok || s.Projection != nil {
+		return n
+	}
+	if s.Filter == nil {
+		s.Filter = f.Pred
+	} else {
+		s.Filter = &expr.Binary{Op: "AND", Left: s.Filter, Right: f.Pred}
+	}
+	return s
+}
+
+// PruneScanColumns narrows scans under a Project that uses a subset of
+// columns. It only handles the direct Project(Scan) shape — enough to avoid
+// materializing wide rows in the common IVM propagation plans.
+func PruneScanColumns(n plan.Node) plan.Node {
+	p, ok := n.(*plan.Project)
+	if !ok {
+		return n
+	}
+	s, ok := p.Input.(*plan.Scan)
+	if !ok || s.Projection != nil || s.Filter != nil {
+		return n
+	}
+	full := s.FullSchema()
+	used := make([]bool, len(full))
+	countUsed := 0
+	usable := true
+	for _, e := range p.Exprs {
+		walkExprCols(e, func(idx int) {
+			if idx < 0 || idx >= len(full) {
+				usable = false
+				return
+			}
+			if !used[idx] {
+				used[idx] = true
+				countUsed++
+			}
+		})
+	}
+	if !usable || countUsed == 0 || countUsed == len(full) {
+		return n
+	}
+	proj := make([]int, 0, countUsed)
+	remap := make(map[int]int, countUsed)
+	for i, u := range used {
+		if u {
+			remap[i] = len(proj)
+			proj = append(proj, i)
+		}
+	}
+	s.Projection = proj
+	for _, e := range p.Exprs {
+		remapExprCols(e, remap)
+	}
+	return n
+}
+
+func walkExprCols(e expr.Expr, fn func(int)) {
+	switch x := e.(type) {
+	case *expr.Column:
+		fn(x.Idx)
+	case *expr.Binary:
+		walkExprCols(x.Left, fn)
+		walkExprCols(x.Right, fn)
+	case *expr.Unary:
+		walkExprCols(x.Operand, fn)
+	case *expr.IsNull:
+		walkExprCols(x.Operand, fn)
+	case *expr.In:
+		walkExprCols(x.Operand, fn)
+		for _, it := range x.List {
+			walkExprCols(it, fn)
+		}
+	case *expr.Between:
+		walkExprCols(x.Operand, fn)
+		walkExprCols(x.Lo, fn)
+		walkExprCols(x.Hi, fn)
+	case *expr.Case:
+		if x.Operand != nil {
+			walkExprCols(x.Operand, fn)
+		}
+		for _, w := range x.Whens {
+			walkExprCols(w.When, fn)
+			walkExprCols(w.Then, fn)
+		}
+		if x.Else != nil {
+			walkExprCols(x.Else, fn)
+		}
+	case *expr.Cast:
+		walkExprCols(x.Operand, fn)
+	case *expr.ScalarFunc:
+		for _, a := range x.Args {
+			walkExprCols(a, fn)
+		}
+	}
+}
+
+func remapExprCols(e expr.Expr, remap map[int]int) {
+	switch x := e.(type) {
+	case *expr.Column:
+		if ni, ok := remap[x.Idx]; ok {
+			x.Idx = ni
+		}
+	case *expr.Binary:
+		remapExprCols(x.Left, remap)
+		remapExprCols(x.Right, remap)
+	case *expr.Unary:
+		remapExprCols(x.Operand, remap)
+	case *expr.IsNull:
+		remapExprCols(x.Operand, remap)
+	case *expr.In:
+		remapExprCols(x.Operand, remap)
+		for _, it := range x.List {
+			remapExprCols(it, remap)
+		}
+	case *expr.Between:
+		remapExprCols(x.Operand, remap)
+		remapExprCols(x.Lo, remap)
+		remapExprCols(x.Hi, remap)
+	case *expr.Case:
+		if x.Operand != nil {
+			remapExprCols(x.Operand, remap)
+		}
+		for _, w := range x.Whens {
+			remapExprCols(w.When, remap)
+			remapExprCols(w.Then, remap)
+		}
+		if x.Else != nil {
+			remapExprCols(x.Else, remap)
+		}
+	case *expr.Cast:
+		remapExprCols(x.Operand, remap)
+	case *expr.ScalarFunc:
+		for _, a := range x.Args {
+			remapExprCols(a, remap)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL subset used throughout OpenIVM-Go: DDL (CREATE TABLE / INDEX /
+// [MATERIALIZED] VIEW), DML (INSERT [OR REPLACE] / ON CONFLICT, UPDATE,
+// DELETE) and SELECT queries with joins, grouping, aggregates, CTEs and set
+// operations. The grammar covers both the DuckDB-flavoured and
+// PostgreSQL-flavoured statements the IVM compiler consumes and emits.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString // 'single quoted'
+	TokOp     // operators and punctuation
+)
+
+// Token is a lexical token with its source position (for error messages).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+// keywords is the set of reserved words recognized by the lexer. Words not
+// in this set lex as identifiers.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "AS": true, "DISTINCT": true, "ALL": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "BETWEEN": true, "LIKE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CAST": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"FULL": true, "OUTER": true, "CROSS": true, "ON": true, "USING": true,
+	"UNION": true, "EXCEPT": true, "INTERSECT": true, "WITH": true,
+	"VALUES": true, "INSERT": true, "INTO": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "CREATE": true, "TABLE": true,
+	"VIEW": true, "MATERIALIZED": true, "INDEX": true, "UNIQUE": true,
+	"DROP": true, "IF": true, "EXISTS": true, "PRIMARY": true, "KEY": true,
+	"DEFAULT": true, "REPLACE": true, "CONFLICT": true, "DO": true,
+	"NOTHING": true, "EXCLUDED": true, "RETURNING": true, "TRUNCATE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "EXPLAIN": true,
+	"REFRESH": true, "PRAGMA": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "COALESCE": true, "OF": true, "FOR": true,
+	"TRIGGER": true, "AFTER": true, "ROW": true, "EACH": true, "EXECUTE": true,
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	case c == '"': // quoted identifier
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sqlparser: unterminated quoted identifier at %d", start)
+			}
+			if l.src[l.pos] == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					sb.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sqlparser: unterminated string literal at %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++
+		seenDot := c == '.'
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d >= '0' && d <= '9' {
+				l.pos++
+				continue
+			}
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (d == 'e' || d == 'E') && l.pos+1 < len(l.src) &&
+				(isDigit(l.src[l.pos+1]) || ((l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2]))) {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	default:
+		// multi-char operators first
+		for _, op := range []string{"<>", "!=", "<=", ">=", "||", "::"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return Token{Kind: TokOp, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.IndexByte("+-*/%(),.;=<>", c) >= 0 {
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sqlparser: unexpected character %q at %d", string(c), start)
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '$' }
+
+// Tokenize lexes the whole input; convenience for tests.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

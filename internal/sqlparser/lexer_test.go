@@ -1,0 +1,116 @@
+package sqlparser
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 42 FROM t WHERE b = 'x''y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "a"}, {TokOp, ","}, {TokNumber, "42"},
+		{TokKeyword, "FROM"}, {TokIdent, "t"}, {TokKeyword, "WHERE"},
+		{TokIdent, "b"}, {TokOp, "="}, {TokString, "x'y"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok[%d] = {%v %q}, want {%v %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []string{"1", "12.5", "0.5", ".5", "1e6", "1.5e-3", "2E+4"}
+	for _, c := range cases {
+		toks, err := Tokenize(c)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", c, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != c {
+			t.Errorf("Tokenize(%q) = %v", c, toks[0])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "1", "+", "2"}
+	if len(texts) != len(want) {
+		t.Fatalf("got %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("tok %d = %q want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"weird ""name"""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != `weird "name"` {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestLexMultiCharOps(t *testing.T) {
+	toks, err := Tokenize("a <> b <= c >= d != e || f :: g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokOp {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<>", "<=", ">=", "!=", "||", "::"}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", `"unterminated`, "a # b"} {
+		if _, err := Tokenize(bad); err == nil {
+			t.Errorf("Tokenize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, _ := Tokenize("select Select SELECT")
+	for _, tk := range toks[:3] {
+		if tk.Kind != TokKeyword || tk.Text != "SELECT" {
+			t.Errorf("got %v", tk)
+		}
+	}
+	if len(kinds(toks)) != 4 {
+		t.Errorf("want 4 tokens")
+	}
+}

@@ -1,0 +1,114 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Row is a tuple of values. Rows are passed by reference through the
+// volcano iterators; operators that buffer rows must Clone them.
+type Row []Value
+
+// Clone returns a deep copy of the row (values are immutable, so a shallow
+// slice copy suffices).
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Equal reports element-wise equality under Compare semantics.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !Equal(r[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRows orders two rows lexicographically.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// String renders the row as a pipe-separated line (shell output format).
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// EncodeKey appends a binary encoding of the values to dst such that
+// byte-wise lexicographic comparison of encodings matches CompareRows.
+// It is used for hash-table keys and as ART index keys.
+//
+// Encoding per value: 1 tag byte, then payload.
+//
+//	NULL   -> 0x00
+//	BOOL   -> 0x01, 0x00/0x01
+//	number -> 0x02, 8-byte order-preserving float encoding
+//	string -> 0x03, escaped bytes (0x00 -> 0x00 0xFF), terminator 0x00 0x00
+//
+// Ints and floats share tag 0x02 so that 1 and 1.0 group together, matching
+// Compare's numeric promotion.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.T {
+		case TypeNull:
+			dst = append(dst, 0x00)
+		case TypeBool:
+			dst = append(dst, 0x01)
+			if v.B {
+				dst = append(dst, 0x01)
+			} else {
+				dst = append(dst, 0x00)
+			}
+		case TypeInt, TypeFloat:
+			dst = append(dst, 0x02)
+			bits := math.Float64bits(v.AsFloat())
+			// Flip so that lexicographic byte order equals numeric order.
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits |= 1 << 63
+			}
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], bits)
+			dst = append(dst, buf[:]...)
+		case TypeString:
+			dst = append(dst, 0x03)
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				dst = append(dst, c)
+				if c == 0x00 {
+					dst = append(dst, 0xFF)
+				}
+			}
+			dst = append(dst, 0x00, 0x00)
+		default:
+			dst = append(dst, 0x00)
+		}
+	}
+	return dst
+}
+
+// KeyString returns EncodeKey as a string, suitable as a map key.
+func KeyString(vals ...Value) string {
+	return string(EncodeKey(nil, vals...))
+}

@@ -1,0 +1,222 @@
+// Package wire implements a minimal SQL-over-TCP protocol connecting the
+// two engines of the cross-system demo — the stand-in for the
+// PostgreSQL client protocol / DuckDB postgres_scanner bridge in the
+// paper's Figure 3. Requests and responses are newline-delimited JSON.
+//
+// Supported operations:
+//
+//	{"op":"exec","sql":"..."}     -> run a statement, return rows
+//	{"op":"schema","table":"t"}   -> column names and types of a table
+//	{"op":"tables"}               -> list table names
+//	{"op":"ping"}                 -> liveness check
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"openivm/internal/engine"
+	"openivm/internal/sqltypes"
+)
+
+// Request is one client->server message.
+type Request struct {
+	Op    string `json:"op"`
+	SQL   string `json:"sql,omitempty"`
+	Table string `json:"table,omitempty"`
+}
+
+// ColumnDesc describes one column in a schema response.
+type ColumnDesc struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NotNull bool   `json:"notNull,omitempty"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	Error        string             `json:"error,omitempty"`
+	Columns      []string           `json:"columns,omitempty"`
+	Rows         [][]sqltypes.Value `json:"rows,omitempty"`
+	RowsAffected int                `json:"rowsAffected,omitempty"`
+	Schema       []ColumnDesc       `json:"schema,omitempty"`
+	Tables       []string           `json:"tables,omitempty"`
+}
+
+// Server serves an engine instance over TCP.
+type Server struct {
+	DB *engine.DB
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps db.
+func NewServer(db *engine.DB) *Server {
+	return &Server{DB: db, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address. Serving continues until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	switch req.Op {
+	case "ping":
+		return &Response{}
+	case "exec":
+		res, err := s.DB.ExecScript(req.SQL)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		out := &Response{RowsAffected: res.RowsAffected, Columns: res.Columns}
+		for _, r := range res.Rows {
+			out.Rows = append(out.Rows, r)
+		}
+		return out
+	case "schema":
+		tbl, err := s.DB.Catalog().Table(req.Table)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		resp := &Response{}
+		for _, c := range tbl.Columns {
+			resp.Schema = append(resp.Schema, ColumnDesc{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
+		}
+		return resp
+	case "tables":
+		return &Response{Tables: s.DB.Catalog().TableNames()}
+	}
+	return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
+}
+
+// Close stops the server and closes open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Client is a connection to a wire server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: "ping"})
+	return err
+}
+
+// Exec runs a SQL script remotely.
+func (c *Client) Exec(sql string) (*Response, error) {
+	return c.roundTrip(&Request{Op: "exec", SQL: sql})
+}
+
+// Schema fetches a remote table's columns.
+func (c *Client) Schema(table string) ([]ColumnDesc, error) {
+	resp, err := c.roundTrip(&Request{Op: "schema", Table: table})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Schema, nil
+}
+
+// Tables lists remote tables.
+func (c *Client) Tables() ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: "tables"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
