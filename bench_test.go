@@ -92,6 +92,27 @@ func BenchmarkE2_IVMRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkE2_BatchSize sweeps the vectorized executor's batch size over
+// the E2 refresh loop (PRAGMA batch_size), exposing the chunk-size
+// trade-off the batch engine introduces.
+func BenchmarkE2_BatchSize(b *testing.B) {
+	for _, bs := range []int{16, 128, 1024, 8192} {
+		b.Run(fmt.Sprintf("bs%d", bs), func(b *testing.B) {
+			const rows, groups = 20000, 256
+			db := loadGroups(b, rows, groups, fmt.Sprintf("PRAGMA batch_size = %d", bs))
+			mustExecB(b, db, listing1View)
+			w := workload.Groups{Rows: rows, NumGroups: groups}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mustExecB(b, db, w.InsertBatch(500, int64(i)))
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+		})
+	}
+}
+
 func BenchmarkE2_Recompute(b *testing.B) {
 	const rows, groups = 20000, 256
 	db := loadGroups(b, rows, groups)

@@ -1,0 +1,3 @@
+module openivm
+
+go 1.22

@@ -353,6 +353,33 @@ func (t *Table) Insert(row sqltypes.Row) error {
 	return nil
 }
 
+// InsertBatch appends rows under a single lock acquisition — the batched
+// DML path. Semantics match calling Insert per row: on the first failing
+// row it stops and returns the error, leaving earlier rows inserted. The
+// returned count says how many rows landed, so callers can undo-log the
+// prefix even on failure.
+func (t *Table) InsertBatch(rows []sqltypes.Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, row := range rows {
+		r, err := t.validate(row)
+		if err != nil {
+			return i, err
+		}
+		if t.pkIndex != nil {
+			key := t.pkKey(r)
+			if _, ok := t.pkIndex.Get(key); ok {
+				return i, fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+			}
+			t.pkIndex.Put(key, len(t.rows))
+		}
+		t.insertIndexedLocked(r, len(t.rows))
+		t.rows = append(t.rows, r)
+		t.live++
+	}
+	return len(rows), nil
+}
+
 // Upsert inserts, or replaces the existing row with the same primary key
 // (DuckDB INSERT OR REPLACE). The table must have a primary key.
 func (t *Table) Upsert(row sqltypes.Row) error {
@@ -507,11 +534,13 @@ func (t *Table) Update(pred func(sqltypes.Row) (bool, error), set func(sqltypes.
 	return old, new, nil
 }
 
-// Truncate removes all rows.
+// Truncate removes all rows. The backing array is released rather than
+// reused so snapshots handed out earlier never observe post-truncate
+// writes.
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = t.rows[:0]
+	t.rows = nil
 	t.live = 0
 	if t.pkIndex != nil {
 		t.pkIndex = art.New()

@@ -71,6 +71,40 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 		return row, nil
 	}
 
+	// Plain INSERT: build all rows first, then append under one table
+	// lock — the batched DML path IVM delta application runs on.
+	if !st.OrReplace && st.Conflict == nil {
+		rows := make([]sqltypes.Row, len(srcRows))
+		for i, src := range srcRows {
+			row, err := buildRow(src)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = row
+		}
+		n, insErr := tbl.InsertBatch(rows)
+		if db.txn != nil && n > 0 {
+			// Undo-log the inserted prefix even when a later row failed, so
+			// ROLLBACK removes it (matching the old per-row Insert path).
+			prefix := rows[:n]
+			db.logUndo(func() error {
+				for _, r := range prefix {
+					if err := undoInsert(tbl, r); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if insErr != nil {
+			return nil, insErr
+		}
+		if err := db.fire(st.Table, TrigInsert, nil, rows); err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: len(rows)}, nil
+	}
+
 	var inserted, replacedOld, replacedNew []sqltypes.Row
 	for _, src := range srcRows {
 		row, err := buildRow(src)
@@ -86,13 +120,17 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 			if existed {
 				replacedOld = append(replacedOld, old)
 				replacedNew = append(replacedNew, row)
-				db.logUndo(func() error { return tbl.Upsert(old) })
+				if db.txn != nil {
+					db.logUndo(func() error { return tbl.Upsert(old) })
+				}
 			} else {
 				inserted = append(inserted, row)
-				db.logUndo(func() error {
-					_, derr := tbl.Delete(matchPK(tbl, row))
-					return derr
-				})
+				if db.txn != nil {
+					db.logUndo(func() error {
+						_, derr := tbl.Delete(matchPK(tbl, row))
+						return derr
+					})
+				}
 			}
 		case st.Conflict != nil:
 			old, existed := lookupByPK(tbl, row)
@@ -120,13 +158,6 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 					return derr
 				})
 			}
-		default:
-			if err := tbl.Insert(row); err != nil {
-				return nil, err
-			}
-			inserted = append(inserted, row)
-			r := row
-			db.logUndo(func() error { return undoInsert(tbl, r) })
 		}
 	}
 
@@ -262,6 +293,9 @@ func (db *DB) execUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		return nil, err
 	}
 	for i := range old {
+		if db.txn == nil {
+			break // undo closures are only needed inside a transaction
+		}
 		o, n := old[i], new_[i]
 		db.logUndo(func() error {
 			// Restore exactly one matching row (duplicates must each be
@@ -291,27 +325,47 @@ func (db *DB) execDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 			return nil, err
 		}
 	}
-	deleted, err := tbl.Delete(func(r sqltypes.Row) (bool, error) {
-		if pred == nil {
-			return true, nil
+	var deleted []sqltypes.Row
+	affected := 0
+	if pred == nil {
+		// Unfiltered DELETE clears the whole table in one shot instead of
+		// tombstoning row by row (IVM truncates its delta tables on every
+		// refresh). The row snapshot is only taken when undo or a trigger
+		// will actually consume it — the IVM truncation path runs with
+		// triggers suppressed and no transaction, so it skips the copy.
+		affected = tbl.RowCount()
+		if db.txn != nil || db.wantsTriggerRows(st.Table, TrigDelete) {
+			deleted = tbl.Rows()
 		}
-		v, err := pred.Eval(r)
+		tbl.Truncate()
+	} else {
+		deleted, err = tbl.Delete(func(r sqltypes.Row) (bool, error) {
+			v, err := pred.Eval(r)
+			if err != nil {
+				return false, err
+			}
+			return v.IsTrue(), nil
+		})
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		return v.IsTrue(), nil
-	})
-	if err != nil {
-		return nil, err
+		affected = len(deleted)
 	}
-	for _, d := range deleted {
-		r := d
-		db.logUndo(func() error { return tbl.Insert(r) })
+	if db.txn != nil {
+		rows := deleted
+		db.logUndo(func() error {
+			for _, r := range rows {
+				if err := tbl.Insert(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
 	if err := db.fire(st.Table, TrigDelete, deleted, nil); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: len(deleted)}, nil
+	return &Result{RowsAffected: affected}, nil
 }
 
 func (db *DB) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {

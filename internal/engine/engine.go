@@ -15,6 +15,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -135,6 +136,28 @@ func (db *DB) SetPragma(name, value string) {
 	db.pragmas[strings.ToLower(name)] = value
 }
 
+// setPragmaChecked validates engine-owned pragmas before storing them.
+func (db *DB) setPragmaChecked(name, value string) error {
+	if strings.EqualFold(name, "batch_size") {
+		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n <= 0 {
+			return fmt.Errorf("engine: PRAGMA batch_size requires a positive integer, got %q", value)
+		}
+	}
+	db.SetPragma(name, value)
+	return nil
+}
+
+// batchSize returns the execution batch size selected by PRAGMA
+// batch_size (0 when unset, meaning the executor default).
+func (db *DB) batchSize() int {
+	if s := db.Pragma("batch_size"); s != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
 // RegisterFallbackParser appends a parser tried when the main parse fails.
 func (db *DB) RegisterFallbackParser(p FallbackParser) { db.fallbacks = append(db.fallbacks, p) }
 
@@ -164,6 +187,21 @@ func (db *DB) WithoutTriggers(fn func() error) error {
 	db.triggersOff = true
 	defer func() { db.triggersOff = false }()
 	return fn()
+}
+
+// wantsTriggerRows reports whether any trigger would currently fire for
+// the event — i.e. whether DML must snapshot affected rows it otherwise
+// would not need.
+func (db *DB) wantsTriggerRows(table string, ev TriggerEvent) bool {
+	if db.triggersOff {
+		return false
+	}
+	for _, tr := range db.triggers[strings.ToLower(table)] {
+		if tr.events[ev] {
+			return true
+		}
+	}
+	return false
 }
 
 func (db *DB) fire(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
@@ -211,6 +249,41 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 		// Retry statement-by-statement so fallback parsers get a chance.
 		return db.execScriptWithFallback(sql)
 	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := db.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// PrepareScript parses a script into its statements once, consulting
+// fallback parsers per statement when the main parser rejects the whole
+// script. Hot paths (IVM propagation re-runs the same generated script on
+// every refresh) cache the result and execute via ExecStmts, skipping the
+// per-refresh parse.
+func (db *DB) PrepareScript(sql string) ([]sqlparser.Statement, error) {
+	if stmts, err := sqlparser.ParseScript(sql); err == nil {
+		return stmts, nil
+	}
+	var out []sqlparser.Statement
+	for _, piece := range SplitStatements(sql) {
+		st, err := db.Parse(piece)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// ExecStmts executes pre-parsed statements in order, returning the last
+// result. Statements are bound and planned fresh on every call, so a
+// prepared script observes current table contents like re-parsed SQL.
+func (db *DB) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
 	var last *Result
 	for _, st := range stmts {
 		r, err := db.ExecStmt(st)
@@ -328,7 +401,9 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	case *sqlparser.RollbackStmt:
 		return db.execRollback()
 	case *sqlparser.PragmaStmt:
-		db.SetPragma(st.Name, st.Value)
+		if err := db.setPragmaChecked(st.Name, st.Value); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	case *sqlparser.ExplainStmt:
 		return db.execExplain(st)
@@ -375,13 +450,19 @@ func (db *DB) newBinder() *plan.Binder {
 }
 
 // PlanSelect binds and optimizes a SELECT, returning the logical plan.
-// Exposed for the IVM compiler, which rewrites view plans.
+// Exposed for the IVM compiler, which rewrites view plans. When PRAGMA
+// batch_size is set, the root is wrapped in a plan.Hint so the executor
+// runs the whole tree at the requested batch size.
 func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 	n, err := db.newBinder().BindSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return optimizer.Optimize(n), nil
+	n = optimizer.Optimize(n)
+	if bs := db.batchSize(); bs > 0 {
+		n = &plan.Hint{Input: n, BatchSize: bs}
+	}
+	return n, nil
 }
 
 func (db *DB) execSelect(sel *sqlparser.SelectStmt) (*Result, error) {

@@ -1,670 +1,267 @@
-// Package exec implements the physical execution of logical plans: a
-// volcano-style (iterator) interpreter with hash aggregation, hash joins
-// with outer-join support, sorting, set operations and distinct. It is the
-// execution engine underneath the embedded database in internal/engine.
+// Package exec implements the physical execution of logical plans with a
+// vectorized (batch-at-a-time) engine: operators exchange Batches of ~1024
+// rows through the BatchIterator interface instead of single rows, so the
+// per-row interpretation overhead of the classic Volcano model is amortized
+// across a chunk — the same architectural move DuckDB (the engine OpenIVM
+// compiles into) makes.
+//
+// # Execution model
+//
+// Open/OpenBatch build an operator tree over a plan.Node. Each call to
+// NextBatch returns a non-empty *Batch or nil at end of stream. A batch is
+// owned by its producer and recycled on the next NextBatch call: consumers
+// may truncate or reorder the batch's row slice in place (filters compact
+// batches this way) but must not retain it across calls. The rows inside a
+// batch, however, are durable — producers never reuse row memory — so
+// materializing operators (Run, sorts, joins) keep row references without
+// cloning.
+//
+// Operators that create new rows (project, aggregate output, join output)
+// carve them out of batch-sized value slabs (see valueSlab): two
+// allocations per batch instead of two per row.
+//
+// # Allocation-free hash paths
+//
+// Hash aggregation, hash join, distinct and the set operations key their
+// tables through a reusable []byte scratch buffer
+// (sqltypes.EncodeKey(buf[:0], ...)) and look up via the map[string(buf)]
+// idiom the compiler optimizes to a no-copy access; a key string is
+// allocated only when a new entry is inserted. Seen-sets are
+// map[string]struct{}. Hash tables are pre-sized from plan cardinality
+// hints (plan.EstimateRows).
+//
+// # Row-at-a-time compatibility
+//
+// The Iterator interface remains for callers that want single rows; Open
+// returns a thin adapter draining the batch tree one row at a time.
+// NewRowIterator and NewBatchIterator convert between the two models.
 package exec
 
 import (
 	"fmt"
-	"sort"
 
-	"openivm/internal/expr"
 	"openivm/internal/plan"
-	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
 )
+
+// DefaultBatchSize is the target number of rows per batch when no
+// batch-size hint is present (PRAGMA batch_size overrides it per query).
+const DefaultBatchSize = 1024
+
+// Batch is a reusable chunk of rows exchanged between batch operators.
+// The slice header is recycled by its producer on the next NextBatch call;
+// the rows it references are immutable and durable.
+type Batch struct {
+	Rows []sqltypes.Row
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// reset clears the batch for refilling, keeping capacity.
+func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+
+// BatchIterator produces batches of rows. NextBatch returns nil at end of
+// stream and never returns a non-nil empty batch.
+type BatchIterator interface {
+	NextBatch() (*Batch, error)
+}
 
 // Iterator produces rows one at a time. Next returns ok=false at end.
 type Iterator interface {
 	Next() (row sqltypes.Row, ok bool, err error)
 }
 
+// Options tunes execution.
+type Options struct {
+	// BatchSize is the target rows-per-batch (0 = DefaultBatchSize). A
+	// *plan.Hint node in the plan overrides it for its subtree.
+	BatchSize int
+}
+
 // Run materializes all rows produced by the plan.
 func Run(n plan.Node) ([]sqltypes.Row, error) {
-	it, err := Open(n)
+	return RunOpts(n, Options{})
+}
+
+// RunOpts is Run with explicit execution options.
+func RunOpts(n plan.Node, opts Options) ([]sqltypes.Row, error) {
+	it, err := OpenBatch(n, opts)
 	if err != nil {
 		return nil, err
 	}
 	var out []sqltypes.Row
 	for {
-		r, ok, err := it.Next()
+		b, err := it.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if b == nil {
 			return out, nil
 		}
-		out = append(out, r)
+		out = append(out, b.Rows...)
 	}
 }
 
-// Open builds an iterator tree for the plan.
+// Open builds a row-at-a-time iterator tree for the plan (a thin adapter
+// over the batch engine, kept for engine/ivmext/htap call sites).
 func Open(n plan.Node) (Iterator, error) {
+	bi, err := OpenBatch(n, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return NewRowIterator(bi), nil
+}
+
+// OpenBatch builds a batch-iterator tree for the plan.
+func OpenBatch(n plan.Node, opts Options) (BatchIterator, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	return openBatch(n, opts)
+}
+
+func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 	switch x := n.(type) {
+	case *plan.Hint:
+		if x.BatchSize > 0 {
+			opts.BatchSize = x.BatchSize
+		}
+		return openBatch(x.Input, opts)
 	case *plan.Scan:
-		return newScanIter(x), nil
+		return newBatchScan(x, opts), nil
 	case *plan.Values:
-		return &valuesIter{node: x}, nil
+		return newBatchValues(x, opts), nil
 	case *plan.Filter:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{in: in, pred: x.Pred}, nil
+		return &batchFilter{in: in, pred: x.Pred}, nil
 	case *plan.Project:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &projectIter{in: in, exprs: x.Exprs}, nil
+		return newBatchProject(in, x, opts), nil
 	case *plan.Aggregate:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &aggIter{in: in, node: x}, nil
+		return newBatchAgg(in, x, opts), nil
 	case *plan.Join:
-		return newJoinIter(x)
+		return newBatchJoin(x, opts)
 	case *plan.Distinct:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &distinctIter{in: in, seen: map[string]bool{}}, nil
+		return &batchDistinct{in: in, set: newRowKeySet(plan.EstimateRows(x.Input))}, nil
 	case *plan.Sort:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{in: in, keys: x.Keys}, nil
+		return &batchSort{in: in, keys: x.Keys, size: opts.BatchSize}, nil
 	case *plan.Limit:
-		in, err := Open(x.Input)
+		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &limitIter{in: in, limit: x.Limit, offset: x.Offset}, nil
+		return &batchLimit{in: in, limit: x.Limit, offset: x.Offset}, nil
 	case *plan.SetOp:
-		return newSetOpIter(x)
+		return newBatchSetOp(x, opts)
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 }
 
-// --- scan ---
+// --- Iterator <-> BatchIterator adapters ---
 
-type scanIter struct {
-	rows []sqltypes.Row
-	pos  int
-	node *plan.Scan
+// NewRowIterator adapts a batch iterator to the row-at-a-time Iterator
+// interface.
+func NewRowIterator(in BatchIterator) Iterator {
+	return &rowIter{in: in}
 }
 
-func newScanIter(s *plan.Scan) *scanIter {
-	return &scanIter{rows: s.Table.Rows(), node: s}
+type rowIter struct {
+	in  BatchIterator
+	cur *Batch
+	pos int
 }
 
-func (it *scanIter) Next() (sqltypes.Row, bool, error) {
-	for it.pos < len(it.rows) {
-		r := it.rows[it.pos]
-		it.pos++
-		if it.node.Filter != nil {
-			v, err := it.node.Filter.Eval(r)
-			if err != nil {
-				return nil, false, err
-			}
-			if !v.IsTrue() {
-				continue
-			}
-		}
-		if it.node.Projection != nil {
-			out := make(sqltypes.Row, len(it.node.Projection))
-			for i, p := range it.node.Projection {
-				out[i] = r[p]
-			}
-			return out, true, nil
-		}
-		return r, true, nil
-	}
-	return nil, false, nil
-}
-
-// --- values ---
-
-type valuesIter struct {
-	node *plan.Values
-	pos  int
-}
-
-func (it *valuesIter) Next() (sqltypes.Row, bool, error) {
-	if it.pos >= len(it.node.Rows) {
-		return nil, false, nil
-	}
-	exprs := it.node.Rows[it.pos]
-	it.pos++
-	row := make(sqltypes.Row, len(exprs))
-	for i, e := range exprs {
-		v, err := e.Eval(nil)
+func (it *rowIter) Next() (sqltypes.Row, bool, error) {
+	for it.cur == nil || it.pos >= len(it.cur.Rows) {
+		b, err := it.in.NextBatch()
 		if err != nil {
 			return nil, false, err
 		}
-		row[i] = v
+		if b == nil {
+			return nil, false, nil
+		}
+		it.cur, it.pos = b, 0
 	}
-	return row, true, nil
-}
-
-// --- filter ---
-
-type filterIter struct {
-	in   Iterator
-	pred expr.Expr
-}
-
-func (it *filterIter) Next() (sqltypes.Row, bool, error) {
-	for {
-		r, ok, err := it.in.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		v, err := it.pred.Eval(r)
-		if err != nil {
-			return nil, false, err
-		}
-		if v.IsTrue() {
-			return r, true, nil
-		}
-	}
-}
-
-// --- project ---
-
-type projectIter struct {
-	in    Iterator
-	exprs []expr.Expr
-}
-
-func (it *projectIter) Next() (sqltypes.Row, bool, error) {
-	r, ok, err := it.in.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	out := make(sqltypes.Row, len(it.exprs))
-	for i, e := range it.exprs {
-		v, err := e.Eval(r)
-		if err != nil {
-			return nil, false, err
-		}
-		out[i] = v
-	}
-	return out, true, nil
-}
-
-// --- hash aggregate ---
-
-type aggIter struct {
-	in   Iterator
-	node *plan.Aggregate
-
-	built  bool
-	groups []sqltypes.Row
-	pos    int
-}
-
-func (it *aggIter) build() error {
-	type groupState struct {
-		keyVals sqltypes.Row
-		states  []expr.AggState
-	}
-	table := map[string]*groupState{}
-	var order []string // deterministic output: first-seen order
-
-	for {
-		r, ok, err := it.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		keyVals := make(sqltypes.Row, len(it.node.GroupBy))
-		for i, g := range it.node.GroupBy {
-			v, err := g.Eval(r)
-			if err != nil {
-				return err
-			}
-			keyVals[i] = v
-		}
-		key := sqltypes.KeyString(keyVals...)
-		gs, ok := table[key]
-		if !ok {
-			gs = &groupState{keyVals: keyVals}
-			for _, a := range it.node.Aggs {
-				gs.states = append(gs.states, a.NewState())
-			}
-			table[key] = gs
-			order = append(order, key)
-		}
-		for _, st := range gs.states {
-			if err := st.Add(r); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Global aggregate with no groups and no input: one row of defaults.
-	if len(it.node.GroupBy) == 0 && len(order) == 0 {
-		row := make(sqltypes.Row, len(it.node.Aggs))
-		for i, a := range it.node.Aggs {
-			row[i] = a.NewState().Result()
-		}
-		it.groups = append(it.groups, row)
-		return nil
-	}
-
-	for _, key := range order {
-		gs := table[key]
-		row := make(sqltypes.Row, 0, len(gs.keyVals)+len(gs.states))
-		row = append(row, gs.keyVals...)
-		for _, st := range gs.states {
-			row = append(row, st.Result())
-		}
-		it.groups = append(it.groups, row)
-	}
-	return nil
-}
-
-func (it *aggIter) Next() (sqltypes.Row, bool, error) {
-	if !it.built {
-		if err := it.build(); err != nil {
-			return nil, false, err
-		}
-		it.built = true
-	}
-	if it.pos >= len(it.groups) {
-		return nil, false, nil
-	}
-	r := it.groups[it.pos]
+	r := it.cur.Rows[it.pos]
 	it.pos++
 	return r, true, nil
 }
 
-// --- join ---
-
-type joinIter struct {
-	node *plan.Join
-
-	leftRows  []sqltypes.Row
-	rightRows []sqltypes.Row
-	// hash table over right rows when equi keys exist
-	hash map[string][]int
-
-	leftWidth  int
-	rightWidth int
-
-	// iteration state
-	li           int
-	pending      []sqltypes.Row // output buffer
-	rightMatched []bool         // for RIGHT/FULL
-	emittedTail  bool
+// NewBatchIterator adapts a row-at-a-time Iterator to the batch interface,
+// accumulating up to size rows per batch (0 = DefaultBatchSize). The rows
+// produced by the source must be durable (not reused across Next calls).
+func NewBatchIterator(in Iterator, size int) BatchIterator {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &batchAdapter{in: in, size: size}
 }
 
-func newJoinIter(j *plan.Join) (Iterator, error) {
-	li, err := Open(j.Left)
-	if err != nil {
-		return nil, err
+type batchAdapter struct {
+	in   Iterator
+	size int
+	out  Batch
+	done bool
+}
+
+func (it *batchAdapter) NextBatch() (*Batch, error) {
+	if it.done {
+		return nil, nil
 	}
-	ri, err := Open(j.Right)
-	if err != nil {
-		return nil, err
-	}
-	it := &joinIter{node: j,
-		leftWidth:  len(j.Left.Schema()),
-		rightWidth: len(j.Right.Schema()),
-	}
-	for {
-		r, ok, err := li.Next()
+	it.out.reset()
+	for len(it.out.Rows) < it.size {
+		r, ok, err := it.in.Next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
+			it.done = true
 			break
 		}
-		it.leftRows = append(it.leftRows, r)
+		it.out.Rows = append(it.out.Rows, r)
+	}
+	if len(it.out.Rows) == 0 {
+		return nil, nil
+	}
+	return &it.out, nil
+}
+
+// drain materializes every row of a batch subtree (build sides, sorts).
+// The size hint comes from plan.EstimateRows and is capped like the hash
+// tables' pre-sizing: estimates can be wildly high (cross joins saturate),
+// and a huge up-front allocation must never precede the actual rows.
+func drain(in BatchIterator, sizeHint int) ([]sqltypes.Row, error) {
+	var out []sqltypes.Row
+	if sizeHint > 0 {
+		out = make([]sqltypes.Row, 0, presize(sizeHint))
 	}
 	for {
-		r, ok, err := ri.Next()
+		b, err := in.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			break
+		if b == nil {
+			return out, nil
 		}
-		it.rightRows = append(it.rightRows, r)
+		out = append(out, b.Rows...)
 	}
-	if len(j.EquiLeft) > 0 {
-		it.hash = make(map[string][]int, len(it.rightRows))
-		keyBuf := make(sqltypes.Row, len(j.EquiRight))
-		for i, r := range it.rightRows {
-			for k, p := range j.EquiRight {
-				keyBuf[k] = r[p]
-			}
-			// SQL equality: NULL keys never match; skip NULL-keyed build rows
-			// for inner/left, but they still need tail emission for
-			// right/full, handled via rightMatched.
-			key := sqltypes.KeyString(keyBuf...)
-			it.hash[key] = append(it.hash[key], i)
-		}
-	}
-	it.rightMatched = make([]bool, len(it.rightRows))
-	return it, nil
-}
-
-func hasNullKey(r sqltypes.Row, cols []int) bool {
-	for _, c := range cols {
-		if r[c].IsNull() {
-			return true
-		}
-	}
-	return false
-}
-
-func (it *joinIter) combine(l, r sqltypes.Row) sqltypes.Row {
-	out := make(sqltypes.Row, 0, it.leftWidth+it.rightWidth)
-	if l == nil {
-		l = make(sqltypes.Row, it.leftWidth) // zero Values are NULL
-	}
-	if r == nil {
-		r = make(sqltypes.Row, it.rightWidth)
-	}
-	out = append(out, l...)
-	out = append(out, r...)
-	return out
-}
-
-func (it *joinIter) matchRight(l sqltypes.Row) ([]int, error) {
-	if it.hash != nil {
-		if hasNullKey(l, it.node.EquiLeft) {
-			return nil, nil
-		}
-		keyBuf := make(sqltypes.Row, len(it.node.EquiLeft))
-		for k, p := range it.node.EquiLeft {
-			keyBuf[k] = l[p]
-		}
-		return it.hash[sqltypes.KeyString(keyBuf...)], nil
-	}
-	// No equi keys: all right rows are candidates (cross/theta join).
-	idxs := make([]int, len(it.rightRows))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	return idxs, nil
-}
-
-func (it *joinIter) Next() (sqltypes.Row, bool, error) {
-	for {
-		if len(it.pending) > 0 {
-			r := it.pending[0]
-			it.pending = it.pending[1:]
-			return r, true, nil
-		}
-		if it.li < len(it.leftRows) {
-			l := it.leftRows[it.li]
-			it.li++
-			cand, err := it.matchRight(l)
-			if err != nil {
-				return nil, false, err
-			}
-			matched := false
-			for _, ri := range cand {
-				r := it.rightRows[ri]
-				// Equi keys matched via hash; check NULL keys for safety in
-				// the no-hash (theta) path plus residual predicate.
-				if it.hash == nil && len(it.node.EquiLeft) > 0 {
-					eq := true
-					for k := range it.node.EquiLeft {
-						c, ok := sqltypes.CompareSQL(l[it.node.EquiLeft[k]], r[it.node.EquiRight[k]])
-						if !ok || c != 0 {
-							eq = false
-							break
-						}
-					}
-					if !eq {
-						continue
-					}
-				}
-				combined := it.combine(l, r)
-				if it.node.On != nil {
-					v, err := it.node.On.Eval(combined)
-					if err != nil {
-						return nil, false, err
-					}
-					if !v.IsTrue() {
-						continue
-					}
-				}
-				matched = true
-				it.rightMatched[ri] = true
-				it.pending = append(it.pending, combined)
-			}
-			if !matched && (it.node.Kind == sqlparser.JoinLeft || it.node.Kind == sqlparser.JoinFull) {
-				it.pending = append(it.pending, it.combine(l, nil))
-			}
-			continue
-		}
-		// Tail: unmatched right rows for RIGHT/FULL.
-		if !it.emittedTail {
-			it.emittedTail = true
-			if it.node.Kind == sqlparser.JoinRight || it.node.Kind == sqlparser.JoinFull {
-				for ri, m := range it.rightMatched {
-					if !m {
-						it.pending = append(it.pending, it.combine(nil, it.rightRows[ri]))
-					}
-				}
-			}
-			continue
-		}
-		return nil, false, nil
-	}
-}
-
-// --- distinct ---
-
-type distinctIter struct {
-	in   Iterator
-	seen map[string]bool
-}
-
-func (it *distinctIter) Next() (sqltypes.Row, bool, error) {
-	for {
-		r, ok, err := it.in.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		key := sqltypes.KeyString(r...)
-		if it.seen[key] {
-			continue
-		}
-		it.seen[key] = true
-		return r, true, nil
-	}
-}
-
-// --- sort ---
-
-type sortIter struct {
-	in   Iterator
-	keys []plan.SortKey
-
-	built bool
-	rows  []sqltypes.Row
-	pos   int
-}
-
-func (it *sortIter) Next() (sqltypes.Row, bool, error) {
-	if !it.built {
-		for {
-			r, ok, err := it.in.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				break
-			}
-			it.rows = append(it.rows, r)
-		}
-		var sortErr error
-		// Precompute key tuples to avoid re-evaluating during comparisons.
-		keyed := make([]sqltypes.Row, len(it.rows))
-		for i, r := range it.rows {
-			kr := make(sqltypes.Row, len(it.keys))
-			for k, sk := range it.keys {
-				v, err := sk.Expr.Eval(r)
-				if err != nil {
-					sortErr = err
-					break
-				}
-				kr[k] = v
-			}
-			keyed[i] = kr
-		}
-		if sortErr != nil {
-			return nil, false, sortErr
-		}
-		idx := make([]int, len(it.rows))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			ka, kb := keyed[idx[a]], keyed[idx[b]]
-			for k, sk := range it.keys {
-				c := sqltypes.Compare(ka[k], kb[k])
-				if c == 0 {
-					continue
-				}
-				if sk.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		sorted := make([]sqltypes.Row, len(it.rows))
-		for i, j := range idx {
-			sorted[i] = it.rows[j]
-		}
-		it.rows = sorted
-		it.built = true
-	}
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
-}
-
-// --- limit ---
-
-type limitIter struct {
-	in            Iterator
-	limit, offset int64
-	skipped       int64
-	emitted       int64
-}
-
-func (it *limitIter) Next() (sqltypes.Row, bool, error) {
-	for it.skipped < it.offset {
-		_, ok, err := it.in.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		it.skipped++
-	}
-	if it.limit >= 0 && it.emitted >= it.limit {
-		return nil, false, nil
-	}
-	r, ok, err := it.in.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	it.emitted++
-	return r, true, nil
-}
-
-// --- set operations ---
-
-type setOpIter struct {
-	rows []sqltypes.Row
-	pos  int
-}
-
-func newSetOpIter(s *plan.SetOp) (Iterator, error) {
-	left, err := Run(s.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := Run(s.Right)
-	if err != nil {
-		return nil, err
-	}
-	var rows []sqltypes.Row
-	switch s.Op {
-	case sqlparser.SetUnionAll:
-		rows = append(append(rows, left...), right...)
-	case sqlparser.SetUnion:
-		seen := map[string]bool{}
-		for _, r := range append(append([]sqltypes.Row{}, left...), right...) {
-			k := sqltypes.KeyString(r...)
-			if !seen[k] {
-				seen[k] = true
-				rows = append(rows, r)
-			}
-		}
-	case sqlparser.SetExcept, sqlparser.SetExceptAll:
-		counts := map[string]int{}
-		for _, r := range right {
-			counts[sqltypes.KeyString(r...)]++
-		}
-		if s.Op == sqlparser.SetExcept {
-			seen := map[string]bool{}
-			for _, r := range left {
-				k := sqltypes.KeyString(r...)
-				if counts[k] == 0 && !seen[k] {
-					seen[k] = true
-					rows = append(rows, r)
-				}
-			}
-		} else {
-			for _, r := range left {
-				k := sqltypes.KeyString(r...)
-				if counts[k] > 0 {
-					counts[k]--
-					continue
-				}
-				rows = append(rows, r)
-			}
-		}
-	case sqlparser.SetIntersect:
-		counts := map[string]int{}
-		for _, r := range right {
-			counts[sqltypes.KeyString(r...)]++
-		}
-		seen := map[string]bool{}
-		for _, r := range left {
-			k := sqltypes.KeyString(r...)
-			if counts[k] > 0 && !seen[k] {
-				seen[k] = true
-				rows = append(rows, r)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("exec: unsupported set operation")
-	}
-	return &setOpIter{rows: rows}, nil
-}
-
-func (it *setOpIter) Next() (sqltypes.Row, bool, error) {
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
 }

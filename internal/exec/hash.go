@@ -1,0 +1,549 @@
+package exec
+
+import (
+	"fmt"
+
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
+)
+
+// maxPresize caps hash-table pre-sizing from cardinality hints so a wild
+// estimate cannot allocate an absurd table up front.
+const maxPresize = 1 << 16
+
+func presize(hint int) int {
+	if hint < 0 {
+		return 0
+	}
+	if hint > maxPresize {
+		return maxPresize
+	}
+	return hint
+}
+
+// rowKeySet is a seen-set over encoded row keys. All lookups run through a
+// reusable scratch buffer; a key string is allocated only when a row is
+// first added. It is the one key-encoding helper shared by distinct,
+// UNION and INTERSECT (formerly three hand-rolled map[string] variants).
+type rowKeySet struct {
+	m   map[string]struct{}
+	buf []byte
+}
+
+func newRowKeySet(hint int) rowKeySet {
+	return rowKeySet{m: make(map[string]struct{}, presize(hint))}
+}
+
+// add inserts the row's key, reporting whether it was absent.
+func (s *rowKeySet) add(r sqltypes.Row) bool {
+	s.buf = sqltypes.EncodeKey(s.buf[:0], r...)
+	if _, ok := s.m[string(s.buf)]; ok {
+		return false
+	}
+	s.m[string(s.buf)] = struct{}{}
+	return true
+}
+
+// rowKeyCounter is a multiset over encoded row keys (EXCEPT/INTERSECT
+// bookkeeping). Counts are boxed so existing keys are updated without
+// re-materializing the key string.
+type rowKeyCounter struct {
+	m   map[string]*int
+	buf []byte
+}
+
+func newRowKeyCounter(hint int) rowKeyCounter {
+	return rowKeyCounter{m: make(map[string]*int, presize(hint))}
+}
+
+func (c *rowKeyCounter) add(r sqltypes.Row) {
+	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
+	if p, ok := c.m[string(c.buf)]; ok {
+		*p++
+		return
+	}
+	n := 1
+	c.m[string(c.buf)] = &n
+}
+
+func (c *rowKeyCounter) count(r sqltypes.Row) int {
+	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
+	if p, ok := c.m[string(c.buf)]; ok {
+		return *p
+	}
+	return 0
+}
+
+// take decrements the row's count if positive, reporting whether it did.
+func (c *rowKeyCounter) take(r sqltypes.Row) bool {
+	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
+	if p, ok := c.m[string(c.buf)]; ok && *p > 0 {
+		*p--
+		return true
+	}
+	return false
+}
+
+// --- hash aggregate ---
+
+type aggGroup struct {
+	keyVals sqltypes.Row
+	states  []expr.AggState
+}
+
+type batchAgg struct {
+	in   BatchIterator
+	node *plan.Aggregate
+	size int
+	est  int
+
+	built  bool
+	groups []*aggGroup // first-seen order (deterministic output)
+	pos    int
+	out    Batch
+	slab   valueSlab
+}
+
+func newBatchAgg(in BatchIterator, node *plan.Aggregate, opts Options) *batchAgg {
+	return &batchAgg{
+		in:   in,
+		node: node,
+		size: opts.BatchSize,
+		est:  plan.EstimateRows(node.Input),
+		slab: newValueSlab(len(node.GroupBy)+len(node.Aggs), opts.BatchSize),
+	}
+}
+
+func (it *batchAgg) build() error {
+	// Group count is bounded by input cardinality; assume moderate
+	// grouping when pre-sizing.
+	table := make(map[string]*aggGroup, presize(it.est/8))
+	keyScratch := make(sqltypes.Row, len(it.node.GroupBy))
+	var keyBuf []byte
+
+	for {
+		b, err := it.in.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, r := range b.Rows {
+			for i, g := range it.node.GroupBy {
+				v, err := g.Eval(r)
+				if err != nil {
+					return err
+				}
+				keyScratch[i] = v
+			}
+			keyBuf = sqltypes.EncodeKey(keyBuf[:0], keyScratch...)
+			gs := table[string(keyBuf)] // no-copy lookup
+			if gs == nil {
+				gs = &aggGroup{keyVals: keyScratch.Clone(), states: make([]expr.AggState, len(it.node.Aggs))}
+				for i, a := range it.node.Aggs {
+					gs.states[i] = a.NewState()
+				}
+				table[string(keyBuf)] = gs // key string allocated once per group
+				it.groups = append(it.groups, gs)
+			}
+			for _, st := range gs.states {
+				if err := st.Add(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Global aggregate with no groups and no input: one row of defaults.
+	if len(it.node.GroupBy) == 0 && len(it.groups) == 0 {
+		it.groups = append(it.groups, &aggGroup{states: make([]expr.AggState, 0)})
+		row := it.slab.newRow()
+		for i, a := range it.node.Aggs {
+			row[i] = a.NewState().Result()
+		}
+		it.groups[0].keyVals = row
+		it.groups[0].states = nil // pre-rendered row: emit keyVals as-is
+	}
+	return nil
+}
+
+func (it *batchAgg) NextBatch() (*Batch, error) {
+	if !it.built {
+		if err := it.build(); err != nil {
+			return nil, err
+		}
+		it.built = true
+	}
+	if it.pos >= len(it.groups) {
+		return nil, nil
+	}
+	it.out.reset()
+	for it.pos < len(it.groups) && len(it.out.Rows) < it.size {
+		gs := it.groups[it.pos]
+		it.pos++
+		if gs.states == nil {
+			// Pre-rendered default row (empty global aggregate).
+			it.out.Rows = append(it.out.Rows, gs.keyVals)
+			continue
+		}
+		row := it.slab.newRow()
+		n := copy(row, gs.keyVals)
+		for i, st := range gs.states {
+			row[n+i] = st.Result()
+		}
+		it.out.Rows = append(it.out.Rows, row)
+	}
+	return &it.out, nil
+}
+
+// --- hash join ---
+
+// joinBucket boxes the build-side row indexes for one key so appending to
+// an existing bucket never rewrites the map key.
+type joinBucket struct{ idxs []int }
+
+type batchJoin struct {
+	node *plan.Join
+	left BatchIterator
+	size int
+
+	rightRows    []sqltypes.Row
+	hash         map[string]*joinBucket // equi-key build table (nil = cross/theta)
+	allRight     []int                  // cached candidate list for cross/theta joins
+	keyBuf       []byte
+	keyScratch   sqltypes.Row
+	rightMatched []bool
+
+	leftWidth, rightWidth int
+
+	lb *Batch // current probe-side batch
+	li int
+
+	out  Batch
+	slab valueSlab
+
+	leftDone    bool
+	emittedTail bool
+}
+
+func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
+	ri, err := openBatch(j.Right, opts)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := drain(ri, plan.EstimateRows(j.Right))
+	if err != nil {
+		return nil, err
+	}
+	lw, rw := len(j.Left.Schema()), len(j.Right.Schema())
+	it := &batchJoin{
+		node:         j,
+		size:         opts.BatchSize,
+		rightRows:    rightRows,
+		rightMatched: make([]bool, len(rightRows)),
+		leftWidth:    lw,
+		rightWidth:   rw,
+		slab:         newValueSlab(lw+rw, opts.BatchSize),
+	}
+	// Empty build side: inner and right joins can produce no rows at all,
+	// so skip opening (and scanning) the probe side entirely. This is the
+	// common shape of IVM join-delta terms where one delta table is empty.
+	if len(rightRows) == 0 && (j.Kind == sqlparser.JoinInner || j.Kind == sqlparser.JoinRight) {
+		it.leftDone = true
+		it.emittedTail = true
+		return it, nil
+	}
+	it.left, err = openBatch(j.Left, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.EquiLeft) > 0 {
+		it.hash = make(map[string]*joinBucket, presize(len(rightRows)))
+		it.keyScratch = make(sqltypes.Row, len(j.EquiRight))
+		for i, r := range rightRows {
+			for k, p := range j.EquiRight {
+				it.keyScratch[k] = r[p]
+			}
+			it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
+			// SQL equality: NULL keys never match; they stay in the table
+			// only via rightMatched for RIGHT/FULL tail emission.
+			if b := it.hash[string(it.keyBuf)]; b != nil {
+				b.idxs = append(b.idxs, i)
+			} else {
+				it.hash[string(it.keyBuf)] = &joinBucket{idxs: []int{i}}
+			}
+		}
+	} else {
+		it.allRight = make([]int, len(rightRows))
+		for i := range it.allRight {
+			it.allRight[i] = i
+		}
+	}
+	return it, nil
+}
+
+// matchRight returns candidate build-row indexes for the probe row.
+func (it *batchJoin) matchRight(l sqltypes.Row) []int {
+	if it.hash != nil {
+		if hasNullKey(l, it.node.EquiLeft) {
+			return nil
+		}
+		for k, p := range it.node.EquiLeft {
+			it.keyScratch[k] = l[p]
+		}
+		it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
+		if b := it.hash[string(it.keyBuf)]; b != nil {
+			return b.idxs
+		}
+		return nil
+	}
+	return it.allRight
+}
+
+func hasNullKey(r sqltypes.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// emit appends the combined (l, r) row; nil sides pad with NULLs (slab
+// rows start zeroed, and zero Values are NULL).
+func (it *batchJoin) emit(l, r sqltypes.Row) {
+	out := it.slab.newRow()
+	if l != nil {
+		copy(out, l)
+	}
+	if r != nil {
+		copy(out[it.leftWidth:], r)
+	}
+	it.out.Rows = append(it.out.Rows, out)
+}
+
+// probe joins one left row against the build side, appending matches.
+func (it *batchJoin) probe(l sqltypes.Row) error {
+	matched := false
+	for _, ri := range it.matchRight(l) {
+		r := it.rightRows[ri]
+		// Equi keys matched via hash; re-check them in the no-hash
+		// (cross/theta) path, plus the residual predicate.
+		if it.hash == nil && len(it.node.EquiLeft) > 0 {
+			eq := true
+			for k := range it.node.EquiLeft {
+				c, ok := sqltypes.CompareSQL(l[it.node.EquiLeft[k]], r[it.node.EquiRight[k]])
+				if !ok || c != 0 {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+		}
+		if it.node.On != nil {
+			it.emit(l, r)
+			combined := it.out.Rows[len(it.out.Rows)-1]
+			v, err := it.node.On.Eval(combined)
+			if err != nil {
+				return err
+			}
+			if !v.IsTrue() {
+				// Residual rejected: retract the speculative row. The slab
+				// slot is abandoned (never reused), keeping emitted rows
+				// durable.
+				it.out.Rows = it.out.Rows[:len(it.out.Rows)-1]
+				continue
+			}
+		} else {
+			it.emit(l, r)
+		}
+		matched = true
+		it.rightMatched[ri] = true
+	}
+	if !matched && (it.node.Kind == sqlparser.JoinLeft || it.node.Kind == sqlparser.JoinFull) {
+		it.emit(l, nil)
+	}
+	return nil
+}
+
+func (it *batchJoin) NextBatch() (*Batch, error) {
+	it.out.reset()
+	for len(it.out.Rows) < it.size {
+		if it.lb != nil && it.li < len(it.lb.Rows) {
+			l := it.lb.Rows[it.li]
+			it.li++
+			if err := it.probe(l); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !it.leftDone {
+			b, err := it.left.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				it.leftDone = true
+				it.lb = nil
+				continue
+			}
+			it.lb, it.li = b, 0
+			continue
+		}
+		// Tail: unmatched build rows for RIGHT/FULL.
+		if !it.emittedTail {
+			it.emittedTail = true
+			if it.node.Kind == sqlparser.JoinRight || it.node.Kind == sqlparser.JoinFull {
+				for ri, m := range it.rightMatched {
+					if !m {
+						it.emit(nil, it.rightRows[ri])
+					}
+				}
+			}
+			continue
+		}
+		break
+	}
+	if len(it.out.Rows) == 0 {
+		return nil, nil
+	}
+	return &it.out, nil
+}
+
+// --- distinct ---
+
+type batchDistinct struct {
+	in  BatchIterator
+	set rowKeySet
+}
+
+func (it *batchDistinct) NextBatch() (*Batch, error) {
+	for {
+		b, err := it.in.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		kept := b.Rows[:0]
+		for _, r := range b.Rows {
+			if it.set.add(r) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) > 0 {
+			b.Rows = kept
+			return b, nil
+		}
+	}
+}
+
+// --- set operations ---
+
+// batchConcat streams its sources back to back (UNION ALL).
+type batchConcat struct {
+	srcs []BatchIterator
+	pos  int
+}
+
+func (it *batchConcat) NextBatch() (*Batch, error) {
+	for it.pos < len(it.srcs) {
+		b, err := it.srcs[it.pos].NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		it.pos++
+	}
+	return nil, nil
+}
+
+// batchKeep streams its input, keeping rows the keep func accepts (the
+// EXCEPT/INTERSECT left-side pass; state lives in the closure).
+type batchKeep struct {
+	in   BatchIterator
+	keep func(sqltypes.Row) bool
+}
+
+func (it *batchKeep) NextBatch() (*Batch, error) {
+	for {
+		b, err := it.in.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		kept := b.Rows[:0]
+		for _, r := range b.Rows {
+			if it.keep(r) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) > 0 {
+			b.Rows = kept
+			return b, nil
+		}
+	}
+}
+
+func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
+	left, err := openBatch(s.Left, opts)
+	if err != nil {
+		return nil, err
+	}
+	right, err := openBatch(s.Right, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Op {
+	case sqlparser.SetUnionAll:
+		return &batchConcat{srcs: []BatchIterator{left, right}}, nil
+	case sqlparser.SetUnion:
+		set := newRowKeySet(plan.EstimateRows(s.Left) + plan.EstimateRows(s.Right))
+		return &batchDistinct{in: &batchConcat{srcs: []BatchIterator{left, right}}, set: set}, nil
+	case sqlparser.SetExcept, sqlparser.SetExceptAll:
+		counts, err := drainCounts(right, plan.EstimateRows(s.Right))
+		if err != nil {
+			return nil, err
+		}
+		if s.Op == sqlparser.SetExcept {
+			seen := newRowKeySet(plan.EstimateRows(s.Left))
+			return &batchKeep{in: left, keep: func(r sqltypes.Row) bool {
+				return counts.count(r) == 0 && seen.add(r)
+			}}, nil
+		}
+		return &batchKeep{in: left, keep: func(r sqltypes.Row) bool {
+			return !counts.take(r)
+		}}, nil
+	case sqlparser.SetIntersect:
+		counts, err := drainCounts(right, plan.EstimateRows(s.Right))
+		if err != nil {
+			return nil, err
+		}
+		seen := newRowKeySet(plan.EstimateRows(s.Left))
+		return &batchKeep{in: left, keep: func(r sqltypes.Row) bool {
+			return counts.count(r) > 0 && seen.add(r)
+		}}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported set operation")
+}
+
+// drainCounts consumes a subtree into a key-count multiset.
+func drainCounts(in BatchIterator, hint int) (*rowKeyCounter, error) {
+	c := newRowKeyCounter(hint)
+	for {
+		b, err := in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return &c, nil
+		}
+		for _, r := range b.Rows {
+			c.add(r)
+		}
+	}
+}

@@ -133,7 +133,7 @@ func (a *Aggregate) NewState() AggState {
 		inner = &avgState{arg: a.Arg}
 	}
 	if a.Distinct {
-		return &distinctState{arg: a.Arg, inner: inner, seen: map[string]bool{}}
+		return &distinctState{arg: a.Arg, inner: inner, seen: map[string]struct{}{}}
 	}
 	return inner
 }
@@ -245,7 +245,8 @@ func (s *avgState) Result() sqltypes.Value {
 type distinctState struct {
 	arg   Expr
 	inner AggState
-	seen  map[string]bool
+	seen  map[string]struct{}
+	buf   []byte // reusable key scratch
 }
 
 func (s *distinctState) Add(row sqltypes.Row) error {
@@ -253,11 +254,11 @@ func (s *distinctState) Add(row sqltypes.Row) error {
 	if err != nil {
 		return err
 	}
-	key := sqltypes.KeyString(v)
-	if s.seen[key] {
+	s.buf = sqltypes.EncodeKey(s.buf[:0], v)
+	if _, ok := s.seen[string(s.buf)]; ok {
 		return nil
 	}
-	s.seen[key] = true
+	s.seen[string(s.buf)] = struct{}{}
 	return s.inner.Add(row)
 }
 

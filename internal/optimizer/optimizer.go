@@ -23,6 +23,8 @@ func Optimize(n plan.Node, extra ...Rule) plan.Node {
 // rule once (our rules are idempotent).
 func rewrite(n plan.Node, rules []Rule) plan.Node {
 	switch x := n.(type) {
+	case *plan.Hint:
+		x.Input = rewrite(x.Input, rules)
 	case *plan.Filter:
 		x.Input = rewrite(x.Input, rules)
 	case *plan.Project:
