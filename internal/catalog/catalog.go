@@ -38,6 +38,12 @@ type Table struct {
 	pkCols  []int
 	pkIndex *art.Tree
 
+	// Write-path scratch buffers, guarded by mu (exclusive lock): every
+	// writer serializes, so per-row key encoding reuses one buffer instead
+	// of allocating.
+	keyBuf  []byte
+	valsBuf []sqltypes.Value
+
 	// Secondary indexes by name.
 	indexes map[string]*Index
 }
@@ -305,20 +311,28 @@ func (t *Table) RowCount() int {
 	return t.live
 }
 
+// pkKey encodes row's primary-key values into the table's write-path
+// scratch buffer; callers must hold mu exclusively and must not retain the
+// result past the next pkKey call (the ART copies keys it stores).
 func (t *Table) pkKey(row sqltypes.Row) []byte {
-	vals := make([]sqltypes.Value, len(t.pkCols))
-	for i, p := range t.pkCols {
-		vals[i] = row[p]
+	t.valsBuf = t.valsBuf[:0]
+	for _, p := range t.pkCols {
+		t.valsBuf = append(t.valsBuf, row[p])
 	}
-	return sqltypes.EncodeKey(nil, vals...)
+	t.keyBuf = sqltypes.EncodeKey(t.keyBuf[:0], t.valsBuf...)
+	return t.keyBuf
 }
 
-// validate coerces the row to the column types and checks NOT NULL.
+// validate coerces the row to the column types and checks NOT NULL. The
+// input row is returned as-is when no value needs coercion (values are
+// immutable, so storage can alias the caller's row); a copy is made only
+// when a value actually changes.
 func (t *Table) validate(row sqltypes.Row) (sqltypes.Row, error) {
 	if len(row) != len(t.Columns) {
 		return nil, fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(row), len(t.Columns))
 	}
-	out := make(sqltypes.Row, len(row))
+	out := row
+	copied := false
 	for i, v := range row {
 		cv, err := sqltypes.CoerceToColumn(v, t.Columns[i].Type)
 		if err != nil {
@@ -327,7 +341,13 @@ func (t *Table) validate(row sqltypes.Row) (sqltypes.Row, error) {
 		if cv.IsNull() && t.Columns[i].NotNull {
 			return nil, fmt.Errorf("table %s: NOT NULL constraint on %s violated", t.Name, t.Columns[i].Name)
 		}
-		out[i] = cv
+		if cv != v && !copied {
+			out = row.Clone()
+			copied = true
+		}
+		if copied {
+			out[i] = cv
+		}
 	}
 	return out, nil
 }
@@ -515,7 +535,9 @@ func (t *Table) Update(pred func(sqltypes.Row) (bool, error), set func(sqltypes.
 			return old, new, serr
 		}
 		if t.pkIndex != nil {
-			oldKey := t.pkKey(r)
+			// pkKey reuses one scratch buffer; copy the old key before
+			// encoding the new one so the comparison sees both.
+			oldKey := append([]byte(nil), t.pkKey(r)...)
 			newKey := t.pkKey(nr)
 			if string(oldKey) != string(newKey) {
 				if _, exists := t.pkIndex.Get(newKey); exists {
@@ -587,9 +609,12 @@ func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	if t.pkIndex == nil {
 		return nil, false
 	}
+	// Stack buffer: readers run concurrently under RLock, so the shared
+	// write-path scratch is off limits here.
+	var buf [64]byte
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(nil, vals...))
+	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(buf[:0], vals...))
 	if !ok {
 		return nil, false
 	}

@@ -70,6 +70,7 @@ func newBatchScan(s *plan.Scan, opts Options) *batchScan {
 	return it
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchScan) NextBatch() (*Batch, error) {
 	it.out.reset()
 	for it.pos < len(it.rows) && len(it.out.Rows) < it.size {
@@ -113,6 +114,7 @@ func newBatchValues(v *plan.Values, opts Options) *batchValues {
 	return &batchValues{node: v, size: opts.BatchSize, slab: newValueSlab(len(v.Columns), opts.BatchSize)}
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchValues) NextBatch() (*Batch, error) {
 	it.out.reset()
 	for it.pos < len(it.node.Rows) && len(it.out.Rows) < it.size {
@@ -142,27 +144,29 @@ type batchFilter struct {
 	scratch []sqltypes.Value
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchFilter) NextBatch() (*Batch, error) {
 	for {
 		b, err := it.in.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		vals, err := expr.EvalBatch(it.pred, b.Rows, it.scratch[:0])
+		rows := b.RowView()
+		vals, err := expr.EvalBatch(it.pred, rows, it.scratch[:0])
 		if err != nil {
 			return nil, err
 		}
 		it.scratch = vals
 		// Compact the batch in place: the batch is ours until we pull the
 		// next one, and the rows themselves are untouched.
-		kept := b.Rows[:0]
-		for i, r := range b.Rows {
+		kept := rows[:0]
+		for i, r := range rows {
 			if vals[i].IsTrue() {
 				kept = append(kept, r)
 			}
 		}
 		if len(kept) > 0 {
-			b.Rows = kept
+			b.Rows, b.Cols = kept, nil
 			return b, nil
 		}
 	}
@@ -181,13 +185,14 @@ func newBatchProject(in BatchIterator, p *plan.Project, opts Options) *batchProj
 	return &batchProject{in: in, exprs: p.Exprs, slab: newValueSlab(len(p.Exprs), opts.BatchSize)}
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchProject) NextBatch() (*Batch, error) {
 	b, err := it.in.NextBatch()
 	if err != nil || b == nil {
 		return nil, err
 	}
 	it.out.reset()
-	for _, r := range b.Rows {
+	for _, r := range b.RowView() {
 		out := it.slab.newRow()
 		for i, e := range it.exprs {
 			v, err := e.Eval(r)
@@ -259,6 +264,7 @@ func (it *batchSort) build() error {
 	return nil
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchSort) NextBatch() (*Batch, error) {
 	if !it.built {
 		if err := it.build(); err != nil {
@@ -287,6 +293,7 @@ type batchLimit struct {
 	emitted       int64
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchLimit) NextBatch() (*Batch, error) {
 	for {
 		if it.limit >= 0 && it.emitted >= it.limit {
@@ -296,7 +303,7 @@ func (it *batchLimit) NextBatch() (*Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		rows := b.Rows
+		rows := b.RowView()
 		if it.skipped < it.offset {
 			skip := it.offset - it.skipped
 			if skip >= int64(len(rows)) {
@@ -316,7 +323,7 @@ func (it *batchLimit) NextBatch() (*Batch, error) {
 			continue
 		}
 		it.emitted += int64(len(rows))
-		b.Rows = rows
+		b.Rows, b.Cols = rows, nil
 		return b, nil
 	}
 }

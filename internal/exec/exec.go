@@ -20,6 +20,18 @@
 // carve them out of batch-sized value slabs (see valueSlab): two
 // allocations per batch instead of two per row.
 //
+// # Columnar fast path
+//
+// Scan→Filter→Project chains whose expressions compile to vector kernels
+// (expr.CompileKernel) are collapsed into a single fused operator
+// (fusedScan): referenced columns are loaded from row storage into typed
+// sqltypes.Vectors, predicates run as tight unboxed loops producing a
+// selection vector, and only surviving rows are gathered for the
+// projection — no intermediate batch is ever materialized. Fused batches
+// carry their payload as Batch.Cols; row-oriented consumers materialize
+// rows lazily through Batch.RowView. Pipelines the kernel compiler cannot
+// handle fall back to the classic operator chain with identical semantics.
+//
 // # Allocation-free hash paths
 //
 // Hash aggregation, hash join, distinct and the set operations key their
@@ -48,18 +60,69 @@ import (
 // batch-size hint is present (PRAGMA batch_size overrides it per query).
 const DefaultBatchSize = 1024
 
-// Batch is a reusable chunk of rows exchanged between batch operators.
-// The slice header is recycled by its producer on the next NextBatch call;
-// the rows it references are immutable and durable.
+// Batch is a reusable chunk of rows exchanged between batch operators. It
+// carries one of two payloads:
+//
+//   - row-major: Rows holds row references. The slice header is recycled by
+//     its producer on the next NextBatch call; the rows it references are
+//     immutable and durable.
+//   - columnar: Cols holds one typed vector per output column (produced by
+//     the fused scan pipeline). Row-oriented consumers call RowView, which
+//     materializes durable rows from the vectors on demand; columnar-aware
+//     consumers read the vectors directly and skip that cost.
+//
+// Either way the batch itself is owned by its producer and must not be
+// retained across NextBatch calls.
 type Batch struct {
 	Rows []sqltypes.Row
+
+	// Cols is the columnar payload (nil for row-major batches). The
+	// vectors are reused by the producer across batches.
+	Cols []*sqltypes.Vector
+
+	n    int        // row count when columnar
+	slab *valueSlab // materialization arena for RowView (set by producer)
 }
 
 // Len returns the number of rows in the batch.
-func (b *Batch) Len() int { return len(b.Rows) }
+func (b *Batch) Len() int {
+	if b.Cols != nil && len(b.Rows) == 0 {
+		return b.n
+	}
+	return len(b.Rows)
+}
+
+// setCols makes the batch columnar with n rows; slab is the arena RowView
+// materializes into (owned by the producer so rows stay durable).
+func (b *Batch) setCols(cols []*sqltypes.Vector, n int, slab *valueSlab) {
+	b.Rows = b.Rows[:0]
+	b.Cols, b.n, b.slab = cols, n, slab
+}
+
+// RowView returns the batch's rows, materializing them from the columnar
+// payload on first call. Materialized rows are carved from the producer's
+// value slab, so they are durable like any other batch rows: consumers may
+// retain them after the batch is recycled.
+func (b *Batch) RowView() []sqltypes.Row {
+	if b.Cols == nil || len(b.Rows) > 0 {
+		return b.Rows
+	}
+	for i := 0; i < b.n; i++ {
+		r := b.slab.newRow()
+		for j, c := range b.Cols {
+			r[j] = c.ValueAt(i)
+		}
+		b.Rows = append(b.Rows, r)
+	}
+	return b.Rows
+}
 
 // reset clears the batch for refilling, keeping capacity.
-func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+func (b *Batch) reset() {
+	b.Rows = b.Rows[:0]
+	b.Cols = nil
+	b.n = 0
+}
 
 // BatchIterator produces batches of rows. NextBatch returns nil at end of
 // stream and never returns a non-nil empty batch.
@@ -99,7 +162,7 @@ func RunOpts(n plan.Node, opts Options) ([]sqltypes.Row, error) {
 		if b == nil {
 			return out, nil
 		}
-		out = append(out, b.Rows...)
+		out = append(out, b.RowView()...)
 	}
 }
 
@@ -122,6 +185,15 @@ func OpenBatch(n plan.Node, opts Options) (BatchIterator, error) {
 }
 
 func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
+	// Fused fast path: collapse a Project?→Filter*→Scan chain into one
+	// columnar pass when every expression compiles to a vector kernel. On
+	// a partial match (say the projection is too rich but the filter is
+	// simple) the recursion below still fuses the inner sub-chain.
+	if scan, filters, proj, ok := plan.ScanPipeline(n); ok {
+		if it, compiled := newFusedScan(scan, filters, proj, opts); compiled {
+			return it, nil
+		}
+	}
 	switch x := n.(type) {
 	case *plan.Hint:
 		if x.BatchSize > 0 {
@@ -185,23 +257,29 @@ func NewRowIterator(in BatchIterator) Iterator {
 }
 
 type rowIter struct {
-	in  BatchIterator
-	cur *Batch
-	pos int
+	in   BatchIterator
+	rows []sqltypes.Row
+	pos  int
+	done bool
 }
 
+// Next implements Iterator.
 func (it *rowIter) Next() (sqltypes.Row, bool, error) {
-	for it.cur == nil || it.pos >= len(it.cur.Rows) {
+	for it.pos >= len(it.rows) {
+		if it.done {
+			return nil, false, nil
+		}
 		b, err := it.in.NextBatch()
 		if err != nil {
 			return nil, false, err
 		}
 		if b == nil {
+			it.done = true
 			return nil, false, nil
 		}
-		it.cur, it.pos = b, 0
+		it.rows, it.pos = b.RowView(), 0
 	}
-	r := it.cur.Rows[it.pos]
+	r := it.rows[it.pos]
 	it.pos++
 	return r, true, nil
 }
@@ -223,6 +301,7 @@ type batchAdapter struct {
 	done bool
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchAdapter) NextBatch() (*Batch, error) {
 	if it.done {
 		return nil, nil
@@ -262,6 +341,6 @@ func drain(in BatchIterator, sizeHint int) ([]sqltypes.Row, error) {
 		if b == nil {
 			return out, nil
 		}
-		out = append(out, b.Rows...)
+		out = append(out, b.RowView()...)
 	}
 }

@@ -88,40 +88,78 @@ func (c *rowKeyCounter) take(r sqltypes.Row) bool {
 
 // --- hash aggregate ---
 
-type aggGroup struct {
-	keyVals sqltypes.Row
-	states  []expr.AggState
+// statePool hands out accumulators for one aggregate in progressively
+// doubling blocks (expr.Aggregate.FillStates), so a grouped aggregate pays
+// O(1) allocations per block of groups instead of one per group.
+type statePool struct {
+	agg   *expr.Aggregate
+	block []expr.AggState
+	pos   int
+	next  int
 }
 
+func (p *statePool) get() expr.AggState {
+	if p.pos == len(p.block) {
+		if p.next == 0 {
+			p.next = 8
+		}
+		p.block = make([]expr.AggState, p.next)
+		p.agg.FillStates(p.block)
+		p.pos = 0
+		if p.next < 512 {
+			p.next *= 2
+		}
+	}
+	s := p.block[p.pos]
+	p.pos++
+	return s
+}
+
+// batchAgg is the hash aggregation operator. Groups live in index-addressed
+// flat arrays (group key rows from a value slab, accumulator states in one
+// flat slice, the hash table mapping encoded key -> group index), so the
+// per-group allocation cost is the map's key string plus amortized block
+// growth — nothing else.
 type batchAgg struct {
 	in   BatchIterator
 	node *plan.Aggregate
 	size int
 	est  int
 
-	built  bool
-	groups []*aggGroup // first-seen order (deterministic output)
-	pos    int
-	out    Batch
-	slab   valueSlab
+	built   bool
+	groups  []sqltypes.Row  // group key values, first-seen order
+	states  []expr.AggState // len(node.Aggs) accumulators per group, flat
+	pools   []statePool     // one per aggregate
+	keySlab valueSlab
+	defRow  sqltypes.Row // pre-rendered row for the empty global aggregate
+	pos     int
+	out     Batch
+	slab    valueSlab
 }
 
 func newBatchAgg(in BatchIterator, node *plan.Aggregate, opts Options) *batchAgg {
-	return &batchAgg{
-		in:   in,
-		node: node,
-		size: opts.BatchSize,
-		est:  plan.EstimateRows(node.Input),
-		slab: newValueSlab(len(node.GroupBy)+len(node.Aggs), opts.BatchSize),
+	it := &batchAgg{
+		in:      in,
+		node:    node,
+		size:    opts.BatchSize,
+		est:     plan.EstimateRows(node.Input),
+		keySlab: newValueSlab(len(node.GroupBy), opts.BatchSize),
+		slab:    newValueSlab(len(node.GroupBy)+len(node.Aggs), opts.BatchSize),
+		pools:   make([]statePool, len(node.Aggs)),
 	}
+	for i, a := range node.Aggs {
+		it.pools[i].agg = a
+	}
+	return it
 }
 
 func (it *batchAgg) build() error {
 	// Group count is bounded by input cardinality; assume moderate
 	// grouping when pre-sizing.
-	table := make(map[string]*aggGroup, presize(it.est/8))
+	table := make(map[string]int32, presize(it.est/8))
 	keyScratch := make(sqltypes.Row, len(it.node.GroupBy))
 	var keyBuf []byte
+	nAggs := len(it.node.Aggs)
 
 	for {
 		b, err := it.in.NextBatch()
@@ -131,7 +169,7 @@ func (it *batchAgg) build() error {
 		if b == nil {
 			break
 		}
-		for _, r := range b.Rows {
+		for _, r := range b.RowView() {
 			for i, g := range it.node.GroupBy {
 				v, err := g.Eval(r)
 				if err != nil {
@@ -140,16 +178,18 @@ func (it *batchAgg) build() error {
 				keyScratch[i] = v
 			}
 			keyBuf = sqltypes.EncodeKey(keyBuf[:0], keyScratch...)
-			gs := table[string(keyBuf)] // no-copy lookup
-			if gs == nil {
-				gs = &aggGroup{keyVals: keyScratch.Clone(), states: make([]expr.AggState, len(it.node.Aggs))}
-				for i, a := range it.node.Aggs {
-					gs.states[i] = a.NewState()
+			gi, ok := table[string(keyBuf)] // no-copy lookup
+			if !ok {
+				gi = int32(len(it.groups))
+				table[string(keyBuf)] = gi // key string allocated once per group
+				kv := it.keySlab.newRow()
+				copy(kv, keyScratch)
+				it.groups = append(it.groups, kv)
+				for i := range it.pools {
+					it.states = append(it.states, it.pools[i].get())
 				}
-				table[string(keyBuf)] = gs // key string allocated once per group
-				it.groups = append(it.groups, gs)
 			}
-			for _, st := range gs.states {
+			for _, st := range it.states[int(gi)*nAggs : int(gi)*nAggs+nAggs] {
 				if err := st.Add(r); err != nil {
 					return err
 				}
@@ -159,17 +199,16 @@ func (it *batchAgg) build() error {
 
 	// Global aggregate with no groups and no input: one row of defaults.
 	if len(it.node.GroupBy) == 0 && len(it.groups) == 0 {
-		it.groups = append(it.groups, &aggGroup{states: make([]expr.AggState, 0)})
 		row := it.slab.newRow()
 		for i, a := range it.node.Aggs {
 			row[i] = a.NewState().Result()
 		}
-		it.groups[0].keyVals = row
-		it.groups[0].states = nil // pre-rendered row: emit keyVals as-is
+		it.defRow = row
 	}
 	return nil
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchAgg) NextBatch() (*Batch, error) {
 	if !it.built {
 		if err := it.build(); err != nil {
@@ -177,23 +216,25 @@ func (it *batchAgg) NextBatch() (*Batch, error) {
 		}
 		it.built = true
 	}
+	if it.defRow != nil {
+		it.out.reset()
+		it.out.Rows = append(it.out.Rows, it.defRow)
+		it.defRow = nil
+		return &it.out, nil
+	}
 	if it.pos >= len(it.groups) {
 		return nil, nil
 	}
 	it.out.reset()
+	nAggs := len(it.node.Aggs)
 	for it.pos < len(it.groups) && len(it.out.Rows) < it.size {
-		gs := it.groups[it.pos]
-		it.pos++
-		if gs.states == nil {
-			// Pre-rendered default row (empty global aggregate).
-			it.out.Rows = append(it.out.Rows, gs.keyVals)
-			continue
-		}
+		kv := it.groups[it.pos]
 		row := it.slab.newRow()
-		n := copy(row, gs.keyVals)
-		for i, st := range gs.states {
+		n := copy(row, kv)
+		for i, st := range it.states[it.pos*nAggs : it.pos*nAggs+nAggs] {
 			row[n+i] = st.Result()
 		}
+		it.pos++
 		it.out.Rows = append(it.out.Rows, row)
 	}
 	return &it.out, nil
@@ -201,40 +242,72 @@ func (it *batchAgg) NextBatch() (*Batch, error) {
 
 // --- hash join ---
 
-// joinBucket boxes the build-side row indexes for one key so appending to
-// an existing bucket never rewrites the map key.
-type joinBucket struct{ idxs []int }
+// joinBucket holds the build-side row indexes for one key. The first index
+// is stored inline so the dominant foreign-key shape — exactly one build
+// row per key — costs no per-bucket slice allocation; duplicates spill
+// into rest.
+type joinBucket struct {
+	first int
+	rest  []int
+}
 
+// batchJoin is the hash-join operator. The build side is materialized into
+// a hash table keyed by the equi-join columns; the probe side streams
+// through it batch by batch. Which child becomes the build side is a
+// cost-based choice (plan.BuildOnLeft): the smaller estimated input is
+// built, the larger probed — the IVM delta-join terms build on a
+// handful-of-rows delta table while the base table streams.
 type batchJoin struct {
-	node *plan.Join
-	left BatchIterator
-	size int
+	node  *plan.Join
+	probe BatchIterator
+	size  int
 
-	rightRows    []sqltypes.Row
+	// buildLeft records which child was drained into the hash table; emit
+	// always produces left-then-right column order regardless.
+	buildLeft bool
+
+	buildRows    []sqltypes.Row
 	hash         map[string]*joinBucket // equi-key build table (nil = cross/theta)
-	allRight     []int                  // cached candidate list for cross/theta joins
+	buckets      []joinBucket           // bucket arena (cap fixed, pointers stable)
+	cand         []int                  // reusable candidate scratch
+	allBuild     []int                  // cached candidate list for cross/theta joins
 	keyBuf       []byte
 	keyScratch   sqltypes.Row
-	rightMatched []bool
+	buildMatched []bool
 
-	leftWidth, rightWidth int
+	// probePreserve/buildPreserve say whether unmatched rows of that side
+	// appear in the output padded with NULLs (LEFT/RIGHT/FULL semantics
+	// translated through the build-side choice).
+	probePreserve bool
+	buildPreserve bool
 
-	lb *Batch // current probe-side batch
-	li int
+	buildKeys, probeKeys []int // equi-key positions in each side's schema
+
+	leftWidth int
+
+	prows []sqltypes.Row // current probe-side batch (row view)
+	pi    int
 
 	out  Batch
 	slab valueSlab
 
-	leftDone    bool
+	probeDone   bool
 	emittedTail bool
 }
 
 func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
-	ri, err := openBatch(j.Right, opts)
+	buildLeft := plan.BuildOnLeft(j)
+	buildNode, probeNode := j.Right, j.Left
+	buildKeys, probeKeys := j.EquiRight, j.EquiLeft
+	if buildLeft {
+		buildNode, probeNode = j.Left, j.Right
+		buildKeys, probeKeys = j.EquiLeft, j.EquiRight
+	}
+	bi, err := openBatch(buildNode, opts)
 	if err != nil {
 		return nil, err
 	}
-	rightRows, err := drain(ri, plan.EstimateRows(j.Right))
+	buildRows, err := drain(bi, plan.EstimateRows(buildNode))
 	if err != nil {
 		return nil, err
 	}
@@ -242,65 +315,91 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 	it := &batchJoin{
 		node:         j,
 		size:         opts.BatchSize,
-		rightRows:    rightRows,
-		rightMatched: make([]bool, len(rightRows)),
+		buildLeft:    buildLeft,
+		buildRows:    buildRows,
+		buildMatched: make([]bool, len(buildRows)),
+		buildKeys:    buildKeys,
+		probeKeys:    probeKeys,
 		leftWidth:    lw,
-		rightWidth:   rw,
 		slab:         newValueSlab(lw+rw, opts.BatchSize),
 	}
-	// Empty build side: inner and right joins can produce no rows at all,
-	// so skip opening (and scanning) the probe side entirely. This is the
-	// common shape of IVM join-delta terms where one delta table is empty.
-	if len(rightRows) == 0 && (j.Kind == sqlparser.JoinInner || j.Kind == sqlparser.JoinRight) {
-		it.leftDone = true
+	switch j.Kind {
+	case sqlparser.JoinLeft:
+		it.probePreserve = !buildLeft
+		it.buildPreserve = buildLeft
+	case sqlparser.JoinRight:
+		it.probePreserve = buildLeft
+		it.buildPreserve = !buildLeft
+	case sqlparser.JoinFull:
+		it.probePreserve = true
+		it.buildPreserve = true
+	}
+	// Empty build side: unless the probe side must be preserved, the join
+	// can produce no rows at all, so skip opening (and scanning) the probe
+	// side entirely. This is the common shape of IVM join-delta terms
+	// where one delta table is empty.
+	if len(buildRows) == 0 && !it.probePreserve {
+		it.probeDone = true
 		it.emittedTail = true
 		return it, nil
 	}
-	it.left, err = openBatch(j.Left, opts)
+	it.probe, err = openBatch(probeNode, opts)
 	if err != nil {
 		return nil, err
 	}
 	if len(j.EquiLeft) > 0 {
-		it.hash = make(map[string]*joinBucket, presize(len(rightRows)))
-		it.keyScratch = make(sqltypes.Row, len(j.EquiRight))
-		for i, r := range rightRows {
-			for k, p := range j.EquiRight {
+		it.hash = make(map[string]*joinBucket, presize(len(buildRows)))
+		// One bucket per distinct key, at most one per build row: a single
+		// fixed-cap arena keeps bucket pointers stable with no per-key
+		// allocation.
+		it.buckets = make([]joinBucket, 0, len(buildRows))
+		it.keyScratch = make(sqltypes.Row, len(buildKeys))
+		for i, r := range buildRows {
+			for k, p := range buildKeys {
 				it.keyScratch[k] = r[p]
 			}
 			it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
 			// SQL equality: NULL keys never match; they stay in the table
-			// only via rightMatched for RIGHT/FULL tail emission.
+			// only via buildMatched for outer-tail emission.
 			if b := it.hash[string(it.keyBuf)]; b != nil {
-				b.idxs = append(b.idxs, i)
+				b.rest = append(b.rest, i)
 			} else {
-				it.hash[string(it.keyBuf)] = &joinBucket{idxs: []int{i}}
+				it.buckets = append(it.buckets, joinBucket{first: i})
+				it.hash[string(it.keyBuf)] = &it.buckets[len(it.buckets)-1]
 			}
 		}
 	} else {
-		it.allRight = make([]int, len(rightRows))
-		for i := range it.allRight {
-			it.allRight[i] = i
+		it.allBuild = make([]int, len(buildRows))
+		for i := range it.allBuild {
+			it.allBuild[i] = i
 		}
 	}
 	return it, nil
 }
 
-// matchRight returns candidate build-row indexes for the probe row.
-func (it *batchJoin) matchRight(l sqltypes.Row) []int {
+// matchBuild returns candidate build-row indexes for the probe row (valid
+// until the next call).
+func (it *batchJoin) matchBuild(p sqltypes.Row) []int {
 	if it.hash != nil {
-		if hasNullKey(l, it.node.EquiLeft) {
+		if hasNullKey(p, it.probeKeys) {
 			return nil
 		}
-		for k, p := range it.node.EquiLeft {
-			it.keyScratch[k] = l[p]
+		for k, c := range it.probeKeys {
+			it.keyScratch[k] = p[c]
 		}
 		it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
-		if b := it.hash[string(it.keyBuf)]; b != nil {
-			return b.idxs
+		b := it.hash[string(it.keyBuf)]
+		if b == nil {
+			return nil
 		}
-		return nil
+		if len(b.rest) == 0 {
+			it.cand = append(it.cand[:0], b.first)
+		} else {
+			it.cand = append(append(it.cand[:0], b.first), b.rest...)
+		}
+		return it.cand
 	}
-	return it.allRight
+	return it.allBuild
 }
 
 func hasNullKey(r sqltypes.Row, cols []int) bool {
@@ -325,11 +424,15 @@ func (it *batchJoin) emit(l, r sqltypes.Row) {
 	it.out.Rows = append(it.out.Rows, out)
 }
 
-// probe joins one left row against the build side, appending matches.
-func (it *batchJoin) probe(l sqltypes.Row) error {
+// probeOne joins one probe row against the build side, appending matches.
+func (it *batchJoin) probeOne(p sqltypes.Row) error {
 	matched := false
-	for _, ri := range it.matchRight(l) {
-		r := it.rightRows[ri]
+	for _, bi := range it.matchBuild(p) {
+		b := it.buildRows[bi]
+		l, r := p, b
+		if it.buildLeft {
+			l, r = b, p
+		}
 		// Equi keys matched via hash; re-check them in the no-hash
 		// (cross/theta) path, plus the residual predicate.
 		if it.hash == nil && len(it.node.EquiLeft) > 0 {
@@ -363,45 +466,54 @@ func (it *batchJoin) probe(l sqltypes.Row) error {
 			it.emit(l, r)
 		}
 		matched = true
-		it.rightMatched[ri] = true
+		it.buildMatched[bi] = true
 	}
-	if !matched && (it.node.Kind == sqlparser.JoinLeft || it.node.Kind == sqlparser.JoinFull) {
-		it.emit(l, nil)
+	if !matched && it.probePreserve {
+		if it.buildLeft {
+			it.emit(nil, p)
+		} else {
+			it.emit(p, nil)
+		}
 	}
 	return nil
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchJoin) NextBatch() (*Batch, error) {
 	it.out.reset()
 	for len(it.out.Rows) < it.size {
-		if it.lb != nil && it.li < len(it.lb.Rows) {
-			l := it.lb.Rows[it.li]
-			it.li++
-			if err := it.probe(l); err != nil {
+		if it.pi < len(it.prows) {
+			p := it.prows[it.pi]
+			it.pi++
+			if err := it.probeOne(p); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		if !it.leftDone {
-			b, err := it.left.NextBatch()
+		if !it.probeDone {
+			b, err := it.probe.NextBatch()
 			if err != nil {
 				return nil, err
 			}
 			if b == nil {
-				it.leftDone = true
-				it.lb = nil
+				it.probeDone = true
+				it.prows = nil
 				continue
 			}
-			it.lb, it.li = b, 0
+			it.prows, it.pi = b.RowView(), 0
 			continue
 		}
-		// Tail: unmatched build rows for RIGHT/FULL.
+		// Tail: unmatched build rows for the build-preserving kinds.
 		if !it.emittedTail {
 			it.emittedTail = true
-			if it.node.Kind == sqlparser.JoinRight || it.node.Kind == sqlparser.JoinFull {
-				for ri, m := range it.rightMatched {
+			if it.buildPreserve {
+				for bi, m := range it.buildMatched {
 					if !m {
-						it.emit(nil, it.rightRows[ri])
+						if it.buildLeft {
+							it.emit(it.buildRows[bi], nil)
+						} else {
+							it.emit(nil, it.buildRows[bi])
+						}
 					}
 				}
 			}
@@ -422,20 +534,22 @@ type batchDistinct struct {
 	set rowKeySet
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchDistinct) NextBatch() (*Batch, error) {
 	for {
 		b, err := it.in.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		kept := b.Rows[:0]
-		for _, r := range b.Rows {
+		rows := b.RowView()
+		kept := rows[:0]
+		for _, r := range rows {
 			if it.set.add(r) {
 				kept = append(kept, r)
 			}
 		}
 		if len(kept) > 0 {
-			b.Rows = kept
+			b.Rows, b.Cols = kept, nil
 			return b, nil
 		}
 	}
@@ -449,6 +563,7 @@ type batchConcat struct {
 	pos  int
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchConcat) NextBatch() (*Batch, error) {
 	for it.pos < len(it.srcs) {
 		b, err := it.srcs[it.pos].NextBatch()
@@ -470,20 +585,22 @@ type batchKeep struct {
 	keep func(sqltypes.Row) bool
 }
 
+// NextBatch implements BatchIterator.
 func (it *batchKeep) NextBatch() (*Batch, error) {
 	for {
 		b, err := it.in.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		kept := b.Rows[:0]
-		for _, r := range b.Rows {
+		rows := b.RowView()
+		kept := rows[:0]
+		for _, r := range rows {
 			if it.keep(r) {
 				kept = append(kept, r)
 			}
 		}
 		if len(kept) > 0 {
-			b.Rows = kept
+			b.Rows, b.Cols = kept, nil
 			return b, nil
 		}
 	}
@@ -542,7 +659,7 @@ func drainCounts(in BatchIterator, hint int) (*rowKeyCounter, error) {
 		if b == nil {
 			return &c, nil
 		}
-		for _, r := range b.Rows {
+		for _, r := range b.RowView() {
 			c.add(r)
 		}
 	}

@@ -138,6 +138,53 @@ func (a *Aggregate) NewState() AggState {
 	return inner
 }
 
+// FillStates populates dst with independent fresh accumulators, using one
+// backing allocation for the whole block instead of one per state — the
+// hash aggregation operator hands these out as groups appear, so a
+// grouped aggregate costs O(1) allocations per block of groups rather than
+// O(aggs) per group. DISTINCT aggregates still allocate individually
+// (each carries its own dedup map).
+func (a *Aggregate) FillStates(dst []AggState) {
+	if a.Distinct {
+		for i := range dst {
+			dst[i] = a.NewState()
+		}
+		return
+	}
+	switch a.Kind {
+	case AggSum:
+		block := make([]sumState, len(dst))
+		for i := range dst {
+			block[i].arg = a.Arg
+			dst[i] = &block[i]
+		}
+	case AggCount, AggCountStar:
+		block := make([]countState, len(dst))
+		for i := range dst {
+			if a.Kind == AggCount {
+				block[i].arg = a.Arg
+			}
+			dst[i] = &block[i]
+		}
+	case AggMin, AggMax:
+		block := make([]minmaxState, len(dst))
+		for i := range dst {
+			block[i] = minmaxState{arg: a.Arg, isMin: a.Kind == AggMin}
+			dst[i] = &block[i]
+		}
+	case AggAvg:
+		block := make([]avgState, len(dst))
+		for i := range dst {
+			block[i].arg = a.Arg
+			dst[i] = &block[i]
+		}
+	default:
+		for i := range dst {
+			dst[i] = a.NewState()
+		}
+	}
+}
+
 type sumState struct {
 	arg     Expr
 	sum     sqltypes.Value // NULL until first non-null input

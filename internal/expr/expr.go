@@ -526,18 +526,23 @@ type ScalarFunc struct {
 	Args []Expr
 	Fn   func(args []sqltypes.Value) (sqltypes.Value, error)
 	Typ  sqltypes.Type
+
+	scratch []sqltypes.Value // reusable argument buffer
 }
 
-// Eval implements Expr.
+// Eval implements Expr. The argument buffer is reused across calls (plans
+// are evaluated by one goroutine at a time, like every Expr here), so a
+// registered Fn must not retain its args slice past the call.
 func (e *ScalarFunc) Eval(row sqltypes.Row) (sqltypes.Value, error) {
-	args := make([]sqltypes.Value, len(e.Args))
-	for i, a := range e.Args {
+	args := e.scratch[:0]
+	for _, a := range e.Args {
 		v, err := a.Eval(row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		args[i] = v
+		args = append(args, v)
 	}
+	e.scratch = args
 	return e.Fn(args)
 }
 

@@ -1,0 +1,174 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"openivm/internal/sqltypes"
+)
+
+// kernelFixture builds three typed input vectors (int, float, string) with
+// interleaved NULLs plus the equivalent boxed rows, so kernels and the
+// row evaluator can be compared cell for cell.
+func kernelFixture(n int, seed int64) ([]*sqltypes.Vector, []sqltypes.Row) {
+	rng := rand.New(rand.NewSource(seed))
+	iv := sqltypes.NewVector(sqltypes.TypeInt, n)
+	fv := sqltypes.NewVector(sqltypes.TypeFloat, n)
+	sv := sqltypes.NewVector(sqltypes.TypeString, n)
+	rows := make([]sqltypes.Row, n)
+	for i := 0; i < n; i++ {
+		row := make(sqltypes.Row, 3)
+		if rng.Intn(4) == 0 {
+			iv.AppendNull()
+		} else {
+			x := int64(rng.Intn(11) - 5)
+			iv.AppendInt(x)
+			row[0] = sqltypes.NewInt(x)
+		}
+		if rng.Intn(4) == 0 {
+			fv.AppendNull()
+		} else {
+			x := float64(rng.Intn(40)) / 8
+			fv.AppendFloat(x)
+			row[1] = sqltypes.NewFloat(x)
+		}
+		if rng.Intn(4) == 0 {
+			sv.AppendNull()
+		} else {
+			x := fmt.Sprintf("v%d", rng.Intn(5))
+			sv.AppendString(x)
+			row[2] = sqltypes.NewString(x)
+		}
+		rows[i] = row
+	}
+	return []*sqltypes.Vector{iv, fv, sv}, rows
+}
+
+func fixtureResolve(c int) (int, sqltypes.Type, bool) {
+	switch c {
+	case 0:
+		return 0, sqltypes.TypeInt, true
+	case 1:
+		return 1, sqltypes.TypeFloat, true
+	case 2:
+		return 2, sqltypes.TypeString, true
+	}
+	return 0, 0, false
+}
+
+func kcol(i int, t sqltypes.Type) *Column { return &Column{Idx: i, Typ: t} }
+
+func klit(v sqltypes.Value) *Literal { return &Literal{Val: v} }
+
+// TestKernelMatchesEval compiles a spread of expressions and checks the
+// vector result against per-row boxed evaluation, NULLs included.
+func TestKernelMatchesEval(t *testing.T) {
+	ic, fc, sc := kcol(0, sqltypes.TypeInt), kcol(1, sqltypes.TypeFloat), kcol(2, sqltypes.TypeString)
+	exprs := []Expr{
+		ic,
+		klit(sqltypes.NewInt(42)),
+		&Binary{Op: "+", Left: ic, Right: klit(sqltypes.NewInt(3))},
+		&Binary{Op: "*", Left: ic, Right: ic},
+		&Binary{Op: "/", Left: ic, Right: ic},                         // division by zero -> NULL
+		&Binary{Op: "%", Left: ic, Right: klit(sqltypes.NewInt(0))},   // modulo zero -> NULL
+		&Binary{Op: "+", Left: ic, Right: fc},                         // int/float promotion
+		&Binary{Op: "/", Left: fc, Right: klit(sqltypes.NewFloat(0))}, // float div zero -> NULL
+		&Unary{Op: "-", Operand: ic},
+		&Unary{Op: "-", Operand: fc},
+		&Binary{Op: "=", Left: ic, Right: klit(sqltypes.NewInt(2))},
+		&Binary{Op: "<>", Left: ic, Right: klit(sqltypes.NewInt(0))},
+		&Binary{Op: "<", Left: ic, Right: fc},
+		&Binary{Op: ">=", Left: sc, Right: klit(sqltypes.NewString("v2"))},
+		&Binary{Op: "LIKE", Left: sc, Right: klit(sqltypes.NewString("v%"))},
+		&Binary{Op: "LIKE", Left: sc, Right: klit(sqltypes.NewString("_3"))},
+		&IsNull{Operand: ic},
+		&IsNull{Operand: sc, Negate: true},
+		&Unary{Op: "NOT", Operand: &Binary{Op: ">", Left: ic, Right: klit(sqltypes.NewInt(0))}},
+		&Binary{Op: "AND",
+			Left:  &Binary{Op: ">", Left: ic, Right: klit(sqltypes.NewInt(-2))},
+			Right: &Binary{Op: "<", Left: fc, Right: klit(sqltypes.NewFloat(3))}},
+		&Binary{Op: "OR",
+			Left:  &IsNull{Operand: ic},
+			Right: &Binary{Op: "=", Left: sc, Right: klit(sqltypes.NewString("v1"))}},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		cols, rows := kernelFixture(333, seed)
+		for _, e := range exprs {
+			k, ok := CompileKernel(e, fixtureResolve)
+			if !ok {
+				t.Fatalf("did not compile: %s", e)
+			}
+			out := k.EvalVec(cols, len(rows))
+			for i, r := range rows {
+				want, err := e.Eval(r)
+				if err != nil {
+					t.Fatalf("%s: boxed eval error %v", e, err)
+				}
+				got := out.ValueAt(i)
+				if !sqltypes.Equal(got, want) {
+					t.Fatalf("%s row %d (%v): kernel %v, eval %v", e, i, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelThreeValuedLogic pins the AND/OR truth tables over every
+// combination of TRUE/FALSE/NULL.
+func TestKernelThreeValuedLogic(t *testing.T) {
+	vals := []sqltypes.Value{sqltypes.NewBool(true), sqltypes.NewBool(false), sqltypes.Null}
+	bv := func(pick []int) *sqltypes.Vector {
+		v := sqltypes.NewVector(sqltypes.TypeBool, len(pick))
+		for _, p := range pick {
+			v.AppendValue(vals[p])
+		}
+		return v
+	}
+	var lp, rp []int
+	var rows []sqltypes.Row
+	for l := 0; l < 3; l++ {
+		for r := 0; r < 3; r++ {
+			lp, rp = append(lp, l), append(rp, r)
+			rows = append(rows, sqltypes.Row{vals[l], vals[r]})
+		}
+	}
+	cols := []*sqltypes.Vector{bv(lp), bv(rp)}
+	resolve := func(c int) (int, sqltypes.Type, bool) { return c, sqltypes.TypeBool, c < 2 }
+	for _, op := range []string{"AND", "OR"} {
+		e := &Binary{Op: op, Left: kcol(0, sqltypes.TypeBool), Right: kcol(1, sqltypes.TypeBool)}
+		k, ok := CompileKernel(e, resolve)
+		if !ok {
+			t.Fatal("logic kernel did not compile")
+		}
+		out := k.EvalVec(cols, len(rows))
+		for i, r := range rows {
+			want, _ := e.Eval(r)
+			if got := out.ValueAt(i); !sqltypes.Equal(got, want) {
+				t.Fatalf("%v %s %v: kernel %v, eval %v", r[0], op, r[1], got, want)
+			}
+		}
+	}
+}
+
+// TestKernelUnsupportedFallback ensures the compiler refuses what it cannot
+// faithfully vectorize.
+func TestKernelUnsupportedFallback(t *testing.T) {
+	ic := kcol(0, sqltypes.TypeInt)
+	sc := kcol(2, sqltypes.TypeString)
+	unsupported := []Expr{
+		&Case{Whens: []CaseWhen{{When: &IsNull{Operand: ic}, Then: klit(sqltypes.NewInt(0))}}},
+		&Between{Operand: ic, Lo: klit(sqltypes.NewInt(0)), Hi: klit(sqltypes.NewInt(5))},
+		&In{Operand: ic, List: []Expr{klit(sqltypes.NewInt(1))}},
+		&Cast{Operand: ic, Target: sqltypes.TypeString},
+		&Binary{Op: "+", Left: sc, Right: sc},  // string concat
+		&Binary{Op: "||", Left: sc, Right: sc}, // concat operator
+		&Binary{Op: "=", Left: ic, Right: sc},  // mismatched types
+		klit(sqltypes.Null),                    // untyped NULL literal
+	}
+	for _, e := range unsupported {
+		if _, ok := CompileKernel(e, fixtureResolve); ok {
+			t.Fatalf("%s should not compile to a kernel", e)
+		}
+	}
+}

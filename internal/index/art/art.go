@@ -16,14 +16,20 @@ import "bytes"
 
 // escape converts key to the internal prefix-free representation.
 func escape(key []byte) []byte {
-	out := make([]byte, 0, len(key)+2)
+	return escapeAppend(make([]byte, 0, len(key)+2), key)
+}
+
+// escapeAppend appends the escaped form of key to dst. Read-only callers
+// (Get, Delete) pass a stack buffer so point lookups stay allocation-free
+// for typical key lengths.
+func escapeAppend(dst, key []byte) []byte {
 	for _, b := range key {
-		out = append(out, b)
+		dst = append(dst, b)
 		if b == 0x00 {
-			out = append(out, 0xFF)
+			dst = append(dst, 0xFF)
 		}
 	}
-	return append(out, 0x00, 0x00)
+	return append(dst, 0x00, 0x00)
 }
 
 // unescape inverts escape.
@@ -445,7 +451,8 @@ func commonPrefixLen(a, b []byte) int {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) (any, bool) {
-	return t.get(escape(key))
+	var buf [64]byte
+	return t.get(escapeAppend(buf[:0], key))
 }
 
 func (t *Tree) get(key []byte) (any, bool) {
@@ -538,7 +545,8 @@ func (t *Tree) put(ref *node, key []byte, val any, depth int) bool {
 
 // Delete removes key, reporting whether it was present.
 func (t *Tree) Delete(key []byte) bool {
-	key = escape(key)
+	var buf [64]byte
+	key = escapeAppend(buf[:0], key)
 	if t.root == nil {
 		return false
 	}

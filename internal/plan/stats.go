@@ -22,6 +22,18 @@ func (h *Hint) Children() []Node { return []Node{h.Input} }
 // Describe implements Node.
 func (h *Hint) Describe() string { return fmt.Sprintf("Hint batch_size=%d", h.BatchSize) }
 
+// BuildOnLeft reports whether a hash join over j should build its hash
+// table on the left input and probe with the right one, instead of the
+// default right-side build. Building on the smaller input wins twice: the
+// table is cheaper to construct (fewer inserts, fewer key-string
+// allocations) and it stays resident while the larger side streams through
+// probe-only lookups. The common IVM shape — a tiny delta table joined
+// against a large base table — is exactly the case where the default
+// right-side build is maximally wrong.
+func BuildOnLeft(j *Join) bool {
+	return EstimateRows(j.Left) < EstimateRows(j.Right)
+}
+
 // EstimateRows returns a coarse output-cardinality estimate for the node —
 // exact for scans and values, heuristic elsewhere. The executor uses it to
 // pre-size hash tables and output buffers; it must be cheap, not precise.

@@ -1,0 +1,129 @@
+package sqltypes
+
+import "testing"
+
+func TestVectorAppendAndValueAt(t *testing.T) {
+	v := NewVector(TypeInt, 4)
+	v.AppendInt(7)
+	v.AppendNull()
+	v.AppendInt(-3)
+	if v.Len() != 3 || v.NullCount() != 1 || v.AllValid() {
+		t.Fatalf("len=%d nulls=%d", v.Len(), v.NullCount())
+	}
+	if got := v.ValueAt(0); got.I != 7 || got.T != TypeInt {
+		t.Fatalf("cell 0 = %v", got)
+	}
+	if !v.ValueAt(1).IsNull() {
+		t.Fatal("cell 1 must be NULL")
+	}
+	if got := v.ValueAt(2); got.I != -3 {
+		t.Fatalf("cell 2 = %v", got)
+	}
+}
+
+func TestVectorGrowPastInitialCapacity(t *testing.T) {
+	v := NewVector(TypeString, 1)
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			v.AppendNull()
+		} else {
+			v.AppendString("x")
+		}
+	}
+	if v.Len() != 200 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	for i := 0; i < 200; i++ {
+		if got := v.Valid(i); got != (i%3 != 0) {
+			t.Fatalf("validity wrong at %d", i)
+		}
+	}
+}
+
+func TestVectorAppendValuePromotion(t *testing.T) {
+	v := NewVector(TypeFloat, 4)
+	v.AppendValue(NewInt(3)) // widens into the float vector
+	v.AppendValue(NewFloat(1.5))
+	v.AppendValue(NewString("no")) // mismatched type degrades to NULL
+	v.AppendValue(Null)
+	if v.Floats[0] != 3.0 || v.Floats[1] != 1.5 {
+		t.Fatalf("payload = %v", v.Floats)
+	}
+	if v.Valid(2) || v.Valid(3) {
+		t.Fatal("cells 2,3 must be NULL")
+	}
+}
+
+func TestVectorResizeAndSetNull(t *testing.T) {
+	v := NewVector(TypeBool, 8)
+	v.Resize(5)
+	if v.Len() != 5 || !v.AllValid() {
+		t.Fatalf("resize: len=%d nulls=%d", v.Len(), v.NullCount())
+	}
+	v.Bools[3] = true
+	v.SetNull(2)
+	v.SetNull(2) // idempotent
+	if v.NullCount() != 1 || v.Valid(2) || !v.Valid(3) {
+		t.Fatalf("nulls=%d", v.NullCount())
+	}
+	// Reuse after Reset keeps capacity but clears contents.
+	v.Reset()
+	if v.Len() != 0 || v.NullCount() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestVectorLoadRows(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewString("a")},
+		{Null, NewString("b")},
+		{NewInt(3), Null},
+		{NewInt(4), NewString("d")},
+	}
+	v := &Vector{T: TypeInt}
+	v.LoadRows(rows, nil, 0)
+	if v.Len() != 4 || v.Ints[0] != 1 || v.Valid(1) || v.Ints[3] != 4 {
+		t.Fatalf("full load wrong: %v nulls=%d", v.Ints, v.NullCount())
+	}
+	// Gather by selection vector.
+	v.LoadRows(rows, []int{3, 0}, 0)
+	if v.Len() != 2 || v.Ints[0] != 4 || v.Ints[1] != 1 {
+		t.Fatalf("gather wrong: %v", v.Ints)
+	}
+	s := &Vector{T: TypeString}
+	s.LoadRows(rows, []int{2}, 1)
+	if s.Len() != 1 || s.Valid(0) {
+		t.Fatal("NULL string cell must stay NULL")
+	}
+}
+
+func TestVectorGatherFrom(t *testing.T) {
+	src := NewVector(TypeInt, 8)
+	for i := 0; i < 8; i++ {
+		if i%3 == 1 {
+			src.AppendNull()
+		} else {
+			src.AppendInt(int64(i * 10))
+		}
+	}
+	v := &Vector{T: TypeInt}
+	v.GatherFrom(src, []int{5, 1, 0})
+	if v.Len() != 3 || v.Ints[0] != 50 || v.Valid(1) || v.Ints[2] != 0 {
+		t.Fatalf("gather wrong: %v nulls=%d", v.Ints, v.NullCount())
+	}
+	// Must agree with LoadRows-style boxing via ValueAt.
+	for j, i := range []int{5, 1, 0} {
+		if !Equal(v.ValueAt(j), src.ValueAt(i)) {
+			t.Fatalf("cell %d: %v vs %v", j, v.ValueAt(j), src.ValueAt(i))
+		}
+	}
+}
+
+func TestVectorNullOnlyType(t *testing.T) {
+	v := &Vector{T: TypeNull}
+	v.AppendNull()
+	v.AppendNull()
+	if v.Len() != 2 || v.Valid(0) || !v.ValueAt(1).IsNull() {
+		t.Fatal("TypeNull vector must be all NULL")
+	}
+}
