@@ -26,6 +26,12 @@ func loadGroups(b *testing.B, rows, groups int, pragmas ...string) *engine.DB {
 	b.Helper()
 	db := engine.Open("bench", engine.DialectDuckDB)
 	ivmext.Install(db)
+	// Serial by default so numbers are comparable across machines with
+	// different core counts (the executor otherwise fans out per CPU);
+	// the *Workers benchmarks override this with their own pragma.
+	if _, err := db.Exec("PRAGMA workers = 1"); err != nil {
+		b.Fatal(err)
+	}
 	for _, p := range pragmas {
 		if _, err := db.Exec(p); err != nil {
 			b.Fatal(err)
@@ -281,6 +287,7 @@ func BenchmarkE7_JoinIVM(b *testing.B) {
 		b.Run(fmt.Sprintf("C%d", customers), func(b *testing.B) {
 			db := engine.Open("e7", engine.DialectDuckDB)
 			ivmext.Install(db)
+			mustExecB(b, db, "PRAGMA workers = 1") // cross-machine determinism
 			sales := workload.Sales{Customers: customers, Orders: 20000, Regions: 8, Seed: 5}
 			if err := sales.Load(db, true); err != nil {
 				b.Fatal(err)
@@ -307,6 +314,7 @@ func BenchmarkE7_JoinIVM(b *testing.B) {
 
 func BenchmarkE7_JoinRecompute(b *testing.B) {
 	db := engine.Open("e7", engine.DialectDuckDB)
+	mustExecB(b, db, "PRAGMA workers = 1") // cross-machine determinism
 	sales := workload.Sales{Customers: 2048, Orders: 20000, Regions: 8, Seed: 5}
 	if err := sales.Load(db, true); err != nil {
 		b.Fatal(err)
@@ -341,9 +349,49 @@ func BenchmarkE9_UnfusedScan(b *testing.B) {
 	}
 }
 
+// BenchmarkE9_FusedScanWorkers sweeps PRAGMA workers over the E9 fused
+// scan: w1 pins the serial path, w2/w4 force the parallel partitioned
+// scan regardless of host core count. On a single-core host the parallel
+// arms measure pure fan-out overhead; on multi-core hardware they show
+// the scan scaling (the CI acceptance arm for this is w4).
+func BenchmarkE9_FusedScanWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			db := loadWide(b)
+			mustExecB(b, db, fmt.Sprintf("PRAGMA workers = %d", w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustExecB(b, db, "SELECT a + v, v * 2 FROM wide WHERE v % 4 = 0 AND a < 15000")
+			}
+		})
+	}
+}
+
+// BenchmarkE2_IVMRefreshWorkers runs the E2 10%-delta refresh loop under
+// PRAGMA workers, exercising parallel aggregation inside the propagation
+// scripts on multi-core hosts.
+func BenchmarkE2_IVMRefreshWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			const rows, groups = 20000, 256
+			db := loadGroups(b, rows, groups, fmt.Sprintf("PRAGMA workers = %d", w))
+			mustExecB(b, db, listing1View)
+			wl := workload.Groups{Rows: rows, NumGroups: groups}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mustExecB(b, db, wl.InsertBatch(rows/10, int64(i)))
+				b.StartTimer()
+				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
+			}
+		})
+	}
+}
+
 func loadWide(b *testing.B) *engine.DB {
 	b.Helper()
 	db := engine.Open("e9", engine.DialectDuckDB)
+	mustExecB(b, db, "PRAGMA workers = 1") // cross-machine determinism; sweeps override
 	mustExecB(b, db, "CREATE TABLE wide (a INTEGER, v INTEGER)")
 	var sb []byte
 	for lo := 0; lo < 20000; lo += 2000 {

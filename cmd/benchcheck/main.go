@@ -1,0 +1,186 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses
+// `go test -bench` output, reduces repeated runs (-count N) to the
+// per-benchmark minimum — the least noise-contaminated observation — and
+// compares ns/op and allocs/op against a committed baseline JSON, failing
+// the build when either regresses beyond its threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'E2_IVMRefresh|E7_JoinIVM|E9_' -benchmem -count 3 . | \
+//	    go run ./cmd/benchcheck -baseline BENCH_BASELINE.json
+//
+// Refresh the baseline after an intentional performance change:
+//
+//	go test ... -benchmem -count 3 . | go run ./cmd/benchcheck -baseline BENCH_BASELINE.json -update
+//
+// allocs/op is machine-independent and enforced strictly; ns/op is
+// compared at the same threshold by default but can be relaxed (or set to
+// a negative value to skip) when baseline and CI hardware differ wildly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// entry is one benchmark's baseline record.
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the committed BENCH_BASELINE.json shape.
+type baseline struct {
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// BenchmarkE7_JoinIVM/C16-4  4418  264546 ns/op  133685 B/op  681 allocs/op
+// The trailing -N GOMAXPROCS suffix is stripped so results are comparable
+// across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parseBench(r io.Reader) (map[string]entry, error) {
+	out := map[string]entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		// Missing allocs/op (run without -benchmem) is recorded as -1, not
+		// 0: a zero would satisfy every threshold and silently disarm the
+		// alloc gate for that benchmark.
+		allocs := -1.0
+		if m[3] != "" {
+			allocs, _ = strconv.ParseFloat(m[3], 64)
+		}
+		// -count N repeats a benchmark; keep the per-metric minimum.
+		if prev, ok := out[m[1]]; ok {
+			if prev.NsPerOp < ns {
+				ns = prev.NsPerOp
+			}
+			if prev.AllocsPerOp >= 0 && (allocs < 0 || prev.AllocsPerOp < allocs) {
+				allocs = prev.AllocsPerOp
+			}
+		}
+		out[m[1]] = entry{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline JSON")
+	input := flag.String("input", "-", "benchmark output file (- = stdin)")
+	maxNs := flag.Float64("max-ns-regress", 0.25, "fail when ns/op exceeds baseline by this fraction (negative = skip ns check)")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.25, "fail when allocs/op exceeds baseline by this fraction (negative = skip allocs check)")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured results instead of comparing")
+	flag.Parse()
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	if *update {
+		base := baseline{Note: "Regenerate with: go test -run '^$' -bench 'E2_IVMRefresh|E7_JoinIVM|E9_' -benchmem -count 3 . | go run ./cmd/benchcheck -update"}
+		base.Benchmarks = got
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	buf, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in results (gate silently shrank?)", name))
+			continue
+		}
+		status := "ok"
+		if *maxNs >= 0 && want.NsPerOp > 0 && have.NsPerOp > want.NsPerOp*(1+*maxNs) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				name, have.NsPerOp, want.NsPerOp, *maxNs*100))
+			status = "NS REGRESSION"
+		}
+		if *maxAllocs >= 0 && want.AllocsPerOp > 0 {
+			if have.AllocsPerOp < 0 {
+				failures = append(failures, fmt.Sprintf("%s: no allocs/op in results (run with -benchmem) but baseline has %.0f",
+					name, want.AllocsPerOp))
+				status = "NO ALLOC DATA"
+			} else if have.AllocsPerOp > want.AllocsPerOp*(1+*maxAllocs) {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
+					name, have.AllocsPerOp, want.AllocsPerOp, *maxAllocs*100))
+				status = "ALLOC REGRESSION"
+			}
+		}
+		fmt.Printf("%-60s ns/op %10.0f (base %10.0f)  allocs/op %7.0f (base %7.0f)  %s\n",
+			name, have.NsPerOp, want.NsPerOp, have.AllocsPerOp, want.AllocsPerOp, status)
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-60s new benchmark, not in baseline (add with -update)\n", name)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "\nbenchcheck: FAIL")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcheck: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -604,6 +604,15 @@ func (t *Table) Rows() []sqltypes.Row {
 	return out
 }
 
+// RowsPartitioned returns the live-row snapshot split into up to parts
+// contiguous, near-equal partitions — the parallel scan's unit of work.
+// Exactly one snapshot copy is taken (same isolation semantics as Rows);
+// the partitions alias it, so concatenating them in order yields the same
+// row sequence Rows would have returned.
+func (t *Table) RowsPartitioned(parts int) [][]sqltypes.Row {
+	return sqltypes.PartitionRows(t.Rows(), parts)
+}
+
 // LookupPK returns the row with the given primary-key values, if present.
 func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	if t.pkIndex == nil {

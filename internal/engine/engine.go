@@ -143,20 +143,33 @@ func (db *DB) setPragmaChecked(name, value string) error {
 			return fmt.Errorf("engine: PRAGMA batch_size requires a positive integer, got %q", value)
 		}
 	}
+	if strings.EqualFold(name, "workers") {
+		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n < 0 {
+			return fmt.Errorf("engine: PRAGMA workers requires a non-negative integer (1 = serial, 0 = one per CPU), got %q", value)
+		}
+	}
 	db.SetPragma(name, value)
 	return nil
 }
 
-// batchSize returns the execution batch size selected by PRAGMA
-// batch_size (0 when unset, meaning the executor default).
-func (db *DB) batchSize() int {
-	if s := db.Pragma("batch_size"); s != "" {
+// intPragma returns a positive-integer pragma's value (0 when unset or
+// unparsable, meaning the executor default).
+func (db *DB) intPragma(name string) int {
+	if s := db.Pragma(name); s != "" {
 		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
 			return n
 		}
 	}
 	return 0
 }
+
+// batchSize returns the execution batch size selected by PRAGMA
+// batch_size (0 when unset, meaning the executor default).
+func (db *DB) batchSize() int { return db.intPragma("batch_size") }
+
+// workers returns the scan parallelism selected by PRAGMA workers (0 when
+// unset: the executor defaults to one worker per CPU).
+func (db *DB) workers() int { return db.intPragma("workers") }
 
 // RegisterFallbackParser appends a parser tried when the main parse fails.
 func (db *DB) RegisterFallbackParser(p FallbackParser) { db.fallbacks = append(db.fallbacks, p) }
@@ -451,16 +464,16 @@ func (db *DB) newBinder() *plan.Binder {
 
 // PlanSelect binds and optimizes a SELECT, returning the logical plan.
 // Exposed for the IVM compiler, which rewrites view plans. When PRAGMA
-// batch_size is set, the root is wrapped in a plan.Hint so the executor
-// runs the whole tree at the requested batch size.
+// batch_size or PRAGMA workers is set, the root is wrapped in a plan.Hint
+// so the executor runs the whole tree with the requested knobs.
 func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 	n, err := db.newBinder().BindSelect(sel)
 	if err != nil {
 		return nil, err
 	}
 	n = optimizer.Optimize(n)
-	if bs := db.batchSize(); bs > 0 {
-		n = &plan.Hint{Input: n, BatchSize: bs}
+	if bs, w := db.batchSize(), db.workers(); bs > 0 || w > 0 {
+		n = &plan.Hint{Input: n, BatchSize: bs, Workers: w}
 	}
 	return n, nil
 }

@@ -63,7 +63,13 @@ func newBatchScan(s *plan.Scan, opts Options) *batchScan {
 	// Rows copies the slice header under the table lock; concurrent
 	// writers replace slots in the underlying storage, so iterating it
 	// directly would race (stored Row values themselves are immutable).
-	it := &batchScan{node: s, rows: s.Table.Rows(), size: opts.BatchSize}
+	return newBatchScanRows(s, s.Table.Rows(), opts)
+}
+
+// newBatchScanRows is newBatchScan over an explicit row snapshot — the
+// parallel scan hands each worker one snapshot partition.
+func newBatchScanRows(s *plan.Scan, rows []sqltypes.Row, opts Options) *batchScan {
+	it := &batchScan{node: s, rows: rows, size: opts.BatchSize}
 	if s.Projection != nil {
 		it.slab = newValueSlab(len(s.Projection), opts.BatchSize)
 	}

@@ -1,0 +1,40 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"openivm/internal/sqltypes"
+)
+
+func benchKeys() [][]byte {
+	keys := make([][]byte, 256)
+	for i := range keys {
+		keys[i] = sqltypes.EncodeKey(nil, sqltypes.NewString(fmt.Sprint("g", i)))
+	}
+	return keys
+}
+
+func BenchmarkByteTableProbe(b *testing.B) {
+	keys := benchKeys()
+	tab := newByteTable(2500)
+	for _, k := range keys {
+		tab.getOrInsert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.getOrInsert(keys[i&255])
+	}
+}
+
+func BenchmarkMapProbe(b *testing.B) {
+	keys := benchKeys()
+	m := make(map[string]int32, 2500)
+	for i, k := range keys {
+		m[string(k)] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[string(keys[i&255])]
+	}
+}

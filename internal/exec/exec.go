@@ -32,15 +32,27 @@
 // rows lazily through Batch.RowView. Pipelines the kernel compiler cannot
 // handle fall back to the classic operator chain with identical semantics.
 //
+// # Parallel partitioned scans
+//
+// Scan pipelines over large snapshots fan out across worker goroutines:
+// the snapshot is split into contiguous partitions, each worker runs its
+// own copy of the pipeline, and a merge stage re-emits batches in
+// partition order so results match the serial scan row for row.
+// Aggregations over such pipelines build thread-local group tables and
+// combine them with expr.AggState.Merge. Options.Workers (PRAGMA workers)
+// sets the fan-out; the default is one worker per CPU, engaging only past
+// a snapshot-size threshold. See parallel.go.
+//
 // # Allocation-free hash paths
 //
 // Hash aggregation, hash join, distinct and the set operations key their
 // tables through a reusable []byte scratch buffer
-// (sqltypes.EncodeKey(buf[:0], ...)) and look up via the map[string(buf)]
-// idiom the compiler optimizes to a no-copy access; a key string is
-// allocated only when a new entry is inserted. Seen-sets are
-// map[string]struct{}. Hash tables are pre-sized from plan cardinality
-// hints (plan.EstimateRows).
+// (sqltypes.EncodeKey(buf[:0], ...)) probed in an open-addressing table
+// keyed by raw key bytes (byteTable): each distinct key costs its bytes in
+// a shared slab — no per-entry key string, no map bucket. The table's
+// dense entry indexes address flat side arrays (group states, join
+// buckets, multiset counts). Hash tables are pre-sized from plan
+// cardinality hints (plan.EstimateRows).
 //
 // # Row-at-a-time compatibility
 //
@@ -140,6 +152,11 @@ type Options struct {
 	// BatchSize is the target rows-per-batch (0 = DefaultBatchSize). A
 	// *plan.Hint node in the plan overrides it for its subtree.
 	BatchSize int
+	// Workers is the scan/aggregation parallelism (0 = one worker per CPU,
+	// 1 = serial). A *plan.Hint node (PRAGMA workers) overrides it for its
+	// subtree. Parallelism only engages on snapshots large enough to repay
+	// the fan-out cost; see internal/exec/parallel.go.
+	Workers int
 }
 
 // Run materializes all rows produced by the plan.
@@ -181,15 +198,21 @@ func OpenBatch(n plan.Node, opts Options) (BatchIterator, error) {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
+	opts.Workers = resolveWorkers(opts.Workers)
 	return openBatch(n, opts)
 }
 
 func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 	// Fused fast path: collapse a Project?→Filter*→Scan chain into one
-	// columnar pass when every expression compiles to a vector kernel. On
-	// a partial match (say the projection is too rich but the filter is
-	// simple) the recursion below still fuses the inner sub-chain.
+	// columnar pass when every expression compiles to a vector kernel —
+	// partitioned across worker goroutines when the snapshot is large
+	// enough (see parallel.go). On a partial match (say the projection is
+	// too rich but the filter is simple) the recursion below still fuses
+	// the inner sub-chain.
 	if scan, filters, proj, ok := plan.ScanPipeline(n); ok {
+		if ps, parallel := newParallelScan(scan, filters, proj, opts); parallel {
+			return ps, nil
+		}
 		if it, compiled := newFusedScan(scan, filters, proj, opts); compiled {
 			return it, nil
 		}
@@ -199,8 +222,14 @@ func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 		if x.BatchSize > 0 {
 			opts.BatchSize = x.BatchSize
 		}
+		if x.Workers > 0 {
+			opts.Workers = x.Workers
+		}
 		return openBatch(x.Input, opts)
 	case *plan.Scan:
+		if ps, parallel := newParallelScan(x, nil, nil, opts); parallel {
+			return ps, nil
+		}
 		return newBatchScan(x, opts), nil
 	case *plan.Values:
 		return newBatchValues(x, opts), nil
@@ -217,6 +246,9 @@ func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 		}
 		return newBatchProject(in, x, opts), nil
 	case *plan.Aggregate:
+		if pa, parallel := newParallelAgg(x, opts); parallel {
+			return pa, nil
+		}
 		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
@@ -237,6 +269,16 @@ func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 		}
 		return &batchSort{in: in, keys: x.Keys, size: opts.BatchSize}, nil
 	case *plan.Limit:
+		// A LIMIT whose input streams straight from a scan (through any
+		// chain of streaming operators — filters, projections, DISTINCT,
+		// nested limits) stops pulling after a few rows; the parallel
+		// scan's workers would still process their whole partitions into
+		// their buffers. Keep that subtree serial — it reads ~limit rows
+		// and stops. Pipeline breakers in between (Sort, Aggregate, Join)
+		// drain their input fully anyway, so parallelism stays on there.
+		if x.Limit >= 0 && streamsFromScan(x.Input) {
+			opts.Workers = 1
+		}
 		in, err := openBatch(x.Input, opts)
 		if err != nil {
 			return nil, err
@@ -246,6 +288,31 @@ func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 		return newBatchSetOp(x, opts)
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}
+
+// streamsFromScan reports whether n produces rows incrementally straight
+// off a table scan: a chain of streaming operators (Filter, Project,
+// Distinct, Limit) ending in a Scan, with no pipeline breaker that would
+// drain its input regardless of how little the consumer pulls.
+func streamsFromScan(n plan.Node) bool {
+	for {
+		switch x := n.(type) {
+		case *plan.Filter:
+			n = x.Input
+		case *plan.Project:
+			n = x.Input
+		case *plan.Distinct:
+			n = x.Input
+		case *plan.Limit:
+			n = x.Input
+		case *plan.Hint:
+			n = x.Input
+		case *plan.Scan:
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // --- Iterator <-> BatchIterator adapters ---

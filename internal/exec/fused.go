@@ -99,10 +99,25 @@ func (ls *loadSet) vectors() []*sqltypes.Vector {
 	return out
 }
 
-// newFusedScan compiles the matched pipeline into a fused iterator. ok is
-// false when any predicate or projection expression falls outside the
-// kernel compiler's reach; the caller then builds the classic chain.
+// newFusedScan compiles the matched pipeline into a fused iterator over a
+// fresh table snapshot. ok is false when any predicate or projection
+// expression falls outside the kernel compiler's reach; the caller then
+// builds the classic chain.
 func newFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (*fusedScan, bool) {
+	it, ok := compileFusedScan(scan, filters, proj, opts)
+	if !ok {
+		return nil, false
+	}
+	// Rows copies the slice header under the table lock (see batchScan).
+	it.rows = scan.Table.Rows()
+	return it, true
+}
+
+// compileFusedScan builds the fused iterator without attaching a row
+// snapshot. The parallel scan compiles one instance per worker — kernels
+// and vectors are per-instance state, so each worker owns its own — and
+// assigns each a snapshot partition.
+func compileFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (*fusedScan, bool) {
 	full := scan.FullSchema()
 	// outCol maps a scan-output column position to its full-schema
 	// position (identity without projection pruning).
@@ -186,8 +201,6 @@ func newFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts
 		}
 		it.slab = newValueSlab(len(it.outCols), opts.BatchSize)
 	}
-	// Rows copies the slice header under the table lock (see batchScan).
-	it.rows = scan.Table.Rows()
 	return it, true
 }
 

@@ -23,55 +23,67 @@ func presize(hint int) int {
 	return hint
 }
 
-// rowKeySet is a seen-set over encoded row keys. All lookups run through a
-// reusable scratch buffer; a key string is allocated only when a row is
-// first added. It is the one key-encoding helper shared by distinct,
-// UNION and INTERSECT (formerly three hand-rolled map[string] variants).
+// rowKeySet is a seen-set over encoded row keys, backed by the
+// open-addressing byteTable: adding a row costs its encoded bytes in the
+// shared key slab, never a key-string allocation. It is the one
+// key-encoding helper shared by distinct, UNION and INTERSECT (formerly
+// three hand-rolled map[string] variants).
 type rowKeySet struct {
-	m   map[string]struct{}
+	t   byteTable
 	buf []byte
 }
 
+// keyTableHint caps pre-sizing for tables built from cardinality
+// estimates: the estimate is routinely 10x high (distinct counts, filter
+// selectivity), and an oversized sparse slot array costs a cache miss per
+// probe. Beyond the cap the table grows itself — slot-array rehashes are
+// cheap and never touch key bytes.
+func keyTableHint(hint int) int {
+	const maxEstimatePresize = 1024
+	if hint > maxEstimatePresize {
+		return maxEstimatePresize
+	}
+	return presize(hint)
+}
+
 func newRowKeySet(hint int) rowKeySet {
-	return rowKeySet{m: make(map[string]struct{}, presize(hint))}
+	return rowKeySet{t: newByteTable(keyTableHint(hint))}
 }
 
 // add inserts the row's key, reporting whether it was absent.
 func (s *rowKeySet) add(r sqltypes.Row) bool {
 	s.buf = sqltypes.EncodeKey(s.buf[:0], r...)
-	if _, ok := s.m[string(s.buf)]; ok {
-		return false
-	}
-	s.m[string(s.buf)] = struct{}{}
-	return true
+	_, inserted := s.t.getOrInsert(s.buf)
+	return inserted
 }
 
 // rowKeyCounter is a multiset over encoded row keys (EXCEPT/INTERSECT
-// bookkeeping). Counts are boxed so existing keys are updated without
-// re-materializing the key string.
+// bookkeeping). Counts live in a flat slice addressed by the byteTable's
+// dense entry index, so existing keys are updated in place.
 type rowKeyCounter struct {
-	m   map[string]*int
-	buf []byte
+	t      byteTable
+	counts []int
+	buf    []byte
 }
 
 func newRowKeyCounter(hint int) rowKeyCounter {
-	return rowKeyCounter{m: make(map[string]*int, presize(hint))}
+	return rowKeyCounter{t: newByteTable(keyTableHint(hint))}
 }
 
 func (c *rowKeyCounter) add(r sqltypes.Row) {
 	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
-	if p, ok := c.m[string(c.buf)]; ok {
-		*p++
+	idx, inserted := c.t.getOrInsert(c.buf)
+	if inserted {
+		c.counts = append(c.counts, 1)
 		return
 	}
-	n := 1
-	c.m[string(c.buf)] = &n
+	c.counts[idx]++
 }
 
 func (c *rowKeyCounter) count(r sqltypes.Row) int {
 	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
-	if p, ok := c.m[string(c.buf)]; ok {
-		return *p
+	if idx, ok := c.t.get(c.buf); ok {
+		return c.counts[idx]
 	}
 	return 0
 }
@@ -79,8 +91,8 @@ func (c *rowKeyCounter) count(r sqltypes.Row) int {
 // take decrements the row's count if positive, reporting whether it did.
 func (c *rowKeyCounter) take(r sqltypes.Row) bool {
 	c.buf = sqltypes.EncodeKey(c.buf[:0], r...)
-	if p, ok := c.m[string(c.buf)]; ok && *p > 0 {
-		*p--
+	if idx, ok := c.t.get(c.buf); ok && c.counts[idx] > 0 {
+		c.counts[idx]--
 		return true
 	}
 	return false
@@ -117,9 +129,11 @@ func (p *statePool) get() expr.AggState {
 
 // batchAgg is the hash aggregation operator. Groups live in index-addressed
 // flat arrays (group key rows from a value slab, accumulator states in one
-// flat slice, the hash table mapping encoded key -> group index), so the
-// per-group allocation cost is the map's key string plus amortized block
-// growth — nothing else.
+// flat slice, the open-addressing byteTable mapping encoded key -> group
+// index), so the per-group allocation cost is amortized block growth only —
+// no map entry and no key-string allocation. The parallel aggregation
+// wrapper (parallelAgg) runs one batchAgg per snapshot partition as the
+// thread-local table and merges them through the retained table field.
 type batchAgg struct {
 	in   BatchIterator
 	node *plan.Aggregate
@@ -127,6 +141,7 @@ type batchAgg struct {
 	est  int
 
 	built   bool
+	table   byteTable       // encoded group key -> dense group index
 	groups  []sqltypes.Row  // group key values, first-seen order
 	states  []expr.AggState // len(node.Aggs) accumulators per group, flat
 	pools   []statePool     // one per aggregate
@@ -154,9 +169,9 @@ func newBatchAgg(in BatchIterator, node *plan.Aggregate, opts Options) *batchAgg
 }
 
 func (it *batchAgg) build() error {
-	// Group count is bounded by input cardinality; assume moderate
-	// grouping when pre-sizing.
-	table := make(map[string]int32, presize(it.est/8))
+	// Group counts are bounded by input cardinality but usually far below
+	// it; start from the estimate-capped size and let the table grow.
+	it.table = newByteTable(keyTableHint(it.est / 8))
 	keyScratch := make(sqltypes.Row, len(it.node.GroupBy))
 	var keyBuf []byte
 	nAggs := len(it.node.Aggs)
@@ -178,10 +193,8 @@ func (it *batchAgg) build() error {
 				keyScratch[i] = v
 			}
 			keyBuf = sqltypes.EncodeKey(keyBuf[:0], keyScratch...)
-			gi, ok := table[string(keyBuf)] // no-copy lookup
-			if !ok {
-				gi = int32(len(it.groups))
-				table[string(keyBuf)] = gi // key string allocated once per group
+			gi, inserted := it.table.getOrInsert(keyBuf)
+			if inserted { // gi == len(it.groups): dense first-seen order
 				kv := it.keySlab.newRow()
 				copy(kv, keyScratch)
 				it.groups = append(it.groups, kv)
@@ -267,10 +280,11 @@ type batchJoin struct {
 	buildLeft bool
 
 	buildRows    []sqltypes.Row
-	hash         map[string]*joinBucket // equi-key build table (nil = cross/theta)
-	buckets      []joinBucket           // bucket arena (cap fixed, pointers stable)
-	cand         []int                  // reusable candidate scratch
-	allBuild     []int                  // cached candidate list for cross/theta joins
+	hashed       bool      // equi-key build table present (false = cross/theta)
+	hash         byteTable // encoded equi key -> bucket index
+	buckets      []joinBucket
+	cand         []int // reusable candidate scratch
+	allBuild     []int // cached candidate list for cross/theta joins
 	keyBuf       []byte
 	keyScratch   sqltypes.Row
 	buildMatched []bool
@@ -348,10 +362,10 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 		return nil, err
 	}
 	if len(j.EquiLeft) > 0 {
-		it.hash = make(map[string]*joinBucket, presize(len(buildRows)))
-		// One bucket per distinct key, at most one per build row: a single
-		// fixed-cap arena keeps bucket pointers stable with no per-key
-		// allocation.
+		it.hashed = true
+		it.hash = newByteTable(presize(len(buildRows)))
+		// One bucket per distinct key, addressed by the table's dense entry
+		// index — no per-key allocation, no key string.
 		it.buckets = make([]joinBucket, 0, len(buildRows))
 		it.keyScratch = make(sqltypes.Row, len(buildKeys))
 		for i, r := range buildRows {
@@ -361,11 +375,10 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 			it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
 			// SQL equality: NULL keys never match; they stay in the table
 			// only via buildMatched for outer-tail emission.
-			if b := it.hash[string(it.keyBuf)]; b != nil {
-				b.rest = append(b.rest, i)
-			} else {
+			if bi, inserted := it.hash.getOrInsert(it.keyBuf); inserted {
 				it.buckets = append(it.buckets, joinBucket{first: i})
-				it.hash[string(it.keyBuf)] = &it.buckets[len(it.buckets)-1]
+			} else {
+				it.buckets[bi].rest = append(it.buckets[bi].rest, i)
 			}
 		}
 	} else {
@@ -380,7 +393,7 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 // matchBuild returns candidate build-row indexes for the probe row (valid
 // until the next call).
 func (it *batchJoin) matchBuild(p sqltypes.Row) []int {
-	if it.hash != nil {
+	if it.hashed {
 		if hasNullKey(p, it.probeKeys) {
 			return nil
 		}
@@ -388,10 +401,11 @@ func (it *batchJoin) matchBuild(p sqltypes.Row) []int {
 			it.keyScratch[k] = p[c]
 		}
 		it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
-		b := it.hash[string(it.keyBuf)]
-		if b == nil {
+		bi, ok := it.hash.get(it.keyBuf)
+		if !ok {
 			return nil
 		}
+		b := &it.buckets[bi]
 		if len(b.rest) == 0 {
 			it.cand = append(it.cand[:0], b.first)
 		} else {
@@ -435,7 +449,7 @@ func (it *batchJoin) probeOne(p sqltypes.Row) error {
 		}
 		// Equi keys matched via hash; re-check them in the no-hash
 		// (cross/theta) path, plus the residual predicate.
-		if it.hash == nil && len(it.node.EquiLeft) > 0 {
+		if !it.hashed && len(it.node.EquiLeft) > 0 {
 			eq := true
 			for k := range it.node.EquiLeft {
 				c, ok := sqltypes.CompareSQL(l[it.node.EquiLeft[k]], r[it.node.EquiRight[k]])

@@ -1,0 +1,340 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+	"openivm/internal/sqltypes"
+)
+
+// Parallel partitioned scans.
+//
+// The fused scan's chunk loop is embarrassingly parallel: the snapshot is
+// immutable for the life of the query, every chunk is independent, and the
+// pipeline's per-batch state (vectors, selection buffer, slabs) is owned by
+// the iterator. Parallel execution therefore partitions the snapshot into
+// contiguous ranges (catalog.Table.RowsPartitioned), gives each worker
+// goroutine its own compiled copy of the Scan→Filter→Project pipeline over
+// one partition, and merges the produced batches in partition order — so
+// the merged stream is row-for-row identical to the serial scan, and
+// everything downstream (DISTINCT, sorts, golden tests) observes the same
+// sequence.
+//
+// Aggregation gets its own parallel operator rather than consuming merged
+// batches: each worker aggregates its partition into a thread-local group
+// table (batchAgg over the partition pipeline) and a combine phase folds
+// the locals together with expr.AggState.Merge — the classic two-phase
+// parallel aggregation, with no locks on the hot path.
+//
+// Safety: worker pipelines either run per-worker compiled kernels (which
+// own all their mutable state) or, for expressions the kernel compiler
+// rejects, evaluate shared expr.Expr trees concurrently — allowed only
+// when every expression involved is expr.ParallelSafe. Expressions with
+// per-node scratch (ScalarFunc) or lazy caches (IN (SELECT …)) keep the
+// whole pipeline serial.
+
+const (
+	// minParallelRows is the snapshot size that must be exceeded before a
+	// scan fans out: below it, goroutine startup and batch re-heading cost
+	// more than the scan itself.
+	minParallelRows = 4096
+	// minPartitionRows bounds how finely a snapshot is split — every
+	// worker gets at least this many rows or stays home.
+	minPartitionRows = 2048
+)
+
+// resolveWorkers maps the Options/Hint worker knob to a concrete count
+// (0 or negative = one worker per CPU, the PRAGMA workers default).
+func resolveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// partitionCount returns how many partitions a totalRows-row snapshot
+// should split into for the configured worker count, or 1 when the scan
+// should stay serial.
+func partitionCount(totalRows, workers int) int {
+	if workers < 2 || totalRows <= minParallelRows {
+		return 1
+	}
+	parts := workers
+	if max := totalRows / minPartitionRows; parts > max {
+		parts = max
+	}
+	if parts < 2 {
+		return 1
+	}
+	return parts
+}
+
+// pipelineBuilder returns a factory that builds one scan-pipeline iterator
+// over a row partition, or ok=false when the pipeline cannot run
+// concurrently. The fused path always qualifies (each worker compiles its
+// own kernels); the classic fallback qualifies only when every expression
+// involved is expr.ParallelSafe, since its operators evaluate the shared
+// plan expressions directly.
+// The factory is not goroutine-safe; callers invoke it from one
+// goroutine (workers receive their pre-built iterators).
+func pipelineBuilder(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (func(rows []sqltypes.Row) BatchIterator, bool) {
+	if probe, ok := compileFusedScan(scan, filters, proj, opts); ok {
+		// The compilability probe is a fully usable instance; hand it to
+		// the first caller instead of compiling workers+1 times.
+		return func(rows []sqltypes.Row) BatchIterator {
+			it := probe
+			if it == nil {
+				it, _ = compileFusedScan(scan, filters, proj, opts)
+			}
+			probe = nil
+			it.rows = rows
+			return it
+		}, true
+	}
+	if !expr.ParallelSafe(scan.Filter) {
+		return nil, false
+	}
+	for _, f := range filters {
+		if !expr.ParallelSafe(f) {
+			return nil, false
+		}
+	}
+	if proj != nil {
+		for _, e := range proj.Exprs {
+			if !expr.ParallelSafe(e) {
+				return nil, false
+			}
+		}
+	}
+	return func(rows []sqltypes.Row) BatchIterator {
+		var it BatchIterator = newBatchScanRows(scan, rows, opts)
+		for _, f := range filters {
+			it = &batchFilter{in: it, pred: f}
+		}
+		if proj != nil {
+			it = newBatchProject(it, proj, opts)
+		}
+		return it
+	}, true
+}
+
+// parChunk is one merged unit from a scan worker: a batch's rows under a
+// fresh slice header (the rows themselves are durable, so only the header
+// is copied), or a worker error.
+type parChunk struct {
+	rows []sqltypes.Row
+	err  error
+}
+
+// parallelScan fans a partitioned snapshot out to worker goroutines and
+// merges their batches in partition order. Each worker's channel is sized
+// for every batch its partition can possibly produce, so workers never
+// block on a slow consumer and always run to completion — abandoning the
+// iterator early (LIMIT, join short-circuits) cannot leak a goroutine; at
+// worst the remaining workers finish scanning into their buffers and exit.
+// The flip side of leak-freedom without a Close protocol is that a
+// consumer slower than the scan gives no backpressure: up to the whole
+// surviving row-header set can sit buffered (rows themselves are shared
+// snapshot references, not copies). LIMIT-bounded streaming plans are
+// kept serial for this reason (see openBatch), and a Close/cancellation
+// protocol is on the roadmap to shrink the buffers to O(workers×batch).
+type parallelScan struct {
+	parts [][]sqltypes.Row
+	build func(rows []sqltypes.Row) BatchIterator
+	size  int
+
+	started bool
+	chans   []chan parChunk
+	cur     int
+	out     Batch
+}
+
+// newParallelScan builds the parallel operator for a matched scan pipeline
+// (filters/proj may be nil for a bare scan). ok=false means the caller
+// should run the serial path: too few rows or workers, or a pipeline that
+// is not safe to share across goroutines.
+func newParallelScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (BatchIterator, bool) {
+	parts := partitionCount(scan.Table.RowCount(), opts.Workers)
+	if parts < 2 {
+		return nil, false
+	}
+	build, ok := pipelineBuilder(scan, filters, proj, opts)
+	if !ok {
+		return nil, false
+	}
+	rowParts := scan.Table.RowsPartitioned(parts)
+	if len(rowParts) < 2 { // rows shrank under the snapshot lock
+		return nil, false
+	}
+	return &parallelScan{parts: rowParts, build: build, size: opts.BatchSize}, true
+}
+
+func (it *parallelScan) start() {
+	it.chans = make([]chan parChunk, len(it.parts))
+	for w := range it.parts {
+		part := it.parts[w]
+		// Capacity for every possible batch plus a trailing error, so the
+		// worker can never block on send.
+		ch := make(chan parChunk, (len(part)+it.size-1)/it.size+1)
+		it.chans[w] = ch
+		// Built here, not in the goroutine: the builder is single-threaded.
+		src := it.build(part)
+		go func(src BatchIterator, ch chan parChunk) {
+			defer close(ch)
+			for {
+				b, err := src.NextBatch()
+				if err != nil {
+					ch <- parChunk{err: err}
+					return
+				}
+				if b == nil {
+					return
+				}
+				v := b.RowView()
+				// Re-head the batch: the producer recycles the slice on its
+				// next NextBatch call, but the rows are durable.
+				ch <- parChunk{rows: append(make([]sqltypes.Row, 0, len(v)), v...)}
+			}
+		}(src, ch)
+	}
+}
+
+// NextBatch implements BatchIterator, draining workers in partition order.
+func (it *parallelScan) NextBatch() (*Batch, error) {
+	if !it.started {
+		it.start()
+		it.started = true
+	}
+	for it.cur < len(it.chans) {
+		c, ok := <-it.chans[it.cur]
+		if !ok {
+			it.cur++
+			continue
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		it.out.reset()
+		it.out.Rows = c.rows
+		return &it.out, nil
+	}
+	return nil, nil
+}
+
+// parallelAgg is two-phase parallel hash aggregation: one thread-local
+// batchAgg per snapshot partition, then a combine phase that folds every
+// local table into the first worker's with AggState.Merge. Because the
+// partitions are contiguous and locals are combined in partition order,
+// the output group order is exactly the serial operator's first-seen
+// order.
+type parallelAgg struct {
+	locals []*batchAgg
+	base   *batchAgg
+	merged bool
+}
+
+// newParallelAgg matches an Aggregate whose input is a partitionable scan
+// pipeline and whose aggregates can be combined. ok=false falls back to
+// the serial operator: DISTINCT aggregates (their states cannot merge),
+// unsafe expressions, non-pipeline inputs, or too little data.
+func newParallelAgg(node *plan.Aggregate, opts Options) (BatchIterator, bool) {
+	scan, filters, proj, ok := plan.ScanPipeline(node.Input)
+	if !ok {
+		if s, bare := node.Input.(*plan.Scan); bare {
+			scan = s
+		} else {
+			return nil, false
+		}
+	}
+	parts := partitionCount(scan.Table.RowCount(), opts.Workers)
+	if parts < 2 {
+		return nil, false
+	}
+	for _, a := range node.Aggs {
+		if !a.Mergeable() || !expr.ParallelSafe(a.Arg) {
+			return nil, false
+		}
+	}
+	for _, g := range node.GroupBy {
+		if !expr.ParallelSafe(g) {
+			return nil, false
+		}
+	}
+	build, ok := pipelineBuilder(scan, filters, proj, opts)
+	if !ok {
+		return nil, false
+	}
+	rowParts := scan.Table.RowsPartitioned(parts)
+	if len(rowParts) < 2 {
+		return nil, false
+	}
+	locals := make([]*batchAgg, len(rowParts))
+	for w, part := range rowParts {
+		locals[w] = newBatchAgg(build(part), node, opts)
+	}
+	return &parallelAgg{locals: locals}, true
+}
+
+// buildMerge runs every local build concurrently, then combines.
+func (it *parallelAgg) buildMerge() error {
+	errs := make([]error, len(it.locals))
+	var wg sync.WaitGroup
+	for w, la := range it.locals {
+		wg.Add(1)
+		go func(w int, la *batchAgg) {
+			defer wg.Done()
+			errs[w] = la.build()
+			la.built = true
+		}(w, la)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	base := it.locals[0]
+	nAggs := len(base.node.Aggs)
+	for _, la := range it.locals[1:] {
+		for gi := range la.groups {
+			key := la.table.keyAt(int32(gi))
+			bi, inserted := base.table.getOrInsert(key)
+			if inserted {
+				// New group: adopt the local's key row and states wholesale
+				// (both are durable — slab rows and block-allocated states).
+				base.groups = append(base.groups, la.groups[gi])
+				base.states = append(base.states, la.states[gi*nAggs:(gi+1)*nAggs]...)
+				continue
+			}
+			dst := base.states[int(bi)*nAggs : int(bi)*nAggs+nAggs]
+			src := la.states[gi*nAggs : gi*nAggs+nAggs]
+			for k := range dst {
+				if err := dst[k].Merge(src[k]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Global aggregate default row: a worker whose partition filtered down
+	// to nothing pre-rendered one; it only stands if every worker came up
+	// empty.
+	if len(base.groups) > 0 {
+		base.defRow = nil
+	}
+	it.base = base
+	return nil
+}
+
+// NextBatch implements BatchIterator.
+func (it *parallelAgg) NextBatch() (*Batch, error) {
+	if !it.merged {
+		if err := it.buildMerge(); err != nil {
+			return nil, err
+		}
+		it.merged = true
+	}
+	return it.base.NextBatch()
+}

@@ -111,9 +111,20 @@ func (a *Aggregate) String() string {
 type AggState interface {
 	// Add folds one input row into the state.
 	Add(row sqltypes.Row) error
+	// Merge folds another accumulator of the same aggregate into this one —
+	// the combine step of two-phase parallel aggregation, where each worker
+	// aggregates its partition into thread-local states and the partials
+	// are merged afterwards. other must come from the same *Aggregate.
+	Merge(other AggState) error
 	// Result produces the aggregate value.
 	Result() sqltypes.Value
 }
+
+// Mergeable reports whether the aggregate's partial states can be combined
+// with AggState.Merge. DISTINCT aggregates cannot: a value deduplicated
+// inside two partitions would be double-counted by merging the inner
+// states, so they must be evaluated on a single goroutine.
+func (a *Aggregate) Mergeable() bool { return !a.Distinct }
 
 // NewState returns a fresh accumulator for the aggregate.
 func (a *Aggregate) NewState() AggState {
@@ -186,9 +197,8 @@ func (a *Aggregate) FillStates(dst []AggState) {
 }
 
 type sumState struct {
-	arg     Expr
-	sum     sqltypes.Value // NULL until first non-null input
-	isFloat bool
+	arg Expr
+	sum sqltypes.Value // NULL until first non-null input
 }
 
 func (s *sumState) Add(row sqltypes.Row) error {
@@ -201,10 +211,29 @@ func (s *sumState) Add(row sqltypes.Row) error {
 	}
 	if s.sum.IsNull() {
 		s.sum = v
-		s.isFloat = v.T == sqltypes.TypeFloat
 		return nil
 	}
 	sum, err := sqltypes.Arith('+', s.sum, v)
+	if err != nil {
+		return err
+	}
+	s.sum = sum
+	return nil
+}
+
+func (s *sumState) Merge(other AggState) error {
+	o, ok := other.(*sumState)
+	if !ok {
+		return fmt.Errorf("expr: cannot merge %T into SUM state", other)
+	}
+	if o.sum.IsNull() {
+		return nil
+	}
+	if s.sum.IsNull() {
+		s.sum = o.sum
+		return nil
+	}
+	sum, err := sqltypes.Arith('+', s.sum, o.sum)
 	if err != nil {
 		return err
 	}
@@ -231,6 +260,15 @@ func (s *countState) Add(row sqltypes.Row) error {
 	if !v.IsNull() {
 		s.n++
 	}
+	return nil
+}
+
+func (s *countState) Merge(other AggState) error {
+	o, ok := other.(*countState)
+	if !ok {
+		return fmt.Errorf("expr: cannot merge %T into COUNT state", other)
+	}
+	s.n += o.n
 	return nil
 }
 
@@ -261,6 +299,25 @@ func (s *minmaxState) Add(row sqltypes.Row) error {
 	return nil
 }
 
+func (s *minmaxState) Merge(other AggState) error {
+	o, ok := other.(*minmaxState)
+	if !ok {
+		return fmt.Errorf("expr: cannot merge %T into MIN/MAX state", other)
+	}
+	if o.best.IsNull() {
+		return nil
+	}
+	if s.best.IsNull() {
+		s.best = o.best
+		return nil
+	}
+	c := sqltypes.Compare(o.best, s.best)
+	if (s.isMin && c < 0) || (!s.isMin && c > 0) {
+		s.best = o.best
+	}
+	return nil
+}
+
 func (s *minmaxState) Result() sqltypes.Value { return s.best }
 
 type avgState struct {
@@ -279,6 +336,16 @@ func (s *avgState) Add(row sqltypes.Row) error {
 	}
 	s.sum += v.AsFloat()
 	s.n++
+	return nil
+}
+
+func (s *avgState) Merge(other AggState) error {
+	o, ok := other.(*avgState)
+	if !ok {
+		return fmt.Errorf("expr: cannot merge %T into AVG state", other)
+	}
+	s.sum += o.sum
+	s.n += o.n
 	return nil
 }
 
@@ -307,6 +374,13 @@ func (s *distinctState) Add(row sqltypes.Row) error {
 	}
 	s.seen[string(s.buf)] = struct{}{}
 	return s.inner.Add(row)
+}
+
+// Merge is unsupported: each partial deduplicates independently, so
+// merging inner states would double-count values seen in two partitions.
+// The executor checks Aggregate.Mergeable before parallelizing.
+func (s *distinctState) Merge(other AggState) error {
+	return fmt.Errorf("expr: DISTINCT aggregate states cannot be merged")
 }
 
 func (s *distinctState) Result() sqltypes.Value { return s.inner.Result() }

@@ -1,0 +1,50 @@
+package expr
+
+// ParallelSafe reports whether e may be evaluated concurrently from
+// multiple goroutines. Almost every bound expression is read-only at Eval
+// time; the exceptions carry per-node mutable state — ScalarFunc reuses an
+// argument scratch buffer across calls, and InQuery's Fetch closure
+// populates a lazy result cache — so a tree containing one must stay on a
+// single goroutine. Unknown node kinds refuse, keeping the default
+// conservative if new Expr types appear.
+//
+// A nil expression (absent filter, COUNT(*) argument) is trivially safe.
+func ParallelSafe(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Column, *Literal:
+		return true
+	case *Binary:
+		return ParallelSafe(x.Left) && ParallelSafe(x.Right)
+	case *Unary:
+		return ParallelSafe(x.Operand)
+	case *IsNull:
+		return ParallelSafe(x.Operand)
+	case *In:
+		if !ParallelSafe(x.Operand) {
+			return false
+		}
+		for _, item := range x.List {
+			if !ParallelSafe(item) {
+				return false
+			}
+		}
+		return true
+	case *Between:
+		return ParallelSafe(x.Operand) && ParallelSafe(x.Lo) && ParallelSafe(x.Hi)
+	case *Case:
+		if x.Operand != nil && !ParallelSafe(x.Operand) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !ParallelSafe(w.When) || !ParallelSafe(w.Then) {
+				return false
+			}
+		}
+		return x.Else == nil || ParallelSafe(x.Else)
+	case *Cast:
+		return ParallelSafe(x.Operand)
+	}
+	return false
+}

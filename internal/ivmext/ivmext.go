@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"openivm/internal/catalog"
 	"openivm/internal/duckast"
@@ -50,8 +51,20 @@ type Extension struct {
 	// trigger installed (several views may share one base table).
 	captured map[string]bool
 
-	// refreshing guards against re-entrant lazy refresh during propagation.
-	refreshing bool
+	// refreshMu serializes propagation: two concurrent refreshes
+	// interleaving one view's multi-statement script would double-apply or
+	// lose deltas.
+	refreshMu sync.Mutex
+
+	// refreshing guards against re-entrant lazy refresh during propagation
+	// (the propagation script's own SELECTs pass through the statement
+	// hook). Atomic: concurrent readers consult it while the propagating
+	// goroutine flips it. A reader observing true skips lazy refresh for
+	// its views — even ones unrelated to the in-flight propagation — so
+	// concurrent reads may see a staleness window while any refresh runs
+	// (same skip the pre-parallel code made; a per-goroutine re-entrancy
+	// guard would let readers block and refresh instead, see ROADMAP).
+	refreshing atomic.Bool
 
 	// prepared caches propagation scripts parsed into statements, keyed by
 	// the (immutable) compiled script, so a refresh re-executes the stored
@@ -134,12 +147,12 @@ func (ext *Extension) statementHook(db *engine.DB, stmt sqlparser.Statement) (bo
 		// Lazy mode: refresh any stale materialized view the query touches
 		// before letting normal execution proceed (the paper models this
 		// as an implicit table function ahead of the plan).
-		if ext.refreshing {
+		if ext.refreshing.Load() {
 			return false, nil, nil
 		}
 		for _, name := range referencedTables(st) {
 			if comp := ext.lookup(name); comp != nil && ext.pendingDeltas(comp) {
-				ext.Stats.LazyRefreshes++
+				ext.bumpStat(&ext.Stats.LazyRefreshes)
 				if err := ext.Refresh(name); err != nil {
 					return true, nil, err
 				}
@@ -148,6 +161,15 @@ func (ext *Extension) statementHook(db *engine.DB, stmt sqlparser.Statement) (bo
 		return false, nil, nil
 	}
 	return false, nil, nil
+}
+
+// bumpStat increments a Stats counter under the extension mutex — the
+// counters are written from both the statement hook (reader goroutines
+// under lazy refresh) and the propagation path.
+func (ext *Extension) bumpStat(p *int) {
+	ext.mu.Lock()
+	*p++
+	ext.mu.Unlock()
 }
 
 func (ext *Extension) lookup(view string) *ivm.Compilation {
@@ -279,7 +301,7 @@ func (ext *Extension) capture(deltaTable string, ev engine.TriggerEvent, oldRows
 			if err := dt.Insert(dr); err != nil {
 				return err
 			}
-			ext.Stats.DeltasCaught++
+			ext.bumpStat(&ext.Stats.DeltasCaught)
 		}
 		return nil
 	}
@@ -301,7 +323,7 @@ func (ext *Extension) capture(deltaTable string, ev engine.TriggerEvent, oldRows
 		}
 	}
 	if ext.eager() {
-		ext.Stats.EagerRefreshes++
+		ext.bumpStat(&ext.Stats.EagerRefreshes)
 		return ext.refreshByDelta(deltaTable)
 	}
 	return nil
@@ -355,6 +377,12 @@ func (ext *Extension) Refresh(view string) error {
 // Running each view's standalone script instead would truncate ΔT before
 // sibling views consumed it.
 func (ext *Extension) propagate(target *ivm.Compilation) error {
+	// One propagation at a time: the multi-statement scripts are not safe
+	// to interleave (a second refresh could consume or truncate deltas the
+	// first is mid-way through applying).
+	ext.refreshMu.Lock()
+	defer ext.refreshMu.Unlock()
+
 	ext.mu.Lock()
 	group := map[string]*ivm.Compilation{strings.ToLower(target.ViewName): target}
 	deltas := map[string]bool{}
@@ -389,12 +417,12 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 	sort.Strings(names)
 	ext.mu.Unlock()
 
-	ext.refreshing = true
-	defer func() { ext.refreshing = false }()
+	ext.refreshing.Store(true)
+	defer ext.refreshing.Store(false)
 	return ext.db.WithoutTriggers(func() error {
 		for _, n := range names {
 			comp := group[n]
-			ext.Stats.Propagations++
+			ext.bumpStat(&ext.Stats.Propagations)
 			stmts, err := ext.preparedScript(ext.chooseBody(comp), comp.Options.Dialect)
 			if err != nil {
 				return fmt.Errorf("ivmext: propagation for %s: %w", comp.ViewName, err)

@@ -3,14 +3,18 @@ package plan
 import "fmt"
 
 // Hint is a semantics-preserving pass-through node carrying executor
-// tuning knobs resolved at plan time — today the batch size selected by
-// PRAGMA batch_size. The engine wraps the optimized plan root with it; the
-// executor unwraps it and applies the knobs to the whole subtree.
+// tuning knobs resolved at plan time — the batch size selected by PRAGMA
+// batch_size and the scan parallelism selected by PRAGMA workers. The
+// engine wraps the optimized plan root with it; the executor unwraps it
+// and applies the knobs to the whole subtree.
 type Hint struct {
 	Input Node
 	// BatchSize is the target rows-per-batch for the subtree (0 = executor
 	// default).
 	BatchSize int
+	// Workers is the parallel-scan worker count for the subtree (0 =
+	// executor default, one worker per CPU; 1 = serial).
+	Workers int
 }
 
 // Schema implements Node.
@@ -20,7 +24,16 @@ func (h *Hint) Schema() []ColumnInfo { return h.Input.Schema() }
 func (h *Hint) Children() []Node { return []Node{h.Input} }
 
 // Describe implements Node.
-func (h *Hint) Describe() string { return fmt.Sprintf("Hint batch_size=%d", h.BatchSize) }
+func (h *Hint) Describe() string {
+	d := "Hint"
+	if h.BatchSize > 0 {
+		d += fmt.Sprintf(" batch_size=%d", h.BatchSize)
+	}
+	if h.Workers > 0 {
+		d += fmt.Sprintf(" workers=%d", h.Workers)
+	}
+	return d
+}
 
 // BuildOnLeft reports whether a hash join over j should build its hash
 // table on the left input and probe with the right one, instead of the
