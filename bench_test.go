@@ -330,9 +330,10 @@ func BenchmarkE7_JoinRecompute(b *testing.B) {
 // BenchmarkE9_FusedScan measures the columnar fused Scan→Filter→Project
 // pipeline (typed vector kernels, selection vectors, late
 // materialization) on a filter+projection query the kernel compiler fully
-// vectorizes. BenchmarkE9_UnfusedScan runs the same data volume through a
-// CASE projection the compiler rejects, exercising the classic boxed
-// operator chain as the comparison arm.
+// vectorizes. BenchmarkE9_UnfusedScan runs the same data volume through an
+// ABS projection the compiler rejects (scalar functions other than
+// COALESCE stay boxed; searched CASE fuses since PR 4), exercising the
+// classic boxed operator chain as the comparison arm.
 func BenchmarkE9_FusedScan(b *testing.B) {
 	db := loadWide(b)
 	b.ResetTimer()
@@ -345,7 +346,7 @@ func BenchmarkE9_UnfusedScan(b *testing.B) {
 	db := loadWide(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mustExecB(b, db, "SELECT CASE WHEN v % 4 = 0 THEN a + v ELSE 0 END FROM wide WHERE v % 4 = 0 AND a < 15000")
+		mustExecB(b, db, "SELECT ABS(a + v) FROM wide WHERE v % 4 = 0 AND a < 15000")
 	}
 }
 
@@ -405,6 +406,45 @@ func loadWide(b *testing.B) *engine.DB {
 		mustExecB(b, db, string(sb))
 	}
 	return db
+}
+
+// BenchmarkE2_ColumnarAgg measures the columnar hash-aggregation path
+// (PR 4): group keys and aggregate arguments evaluated as vector kernels
+// over a fused filter pipeline, group keys encoded column-wise into the
+// byteTable slab — no RowView materialization at the aggregate boundary.
+// Serial (workers=1) so the number isolates the columnar path itself.
+func BenchmarkE2_ColumnarAgg(b *testing.B) {
+	const rows, groups = 50000, 256
+	db := loadGroups(b, rows, groups)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustExecB(b, db, `SELECT group_index, SUM(group_value), COUNT(*)
+			FROM groups WHERE group_value >= 0 GROUP BY group_index`)
+	}
+}
+
+// BenchmarkE7_JoinBuild measures the hash-join build side at scale: the
+// build input (customers) is large enough to clear the parallel-build
+// threshold, so w4 exercises the radix-partitioned two-phase build while
+// w1 pins the serial single-partition build. On a single-core host the w4
+// arm records pure fan-out overhead; multi-core CI shows the scaling.
+func BenchmarkE7_JoinBuild(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			db := engine.Open("e7b", engine.DialectDuckDB)
+			mustExecB(b, db, fmt.Sprintf("PRAGMA workers = %d", w))
+			sales := workload.Sales{Customers: 20000, Orders: 30000, Regions: 8, Seed: 5}
+			if err := sales.Load(db, true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustExecB(b, db, `SELECT customers.region, SUM(orders.amount), COUNT(*)
+					FROM orders JOIN customers ON orders.cid = customers.cid
+					GROUP BY customers.region`)
+			}
+		})
+	}
 }
 
 // BenchmarkE8_AutoStrategy measures the cost-based combine choice (E8:

@@ -604,15 +604,6 @@ func (t *Table) Rows() []sqltypes.Row {
 	return out
 }
 
-// RowsPartitioned returns the live-row snapshot split into up to parts
-// contiguous, near-equal partitions — the parallel scan's unit of work.
-// Exactly one snapshot copy is taken (same isolation semantics as Rows);
-// the partitions alias it, so concatenating them in order yields the same
-// row sequence Rows would have returned.
-func (t *Table) RowsPartitioned(parts int) [][]sqltypes.Row {
-	return sqltypes.PartitionRows(t.Rows(), parts)
-}
-
 // LookupPK returns the row with the given primary-key values, if present.
 func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	if t.pkIndex == nil {
@@ -620,6 +611,32 @@ func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	}
 	// Stack buffer: readers run concurrently under RLock, so the shared
 	// write-path scratch is off limits here.
+	var buf [64]byte
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(buf[:0], vals...))
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot.(int)], true
+}
+
+// LookupPKRow is LookupPK with the key values taken from a full-width
+// candidate row — the upsert path's per-row existence probe. Stack
+// buffers keep the probe allocation-free (the INSERT OR REPLACE loop the
+// IVM combine step runs calls this once per source row).
+func (t *Table) LookupPKRow(row sqltypes.Row) (sqltypes.Row, bool) {
+	if t.pkIndex == nil {
+		return nil, false
+	}
+	var vbuf [8]sqltypes.Value
+	vals := vbuf[:0]
+	for _, p := range t.pkCols {
+		if p >= len(row) {
+			return nil, false
+		}
+		vals = append(vals, row[p])
+	}
 	var buf [64]byte
 	t.mu.RLock()
 	defer t.mu.RUnlock()

@@ -49,9 +49,24 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 		}
 	}
 
+	// Identity mapping — every column, in table order — is the shape of
+	// generated DML (IVM propagation scripts name the full column list).
+	// Source rows are durable and values immutable, so storage can adopt
+	// them without the per-row rebuild (the same aliasing contract
+	// catalog.Table.validate documents).
+	identity := len(colPos) == len(tbl.Columns)
+	for i, p := range colPos {
+		if p != i {
+			identity = false
+			break
+		}
+	}
 	buildRow := func(src sqltypes.Row) (sqltypes.Row, error) {
 		if len(src) != len(colPos) {
 			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(src), len(colPos))
+		}
+		if identity {
+			return src, nil
 		}
 		row := make(sqltypes.Row, len(tbl.Columns))
 		filled := make([]bool, len(tbl.Columns))
@@ -147,16 +162,20 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 				}
 				replacedOld = append(replacedOld, old)
 				replacedNew = append(replacedNew, merged)
-				db.logUndo(func() error { return tbl.Upsert(old) })
+				if db.txn != nil {
+					db.logUndo(func() error { return tbl.Upsert(old) })
+				}
 			} else {
 				if err := tbl.Insert(row); err != nil {
 					return nil, err
 				}
 				inserted = append(inserted, row)
-				db.logUndo(func() error {
-					_, derr := tbl.Delete(matchPK(tbl, row))
-					return derr
-				})
+				if db.txn != nil {
+					db.logUndo(func() error {
+						_, derr := tbl.Delete(matchPK(tbl, row))
+						return derr
+					})
+				}
 			}
 		}
 	}
@@ -182,11 +201,7 @@ func lookupByPK(tbl *catalog.Table, row sqltypes.Row) (sqltypes.Row, bool) {
 	if !tbl.HasPrimaryKey() {
 		return nil, false
 	}
-	vals := make([]sqltypes.Value, 0, len(tbl.PrimaryKeyColumns()))
-	for _, p := range tbl.PrimaryKeyColumns() {
-		vals = append(vals, row[p])
-	}
-	return tbl.LookupPK(vals...)
+	return tbl.LookupPKRow(row)
 }
 
 func matchPK(tbl *catalog.Table, row sqltypes.Row) func(sqltypes.Row) (bool, error) {

@@ -102,7 +102,33 @@ type DB struct {
 	triggersOff bool
 
 	txn *txnState
+
+	// Prepared-statement plan cache. PrepareScript marks its statements'
+	// SELECT bodies; PlanSelect then caches their bound+optimized plans so
+	// hot prepared scripts (IVM propagation re-runs the same generated
+	// statements on every refresh) skip binding and optimization entirely.
+	// schemaEpoch invalidates the cache on anything that could change a
+	// plan: DDL (tables, views, indexes, triggers) and pragma writes
+	// (batch_size/workers become plan.Hint nodes). Plans holding lazily
+	// cached query results (scalar/IN subqueries) are never cached — see
+	// expr.Reusable.
+	schemaEpoch int64
+	prepared    map[*sqlparser.SelectStmt]bool
+	planCache   map[*sqlparser.SelectStmt]cachedPlan
 }
+
+// cachedPlan is one plan-cache entry, valid while the schema epoch holds.
+type cachedPlan struct {
+	node  plan.Node
+	epoch int64
+}
+
+// preparedMarkerCap bounds the prepared-statement marker set (and with it
+// the plan cache, which only ever holds marked statements): beyond it,
+// PrepareScript stops marking new statements rather than grow without
+// limit under a caller that re-prepares the same script per request.
+// Unmarked statements still execute correctly — they just re-plan.
+const preparedMarkerCap = 4096
 
 // Open creates a fresh in-memory database with the given dialect.
 func Open(name string, dialect Dialect) *DB {
@@ -113,7 +139,22 @@ func Open(name string, dialect Dialect) *DB {
 		pragmas:      map[string]string{},
 		triggers:     map[string][]*trigger{},
 		trigHandlers: map[string]TriggerFunc{},
+		prepared:     map[*sqlparser.SelectStmt]bool{},
+		planCache:    map[*sqlparser.SelectStmt]cachedPlan{},
 	}
+}
+
+// bumpSchemaEpoch invalidates every cached prepared-statement plan. The
+// cache map is cleared outright: invalidated entries could never hit
+// again (their epoch can't recur), so dropping them frees the dead plan
+// trees instead of retaining them for the life of the DB. The prepared
+// marker set survives — prepared scripts outlive unrelated DDL and
+// re-enter the cache on their next execution.
+func (db *DB) bumpSchemaEpoch() {
+	db.mu.Lock()
+	db.schemaEpoch++
+	clear(db.planCache)
+	db.mu.Unlock()
 }
 
 // Catalog exposes the catalog (used by the IVM compiler and tests).
@@ -134,6 +175,11 @@ func (db *DB) SetPragma(name, value string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.pragmas[strings.ToLower(name)] = value
+	// Pragmas flow into plans (batch_size/workers as Hint nodes), so any
+	// change invalidates cached prepared-statement plans (cleared like
+	// bumpSchemaEpoch — dead entries would never hit again).
+	db.schemaEpoch++
+	clear(db.planCache)
 }
 
 // setPragmaChecked validates engine-owned pragmas before storing them.
@@ -279,18 +325,45 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 // every refresh) cache the result and execute via ExecStmts, skipping the
 // per-refresh parse.
 func (db *DB) PrepareScript(sql string) ([]sqlparser.Statement, error) {
-	if stmts, err := sqlparser.ParseScript(sql); err == nil {
-		return stmts, nil
-	}
-	var out []sqlparser.Statement
-	for _, piece := range SplitStatements(sql) {
-		st, err := db.Parse(piece)
-		if err != nil {
-			return nil, err
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		stmts = nil
+		for _, piece := range SplitStatements(sql) {
+			st, perr := db.Parse(piece)
+			if perr != nil {
+				return nil, perr
+			}
+			stmts = append(stmts, st)
 		}
-		out = append(out, st)
 	}
-	return out, nil
+	// Mark the SELECT bodies so PlanSelect caches their plans across
+	// executions. Because cached plans carry per-node evaluation scratch,
+	// one prepared statement list must not be executed from multiple
+	// goroutines at once (the IVM refresh path serializes on refreshMu).
+	db.mu.Lock()
+	// The marker set is expected to stay small (one entry per prepared
+	// script statement — the IVM extension prepares each propagation
+	// script once). A caller that re-prepares per request would grow it
+	// without bound, so past a generous cap newly prepared statements
+	// simply run uncached (they re-plan per execution, which is the
+	// pre-cache behavior); statements already marked keep their caching.
+	mark := func(sel *sqlparser.SelectStmt) {
+		if len(db.prepared) < preparedMarkerCap {
+			db.prepared[sel] = true
+		}
+	}
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.SelectStmt:
+			mark(x)
+		case *sqlparser.InsertStmt:
+			if x.Select != nil {
+				mark(x.Select)
+			}
+		}
+	}
+	db.mu.Unlock()
+	return stmts, nil
 }
 
 // ExecStmts executes pre-parsed statements in order, returning the last
@@ -393,6 +466,7 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		if st.Materialized {
 			return nil, fmt.Errorf("engine: CREATE MATERIALIZED VIEW requires the IVM extension (openivm/internal/ivmext)")
 		}
+		defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 		if err := db.cat.CreateView(st.Name, st.SourceSQL); err != nil {
 			return nil, err
 		}
@@ -467,6 +541,15 @@ func (db *DB) newBinder() *plan.Binder {
 // batch_size or PRAGMA workers is set, the root is wrapped in a plan.Hint
 // so the executor runs the whole tree with the requested knobs.
 func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
+	db.mu.Lock()
+	if cp, ok := db.planCache[sel]; ok && cp.epoch == db.schemaEpoch {
+		db.mu.Unlock()
+		return cp.node, nil
+	}
+	cacheWanted := db.prepared[sel]
+	epoch := db.schemaEpoch
+	db.mu.Unlock()
+
 	n, err := db.newBinder().BindSelect(sel)
 	if err != nil {
 		return nil, err
@@ -475,7 +558,58 @@ func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 	if bs, w := db.batchSize(), db.workers(); bs > 0 || w > 0 {
 		n = &plan.Hint{Input: n, BatchSize: bs, Workers: w}
 	}
+	if cacheWanted && planCacheable(n) {
+		db.mu.Lock()
+		if db.schemaEpoch == epoch { // schema unchanged while planning
+			db.planCache[sel] = cachedPlan{node: n, epoch: epoch}
+		}
+		db.mu.Unlock()
+	}
 	return n, nil
+}
+
+// planCacheable reports whether a bound plan may be re-executed verbatim:
+// every expression in every node must be expr.Reusable (no lazily cached
+// subquery results — see the field comment on DB.planCache). Unknown node
+// kinds refuse, keeping the default conservative if new plan nodes appear.
+func planCacheable(n plan.Node) bool {
+	ok := true
+	plan.Walk(n, func(nd plan.Node) bool {
+		switch x := nd.(type) {
+		case *plan.Scan:
+			ok = ok && expr.Reusable(x.Filter)
+		case *plan.Filter:
+			ok = ok && expr.Reusable(x.Pred)
+		case *plan.Project:
+			for _, e := range x.Exprs {
+				ok = ok && expr.Reusable(e)
+			}
+		case *plan.Aggregate:
+			for _, g := range x.GroupBy {
+				ok = ok && expr.Reusable(g)
+			}
+			for _, a := range x.Aggs {
+				ok = ok && expr.Reusable(a.Arg)
+			}
+		case *plan.Join:
+			ok = ok && expr.Reusable(x.On)
+		case *plan.Sort:
+			for _, k := range x.Keys {
+				ok = ok && expr.Reusable(k.Expr)
+			}
+		case *plan.Values:
+			for _, row := range x.Rows {
+				for _, e := range row {
+					ok = ok && expr.Reusable(e)
+				}
+			}
+		case *plan.Distinct, *plan.Limit, *plan.SetOp, *plan.Hint:
+		default:
+			ok = false
+		}
+		return ok
+	})
+	return ok
 }
 
 func (db *DB) execSelect(sel *sqlparser.SelectStmt) (*Result, error) {
@@ -511,6 +645,10 @@ func (db *DB) execExplain(st *sqlparser.ExplainStmt) (*Result, error) {
 }
 
 func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
+	// Deferred: the epoch must move only after the catalog mutation is
+	// visible, or a concurrently-planning prepared statement could cache a
+	// pre-DDL plan under the post-DDL epoch and never be invalidated.
+	defer db.bumpSchemaEpoch()
 	if st.AsSelect != nil {
 		n, err := db.PlanSelect(st.AsSelect)
 		if err != nil {
@@ -564,6 +702,7 @@ func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
 }
 
 func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
+	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 	tbl, err := db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -575,6 +714,7 @@ func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
 }
 
 func (db *DB) execDrop(st *sqlparser.DropStmt) (*Result, error) {
+	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 	switch st.Kind {
 	case "TABLE":
 		if err := db.cat.DropTable(st.Name, st.IfExists); err != nil {
@@ -602,6 +742,7 @@ func (db *DB) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 }
 
 func (db *DB) execCreateTrigger(st *sqlparser.CreateTriggerStmt) (*Result, error) {
+	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 	fn, ok := db.trigHandlers[strings.ToLower(st.Handler)]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown trigger handler %q", st.Handler)

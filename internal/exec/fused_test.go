@@ -121,6 +121,12 @@ func TestFusedMatchesClassic(t *testing.T) {
 		"SELECT s FROM nh WHERE s LIKE 's%'",
 		// bool column compared against literal
 		"SELECT i FROM nh WHERE b = TRUE",
+		// searched CASE (the IVM multiplicity shape), incl. missing ELSE
+		"SELECT CASE WHEN b = FALSE THEN -i ELSE i END FROM nh WHERE i <> 0",
+		"SELECT CASE WHEN i > 2 THEN f END FROM nh WHERE f IS NOT NULL",
+		// same-typed COALESCE and numeric CAST
+		"SELECT COALESCE(i, 0) + 1 FROM nh WHERE i <> 1",
+		"SELECT CAST(i AS DOUBLE) / 2, CAST(f AS INTEGER) FROM nh WHERE i IS NOT NULL",
 		// filter-only pipeline (row-reference output, no projection)
 		"SELECT i, f, s, b FROM nh WHERE i > 0",
 	}
@@ -147,9 +153,13 @@ func TestFusedMatchesClassic(t *testing.T) {
 func TestFusedFallback(t *testing.T) {
 	c := nullHeavyCatalog(t, 500)
 	queries := []string{
-		// CASE and COALESCE don't compile to kernels
-		"SELECT CASE WHEN i > 0 THEN 1 ELSE 0 END FROM nh WHERE i <> 0",
-		"SELECT COALESCE(i, 0) FROM nh WHERE f > 1.0",
+		// Simple CASE (with operand) is outside the kernel compiler;
+		// searched CASE compiles since PR 4.
+		"SELECT CASE i WHEN 1 THEN 10 ELSE 0 END FROM nh WHERE i <> 0",
+		// Mixed-type COALESCE keeps the boxed first-non-NULL semantics.
+		"SELECT COALESCE(f, 0) FROM nh WHERE f > 1.0",
+		// Other scalar functions stay boxed.
+		"SELECT ABS(i) FROM nh WHERE i <> 0",
 		// BETWEEN keeps the boxed evaluator's NULL quirks
 		"SELECT i FROM nh WHERE i BETWEEN 0 AND 5",
 	}

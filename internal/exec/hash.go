@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"openivm/internal/expr"
 	"openivm/internal/plan"
@@ -150,6 +151,36 @@ type batchAgg struct {
 	pos     int
 	out     Batch
 	slab    valueSlab
+
+	col colAgg // columnar input path (see colagg.go)
+
+	// First-seen tags, tracked only when the input is a morsel source
+	// (dynamic work assignment): tags[g] orders group g by where its first
+	// row sits in the serial stream, so the parallel combine can restore
+	// the serial operator's first-seen group order. emitOrder, when set,
+	// remaps output position -> group index.
+	tags      []int64
+	batchBase int64 // tag of the current batch's first row (-1 = untagged)
+	emitOrder []int32
+}
+
+// taggedSource is implemented by inputs that can order their batches
+// globally (the morsel source); batchTag returns the serial-stream tag of
+// the current batch's first row.
+type taggedSource interface {
+	batchTag() int64
+}
+
+// noteGroup registers a fresh group: its key row, one accumulator per
+// aggregate, and — under a tagged input — its first-seen tag.
+func (it *batchAgg) noteGroup(kv sqltypes.Row, rowInBatch int64) {
+	it.groups = append(it.groups, kv)
+	for i := range it.pools {
+		it.states = append(it.states, it.pools[i].get())
+	}
+	if it.batchBase >= 0 {
+		it.tags = append(it.tags, it.batchBase+rowInBatch)
+	}
 }
 
 func newBatchAgg(in BatchIterator, node *plan.Aggregate, opts Options) *batchAgg {
@@ -175,6 +206,8 @@ func (it *batchAgg) build() error {
 	keyScratch := make(sqltypes.Row, len(it.node.GroupBy))
 	var keyBuf []byte
 	nAggs := len(it.node.Aggs)
+	tagSrc, _ := it.in.(taggedSource)
+	it.batchBase = -1
 
 	for {
 		b, err := it.in.NextBatch()
@@ -184,7 +217,18 @@ func (it *batchAgg) build() error {
 		if b == nil {
 			break
 		}
-		for _, r := range b.RowView() {
+		if tagSrc != nil {
+			it.batchBase = tagSrc.batchTag()
+		}
+		// Columnar fast path: kernel-evaluated keys and arguments (see
+		// colagg.go); falls through to the row loop when unavailable.
+		if handled, err := it.accumulateColumnar(b); handled || err != nil {
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		for ri, r := range b.RowView() {
 			for i, g := range it.node.GroupBy {
 				v, err := g.Eval(r)
 				if err != nil {
@@ -197,10 +241,7 @@ func (it *batchAgg) build() error {
 			if inserted { // gi == len(it.groups): dense first-seen order
 				kv := it.keySlab.newRow()
 				copy(kv, keyScratch)
-				it.groups = append(it.groups, kv)
-				for i := range it.pools {
-					it.states = append(it.states, it.pools[i].get())
-				}
+				it.noteGroup(kv, int64(ri))
 			}
 			for _, st := range it.states[int(gi)*nAggs : int(gi)*nAggs+nAggs] {
 				if err := st.Add(r); err != nil {
@@ -241,10 +282,14 @@ func (it *batchAgg) NextBatch() (*Batch, error) {
 	it.out.reset()
 	nAggs := len(it.node.Aggs)
 	for it.pos < len(it.groups) && len(it.out.Rows) < it.size {
-		kv := it.groups[it.pos]
+		gi := it.pos
+		if it.emitOrder != nil {
+			gi = int(it.emitOrder[it.pos])
+		}
+		kv := it.groups[gi]
 		row := it.slab.newRow()
 		n := copy(row, kv)
-		for i, st := range it.states[it.pos*nAggs : it.pos*nAggs+nAggs] {
+		for i, st := range it.states[gi*nAggs : gi*nAggs+nAggs] {
 			row[n+i] = st.Result()
 		}
 		it.pos++
@@ -264,6 +309,14 @@ type joinBucket struct {
 	rest  []int
 }
 
+// joinPart is one radix partition of the build-side hash table: the key
+// directory plus its dense-index-addressed buckets. A serial build is the
+// degenerate single-partition case.
+type joinPart struct {
+	table   byteTable
+	buckets []joinBucket
+}
+
 // batchJoin is the hash-join operator. The build side is materialized into
 // a hash table keyed by the equi-join columns; the probe side streams
 // through it batch by batch. Which child becomes the build side is a
@@ -279,10 +332,14 @@ type batchJoin struct {
 	// always produces left-then-right column order regardless.
 	buildLeft bool
 
-	buildRows    []sqltypes.Row
-	hashed       bool      // equi-key build table present (false = cross/theta)
-	hash         byteTable // encoded equi key -> bucket index
-	buckets      []joinBucket
+	buildRows []sqltypes.Row
+	hashed    bool // equi-key build table present (false = cross/theta)
+	// parts is the build-side hash directory, split by the high bits of the
+	// key hash (hash >> radixShift selects the partition). A single
+	// partition with radixShift 32 is the serial build; the parallel radix
+	// build produces one partition per worker (see buildHashTable).
+	parts        []joinPart
+	radixShift   uint
 	cand         []int // reusable candidate scratch
 	allBuild     []int // cached candidate list for cross/theta joins
 	keyBuf       []byte
@@ -363,24 +420,8 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 	}
 	if len(j.EquiLeft) > 0 {
 		it.hashed = true
-		it.hash = newByteTable(presize(len(buildRows)))
-		// One bucket per distinct key, addressed by the table's dense entry
-		// index — no per-key allocation, no key string.
-		it.buckets = make([]joinBucket, 0, len(buildRows))
 		it.keyScratch = make(sqltypes.Row, len(buildKeys))
-		for i, r := range buildRows {
-			for k, p := range buildKeys {
-				it.keyScratch[k] = r[p]
-			}
-			it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
-			// SQL equality: NULL keys never match; they stay in the table
-			// only via buildMatched for outer-tail emission.
-			if bi, inserted := it.hash.getOrInsert(it.keyBuf); inserted {
-				it.buckets = append(it.buckets, joinBucket{first: i})
-			} else {
-				it.buckets[bi].rest = append(it.buckets[bi].rest, i)
-			}
-		}
+		it.buildHashTable(opts)
 	} else {
 		it.allBuild = make([]int, len(buildRows))
 		for i := range it.allBuild {
@@ -388,6 +429,127 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 		}
 	}
 	return it, nil
+}
+
+// buildHashTable builds the equi-key directory over it.buildRows. Small
+// build sides are built serially into one partition. Past the parallel
+// threshold, the build runs two phases across worker goroutines, the
+// parallel sibling of parallelAgg's thread-local tables: (A) contiguous
+// row chunks are key-encoded and hashed concurrently; (B) each worker owns
+// one radix partition — the high radixShift bits of the hash — and builds
+// that partition's byteTable from every chunk's pre-hashed keys. Because a
+// key's hash pins it to exactly one partition, no two workers ever touch
+// the same bucket (no locks, no cross-worker merge), and because each
+// partition scans the chunks in order, bucket contents stay in ascending
+// build-row order — probe output is row-for-row identical to the serial
+// build.
+func (it *batchJoin) buildHashTable(opts Options) {
+	rows := it.buildRows
+	nparts := 1
+	if chunks := partitionCount(len(rows), opts.Workers); chunks > 1 {
+		for nparts < chunks {
+			nparts <<= 1
+		}
+		// Round DOWN to a power of two: rounding up would exceed the
+		// workers knob and drop partitions below the minPartitionRows
+		// floor partitionCount just enforced.
+		if nparts > chunks {
+			nparts >>= 1
+		}
+	}
+	if nparts == 1 {
+		it.radixShift = 32 // hash>>32 == 0: everything routes to partition 0
+		it.parts = make([]joinPart, 1)
+		p := &it.parts[0]
+		p.table = newByteTable(presize(len(rows)))
+		// One bucket per distinct key, addressed by the table's dense entry
+		// index — no per-key allocation, no key string.
+		p.buckets = make([]joinBucket, 0, len(rows))
+		for i, r := range rows {
+			for k, c := range it.buildKeys {
+				it.keyScratch[k] = r[c]
+			}
+			it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
+			// SQL equality: NULL keys never match; they stay in the table
+			// only via buildMatched for outer-tail emission.
+			if bi, inserted := p.table.getOrInsert(it.keyBuf); inserted {
+				p.buckets = append(p.buckets, joinBucket{first: i})
+			} else {
+				p.buckets[bi].rest = append(p.buckets[bi].rest, i)
+			}
+		}
+		return
+	}
+
+	shift := uint(32)
+	for n := nparts; n > 1; n >>= 1 {
+		shift--
+	}
+	it.radixShift = shift
+
+	// Phase A: encode and hash every build key, one goroutine per
+	// contiguous chunk. Each chunk owns its key slab; partition tables copy
+	// the bytes they keep into their own slabs during phase B.
+	type keyedChunk struct {
+		base   int // global row index of the chunk's first row
+		hashes []uint32
+		offs   []uint32
+		keys   []byte
+	}
+	rowChunks := sqltypes.PartitionRows(rows, nparts)
+	keyed := make([]keyedChunk, len(rowChunks))
+	var wg sync.WaitGroup
+	base := 0
+	for ci, ch := range rowChunks {
+		kc := &keyed[ci]
+		kc.base = base
+		base += len(ch)
+		wg.Add(1)
+		go func(ch []sqltypes.Row, kc *keyedChunk) {
+			defer wg.Done()
+			scratch := make(sqltypes.Row, len(it.buildKeys))
+			kc.hashes = make([]uint32, len(ch))
+			kc.offs = make([]uint32, len(ch)+1)
+			for i, r := range ch {
+				for k, c := range it.buildKeys {
+					scratch[k] = r[c]
+				}
+				kc.keys = sqltypes.EncodeKey(kc.keys, scratch...)
+				kc.offs[i+1] = uint32(len(kc.keys))
+				kc.hashes[i] = hashBytes(kc.keys[kc.offs[i]:])
+			}
+		}(ch, kc)
+	}
+	wg.Wait()
+
+	// Phase B: one goroutine per radix partition inserts its share of every
+	// chunk, in chunk (= global row) order.
+	it.parts = make([]joinPart, nparts)
+	for pi := range it.parts {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			part := &it.parts[pi]
+			part.table = newByteTable(presize(len(rows) / nparts))
+			part.buckets = make([]joinBucket, 0, len(rows)/nparts)
+			want := uint32(pi)
+			for ci := range keyed {
+				kc := &keyed[ci]
+				for i, h := range kc.hashes {
+					if h>>shift != want {
+						continue
+					}
+					key := kc.keys[kc.offs[i]:kc.offs[i+1]]
+					if bi, inserted := part.table.getOrInsertHashed(key, h); inserted {
+						part.buckets = append(part.buckets, joinBucket{first: kc.base + i})
+					} else {
+						part.buckets[bi].rest = append(part.buckets[bi].rest, kc.base+i)
+					}
+				}
+			}
+		}(pi)
+	}
+	wg.Wait()
 }
 
 // matchBuild returns candidate build-row indexes for the probe row (valid
@@ -401,11 +563,13 @@ func (it *batchJoin) matchBuild(p sqltypes.Row) []int {
 			it.keyScratch[k] = p[c]
 		}
 		it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], it.keyScratch...)
-		bi, ok := it.hash.get(it.keyBuf)
+		h := hashBytes(it.keyBuf)
+		part := &it.parts[h>>it.radixShift]
+		bi, ok := part.table.getHashed(it.keyBuf, h)
 		if !ok {
 			return nil
 		}
-		b := &it.buckets[bi]
+		b := &part.buckets[bi]
 		if len(b.rest) == 0 {
 			it.cand = append(it.cand[:0], b.first)
 		} else {

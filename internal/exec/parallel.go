@@ -2,31 +2,47 @@ package exec
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"openivm/internal/expr"
 	"openivm/internal/plan"
 	"openivm/internal/sqltypes"
 )
 
-// Parallel partitioned scans.
+// Morsel-driven parallel scans.
 //
 // The fused scan's chunk loop is embarrassingly parallel: the snapshot is
 // immutable for the life of the query, every chunk is independent, and the
 // pipeline's per-batch state (vectors, selection buffer, slabs) is owned by
-// the iterator. Parallel execution therefore partitions the snapshot into
-// contiguous ranges (catalog.Table.RowsPartitioned), gives each worker
-// goroutine its own compiled copy of the Scan→Filter→Project pipeline over
-// one partition, and merges the produced batches in partition order — so
-// the merged stream is row-for-row identical to the serial scan, and
-// everything downstream (DISTINCT, sorts, golden tests) observes the same
-// sequence.
+// the iterator. Parallel execution slices the snapshot into fixed-size
+// contiguous morsels behind a shared atomic cursor; each worker goroutine
+// owns one compiled copy of the Scan→Filter→Project pipeline and
+// repeatedly claims the next unclaimed morsel, runs its pipeline over it,
+// and publishes the morsel's surviving batches tagged with the morsel's
+// sequence number. The merge stage reorders completed morsels back into
+// sequence order, so the merged stream is row-for-row identical to the
+// serial scan and everything downstream (DISTINCT, sorts, golden tests)
+// observes the same sequence.
+//
+// Dynamic claiming is what distinguishes this from the static contiguous
+// partitioning it replaced: under a skewed filter (all the surviving rows
+// in one region of the table) static partitions leave every other worker
+// idle while one crawls, whereas morsels rebalance automatically — workers
+// that finish cheap morsels immediately pull the next expensive one. This
+// is the morsel-driven scheduling of Leis et al. adapted to a
+// snapshot-array storage layout.
 //
 // Aggregation gets its own parallel operator rather than consuming merged
-// batches: each worker aggregates its partition into a thread-local group
-// table (batchAgg over the partition pipeline) and a combine phase folds
-// the locals together with expr.AggState.Merge — the classic two-phase
-// parallel aggregation, with no locks on the hot path.
+// batches: each worker aggregates the morsels it claims into a
+// thread-local group table (batchAgg over a morselSource) and a combine
+// phase folds the locals together with expr.AggState.Merge. Because
+// workers claim morsels dynamically, the combined group order is not the
+// serial first-seen order by construction; instead every fresh group is
+// tagged with its first row's position in the serial stream (morsel
+// sequence × morsel size + output offset) and the combined table is
+// emitted in tag order — exactly the serial operator's first-seen order.
 //
 // Safety: worker pipelines either run per-worker compiled kernels (which
 // own all their mutable state) or, for expressions the kernel compiler
@@ -40,9 +56,15 @@ const (
 	// scan fans out: below it, goroutine startup and batch re-heading cost
 	// more than the scan itself.
 	minParallelRows = 4096
-	// minPartitionRows bounds how finely a snapshot is split — every
-	// worker gets at least this many rows or stays home.
+	// minPartitionRows bounds how finely the radix join build splits its
+	// build side — every build worker gets at least this many rows or the
+	// build stays serial (see batchJoin.buildHashTable).
 	minPartitionRows = 2048
+	// morselRows is the fixed morsel size: the unit of work a scan worker
+	// claims from the shared queue. Small enough that a skewed filter
+	// cannot strand one worker with most of the work, large enough that
+	// the atomic claim and the per-morsel merge bookkeeping stay noise.
+	morselRows = 2048
 )
 
 // resolveWorkers maps the Options/Hint worker knob to a concrete count
@@ -54,9 +76,10 @@ func resolveWorkers(w int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// partitionCount returns how many partitions a totalRows-row snapshot
-// should split into for the configured worker count, or 1 when the scan
-// should stay serial.
+// partitionCount returns how many contiguous partitions a totalRows-row
+// build side should split into for the configured worker count, or 1 when
+// the work should stay serial. (The scan path sizes itself from the morsel
+// queue instead; this feeds the radix join build.)
 func partitionCount(totalRows, workers int) int {
 	if workers < 2 || totalRows <= minParallelRows {
 		return 1
@@ -71,26 +94,67 @@ func partitionCount(totalRows, workers int) int {
 	return parts
 }
 
-// pipelineBuilder returns a factory that builds one scan-pipeline iterator
-// over a row partition, or ok=false when the pipeline cannot run
+// morselSize returns the rows per morsel for the configured batch size: a
+// morsel always holds at least one full output batch so the batch-size
+// hint keeps its meaning under parallel execution.
+func morselSize(opts Options) int {
+	if opts.BatchSize > morselRows {
+		return opts.BatchSize
+	}
+	return morselRows
+}
+
+// morselQueue hands out fixed-size contiguous slices of the snapshot in
+// order behind one atomic cursor. Claiming is wait-free; the sequence
+// number identifies the morsel's position for the reorder merge.
+type morselQueue struct {
+	rows   []sqltypes.Row
+	size   int
+	cursor atomic.Int64
+}
+
+func newMorselQueue(rows []sqltypes.Row, size int) *morselQueue {
+	return &morselQueue{rows: rows, size: size}
+}
+
+// count returns the total number of morsels the queue will serve.
+func (q *morselQueue) count() int {
+	return (len(q.rows) + q.size - 1) / q.size
+}
+
+// next claims the next morsel. ok=false when the snapshot is exhausted.
+func (q *morselQueue) next() (seq int, rows []sqltypes.Row, ok bool) {
+	lo := q.cursor.Add(int64(q.size)) - int64(q.size)
+	if lo >= int64(len(q.rows)) {
+		return 0, nil, false
+	}
+	hi := lo + int64(q.size)
+	if hi > int64(len(q.rows)) {
+		hi = int64(len(q.rows))
+	}
+	return int(lo) / q.size, q.rows[lo:hi], true
+}
+
+// pipelineBuilder returns a factory producing per-worker scan-pipeline
+// instances: the iterator plus a bind function that points it at a morsel
+// (rebindable any number of times). ok=false means the pipeline cannot run
 // concurrently. The fused path always qualifies (each worker compiles its
 // own kernels); the classic fallback qualifies only when every expression
 // involved is expr.ParallelSafe, since its operators evaluate the shared
 // plan expressions directly.
-// The factory is not goroutine-safe; callers invoke it from one
-// goroutine (workers receive their pre-built iterators).
-func pipelineBuilder(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (func(rows []sqltypes.Row) BatchIterator, bool) {
+// The factory is not goroutine-safe; the coordinator builds every worker's
+// instance before the goroutines start.
+func pipelineBuilder(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (func() (BatchIterator, func([]sqltypes.Row)), bool) {
 	if probe, ok := compileFusedScan(scan, filters, proj, opts); ok {
 		// The compilability probe is a fully usable instance; hand it to
 		// the first caller instead of compiling workers+1 times.
-		return func(rows []sqltypes.Row) BatchIterator {
+		return func() (BatchIterator, func([]sqltypes.Row)) {
 			it := probe
 			if it == nil {
 				it, _ = compileFusedScan(scan, filters, proj, opts)
 			}
 			probe = nil
-			it.rows = rows
-			return it
+			return it, it.bindRows
 		}, true
 	}
 	if !expr.ParallelSafe(scan.Filter) {
@@ -108,127 +172,244 @@ func pipelineBuilder(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, o
 			}
 		}
 	}
-	return func(rows []sqltypes.Row) BatchIterator {
-		var it BatchIterator = newBatchScanRows(scan, rows, opts)
+	return func() (BatchIterator, func([]sqltypes.Row)) {
+		base := newBatchScanRows(scan, nil, opts)
+		var it BatchIterator = base
 		for _, f := range filters {
 			it = &batchFilter{in: it, pred: f}
 		}
 		if proj != nil {
 			it = newBatchProject(it, proj, opts)
 		}
-		return it
+		return it, base.bindRows
 	}, true
 }
 
-// parChunk is one merged unit from a scan worker: a batch's rows under a
-// fresh slice header (the rows themselves are durable, so only the header
-// is copied), or a worker error.
-type parChunk struct {
-	rows []sqltypes.Row
-	err  error
+// bindRows points the fused scan at a new row slice (a morsel), resetting
+// its position; all other per-batch state is safely reusable.
+func (it *fusedScan) bindRows(rows []sqltypes.Row) {
+	it.rows = rows
+	it.pos = 0
 }
 
-// parallelScan fans a partitioned snapshot out to worker goroutines and
-// merges their batches in partition order. Each worker's channel is sized
-// for every batch its partition can possibly produce, so workers never
+// bindRows points the classic scan at a new row slice (a morsel).
+func (it *batchScan) bindRows(rows []sqltypes.Row) {
+	it.rows = rows
+	it.pos = 0
+}
+
+// morselOut is one completed morsel from a scan worker: every surviving
+// batch's rows under fresh slice headers (the rows themselves are durable,
+// so only headers are copied), or a worker error.
+type morselOut struct {
+	seq    int
+	chunks [][]sqltypes.Row
+	err    error
+}
+
+// parallelScan fans the morsel queue out to worker goroutines and merges
+// completed morsels back into sequence order. The output channel is sized
+// for every morsel (each sends exactly one message), so workers never
 // block on a slow consumer and always run to completion — abandoning the
 // iterator early (LIMIT, join short-circuits) cannot leak a goroutine; at
-// worst the remaining workers finish scanning into their buffers and exit.
-// The flip side of leak-freedom without a Close protocol is that a
+// worst the remaining workers finish scanning into the channel buffer and
+// exit. The flip side of leak-freedom without a Close protocol is that a
 // consumer slower than the scan gives no backpressure: up to the whole
 // surviving row-header set can sit buffered (rows themselves are shared
 // snapshot references, not copies). LIMIT-bounded streaming plans are
 // kept serial for this reason (see openBatch), and a Close/cancellation
 // protocol is on the roadmap to shrink the buffers to O(workers×batch).
 type parallelScan struct {
-	parts [][]sqltypes.Row
-	build func(rows []sqltypes.Row) BatchIterator
-	size  int
-
+	queue   *morselQueue
+	build   func() (BatchIterator, func([]sqltypes.Row))
+	workers int
 	started bool
-	chans   []chan parChunk
-	cur     int
-	out     Batch
+
+	ch        chan morselOut
+	buf       map[int][][]sqltypes.Row // completed morsels ahead of their turn
+	next      int                      // next morsel sequence to emit
+	cur       [][]sqltypes.Row         // chunks of the morsel being emitted
+	curPos    int
+	curActive bool // a morsel is being emitted (it may have zero chunks)
+	done      bool
+	err       error // first worker error, surfaced after in-order chunks
+	out       Batch
 }
 
-// newParallelScan builds the parallel operator for a matched scan pipeline
-// (filters/proj may be nil for a bare scan). ok=false means the caller
-// should run the serial path: too few rows or workers, or a pipeline that
-// is not safe to share across goroutines.
+// newParallelScan builds the morsel-parallel operator for a matched scan
+// pipeline (filters/proj may be nil for a bare scan). ok=false means the
+// caller should run the serial path: too few rows or workers, or a
+// pipeline that is not safe to share across goroutines.
 func newParallelScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts Options) (BatchIterator, bool) {
-	parts := partitionCount(scan.Table.RowCount(), opts.Workers)
-	if parts < 2 {
+	if opts.Workers < 2 {
 		return nil, false
 	}
+	// Safety gate before the snapshot: a pipeline that cannot run
+	// concurrently must not pay for an O(rows) snapshot copy it will
+	// immediately discard on the serial fallback.
 	build, ok := pipelineBuilder(scan, filters, proj, opts)
 	if !ok {
 		return nil, false
 	}
-	rowParts := scan.Table.RowsPartitioned(parts)
-	if len(rowParts) < 2 { // rows shrank under the snapshot lock
+	rows := scan.Table.Rows()
+	if len(rows) <= minParallelRows {
 		return nil, false
 	}
-	return &parallelScan{parts: rowParts, build: build, size: opts.BatchSize}, true
+	queue := newMorselQueue(rows, morselSize(opts))
+	workers := opts.Workers
+	if m := queue.count(); workers > m {
+		workers = m
+	}
+	if workers < 2 {
+		return nil, false
+	}
+	return &parallelScan{queue: queue, build: build, workers: workers}, true
 }
 
 func (it *parallelScan) start() {
-	it.chans = make([]chan parChunk, len(it.parts))
-	for w := range it.parts {
-		part := it.parts[w]
-		// Capacity for every possible batch plus a trailing error, so the
-		// worker can never block on send.
-		ch := make(chan parChunk, (len(part)+it.size-1)/it.size+1)
-		it.chans[w] = ch
+	// Every morsel sends exactly one message, so this capacity guarantees
+	// workers never block and can always run to completion.
+	it.ch = make(chan morselOut, it.queue.count())
+	it.buf = make(map[int][][]sqltypes.Row, it.workers*2)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < it.workers; w++ {
 		// Built here, not in the goroutine: the builder is single-threaded.
-		src := it.build(part)
-		go func(src BatchIterator, ch chan parChunk) {
-			defer close(ch)
-			for {
-				b, err := src.NextBatch()
-				if err != nil {
-					ch <- parChunk{err: err}
+		pipe, bind := it.build()
+		wg.Add(1)
+		go func(pipe BatchIterator, bind func([]sqltypes.Row)) {
+			defer wg.Done()
+			for !failed.Load() {
+				seq, rows, ok := it.queue.next()
+				if !ok {
 					return
 				}
-				if b == nil {
-					return
+				bind(rows)
+				var chunks [][]sqltypes.Row
+				for {
+					b, err := pipe.NextBatch()
+					if err != nil {
+						failed.Store(true)
+						it.ch <- morselOut{seq: seq, err: err}
+						return
+					}
+					if b == nil {
+						break
+					}
+					v := b.RowView()
+					// Re-head the batch: the producer recycles the slice on
+					// its next NextBatch call, but the rows are durable.
+					chunks = append(chunks, append(make([]sqltypes.Row, 0, len(v)), v...))
 				}
-				v := b.RowView()
-				// Re-head the batch: the producer recycles the slice on its
-				// next NextBatch call, but the rows are durable.
-				ch <- parChunk{rows: append(make([]sqltypes.Row, 0, len(v)), v...)}
+				it.ch <- morselOut{seq: seq, chunks: chunks}
 			}
-		}(src, ch)
+		}(pipe, bind)
 	}
+	go func() {
+		wg.Wait()
+		close(it.ch)
+	}()
 }
 
-// NextBatch implements BatchIterator, draining workers in partition order.
+// NextBatch implements BatchIterator, emitting morsels in sequence order.
 func (it *parallelScan) NextBatch() (*Batch, error) {
 	if !it.started {
 		it.start()
 		it.started = true
 	}
-	for it.cur < len(it.chans) {
-		c, ok := <-it.chans[it.cur]
-		if !ok {
-			it.cur++
+	for {
+		// Emit the in-progress morsel's chunks first.
+		if it.curPos < len(it.cur) {
+			it.out.reset()
+			it.out.Rows = it.cur[it.curPos]
+			it.curPos++
+			return &it.out, nil
+		}
+		if it.curActive {
+			it.cur, it.curPos, it.curActive = nil, 0, false
+			it.next++
+		}
+		// Then anything already buffered for the next sequence number (a
+		// fully filtered-out morsel legitimately buffers zero chunks).
+		if chunks, ok := it.buf[it.next]; ok {
+			delete(it.buf, it.next)
+			it.cur, it.curPos, it.curActive = chunks, 0, true
 			continue
 		}
-		if c.err != nil {
-			return nil, c.err
+		if it.done {
+			// Workers have exited; anything still missing was dropped on an
+			// error, which now surfaces after every in-order predecessor.
+			return nil, it.err
 		}
-		it.out.reset()
-		it.out.Rows = c.rows
-		return &it.out, nil
+		msg, ok := <-it.ch
+		if !ok {
+			it.done = true
+			continue
+		}
+		if msg.err != nil {
+			if it.err == nil {
+				it.err = msg.err
+			}
+			continue
+		}
+		it.buf[msg.seq] = msg.chunks
 	}
-	return nil, nil
 }
 
-// parallelAgg is two-phase parallel hash aggregation: one thread-local
-// batchAgg per snapshot partition, then a combine phase that folds every
-// local table into the first worker's with AggState.Merge. Because the
-// partitions are contiguous and locals are combined in partition order,
-// the output group order is exactly the serial operator's first-seen
-// order.
+// morselSource adapts the morsel queue to a BatchIterator for the
+// thread-local aggregation path: one instance per worker, claiming morsels
+// through its own pipeline copy. It also implements taggedSource so the
+// consuming batchAgg can tag each group's first appearance with its
+// serial-stream position.
+type morselSource struct {
+	queue *morselQueue
+	pipe  BatchIterator
+	bind  func([]sqltypes.Row)
+
+	active  bool
+	seqBase int64 // tag of the current morsel's first output row
+	outPos  int64 // output rows already emitted from the current morsel
+	tagBase int64 // tag of the current batch's first row
+}
+
+// NextBatch implements BatchIterator.
+func (s *morselSource) NextBatch() (*Batch, error) {
+	for {
+		if s.active {
+			b, err := s.pipe.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				s.tagBase = s.seqBase + s.outPos
+				s.outPos += int64(b.Len())
+				return b, nil
+			}
+			s.active = false
+		}
+		seq, rows, ok := s.queue.next()
+		if !ok {
+			return nil, nil
+		}
+		s.bind(rows)
+		s.active = true
+		// Output offsets within a morsel are bounded by its input size, so
+		// seq*size+outPos orders all output rows exactly as the serial
+		// stream would.
+		s.seqBase = int64(seq) * int64(s.queue.size)
+		s.outPos = 0
+	}
+}
+
+// batchTag implements taggedSource.
+func (s *morselSource) batchTag() int64 { return s.tagBase }
+
+// parallelAgg is two-phase morsel-parallel hash aggregation: each worker
+// aggregates the morsels it claims into a thread-local batchAgg, then a
+// combine phase folds every local table into the first worker's with
+// AggState.Merge and emits groups ordered by their first-seen tags —
+// restoring the serial operator's first-seen group order under dynamic
+// work assignment.
 type parallelAgg struct {
 	locals []*batchAgg
 	base   *batchAgg
@@ -248,8 +429,7 @@ func newParallelAgg(node *plan.Aggregate, opts Options) (BatchIterator, bool) {
 			return nil, false
 		}
 	}
-	parts := partitionCount(scan.Table.RowCount(), opts.Workers)
-	if parts < 2 {
+	if opts.Workers < 2 {
 		return nil, false
 	}
 	for _, a := range node.Aggs {
@@ -262,17 +442,27 @@ func newParallelAgg(node *plan.Aggregate, opts Options) (BatchIterator, bool) {
 			return nil, false
 		}
 	}
+	// Safety gate before the snapshot (see newParallelScan).
 	build, ok := pipelineBuilder(scan, filters, proj, opts)
 	if !ok {
 		return nil, false
 	}
-	rowParts := scan.Table.RowsPartitioned(parts)
-	if len(rowParts) < 2 {
+	rows := scan.Table.Rows()
+	if len(rows) <= minParallelRows {
 		return nil, false
 	}
-	locals := make([]*batchAgg, len(rowParts))
-	for w, part := range rowParts {
-		locals[w] = newBatchAgg(build(part), node, opts)
+	queue := newMorselQueue(rows, morselSize(opts))
+	workers := opts.Workers
+	if m := queue.count(); workers > m {
+		workers = m
+	}
+	if workers < 2 {
+		return nil, false
+	}
+	locals := make([]*batchAgg, workers)
+	for w := range locals {
+		pipe, bind := build()
+		locals[w] = newBatchAgg(&morselSource{queue: queue, pipe: pipe, bind: bind}, node, opts)
 	}
 	return &parallelAgg{locals: locals}, true
 }
@@ -303,11 +493,16 @@ func (it *parallelAgg) buildMerge() error {
 			key := la.table.keyAt(int32(gi))
 			bi, inserted := base.table.getOrInsert(key)
 			if inserted {
-				// New group: adopt the local's key row and states wholesale
-				// (both are durable — slab rows and block-allocated states).
+				// New group: adopt the local's key row, states and tag
+				// wholesale (all durable — slab rows, block-allocated
+				// states, plain ints).
 				base.groups = append(base.groups, la.groups[gi])
 				base.states = append(base.states, la.states[gi*nAggs:(gi+1)*nAggs]...)
+				base.tags = append(base.tags, la.tags[gi])
 				continue
+			}
+			if la.tags[gi] < base.tags[bi] {
+				base.tags[bi] = la.tags[gi]
 			}
 			dst := base.states[int(bi)*nAggs : int(bi)*nAggs+nAggs]
 			src := la.states[gi*nAggs : gi*nAggs+nAggs]
@@ -318,7 +513,20 @@ func (it *parallelAgg) buildMerge() error {
 			}
 		}
 	}
-	// Global aggregate default row: a worker whose partition filtered down
+	// Dynamic morsel claiming scrambles first-seen order across locals;
+	// emitting in first-seen-tag order restores the serial operator's
+	// exact group order.
+	if len(base.groups) > 1 {
+		order := make([]int32, len(base.groups))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return base.tags[order[a]] < base.tags[order[b]]
+		})
+		base.emitOrder = order
+	}
+	// Global aggregate default row: a worker whose morsels filtered down
 	// to nothing pre-rendered one; it only stands if every worker came up
 	// empty.
 	if len(base.groups) > 0 {

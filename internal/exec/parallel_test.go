@@ -65,9 +65,11 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 		"SELECT g, v, f FROM p WHERE v % 7 = 0",
 		// fused: projection kernels + late materialization
 		"SELECT v + 1, f * 2 FROM p WHERE v < 500 AND g IS NOT NULL",
-		// classic fallback: CASE does not compile to a kernel but is
-		// ParallelSafe, so the classic chain runs partitioned
+		// fused since PR 4: searched CASE compiles to a kernel
 		"SELECT CASE WHEN v > 500 THEN 1 ELSE 0 END FROM p WHERE v IS NOT NULL",
+		// classic fallback: BETWEEN does not compile to a kernel but is
+		// ParallelSafe, so the classic chain runs over the morsel queue
+		"SELECT g, v FROM p WHERE v BETWEEN 100 AND 700",
 		// bare scan (no filter, no projection)
 		"SELECT g, v, f FROM p",
 	}

@@ -90,8 +90,96 @@ func compileKernel(e Expr, resolve func(int) (int, sqltypes.Type, bool)) (Kernel
 			return nil, 0, false
 		}
 		return &isNullKernel{in: in, negate: x.Negate, out: &sqltypes.Vector{T: sqltypes.TypeBool}}, sqltypes.TypeBool, true
+	case *Cast:
+		return compileCast(x, resolve)
+	case *ScalarFunc:
+		if x.Name == "COALESCE" {
+			return compileCoalesce(x, resolve)
+		}
+		return nil, 0, false
+	case *Case:
+		return compileCase(x, resolve)
 	}
 	return nil, 0, false
+}
+
+// compileCast handles the numeric CAST pair (int↔float) — the conversions
+// the IVM AVG decomposition emits (CAST(sum AS DOUBLE) / cnt). Casts
+// between identical types pass the operand through; anything outside the
+// numeric pair (string parses, bool coercions) keeps the boxed evaluator.
+func compileCast(c *Cast, resolve func(int) (int, sqltypes.Type, bool)) (Kernel, sqltypes.Type, bool) {
+	in, t, ok := compileKernel(c.Operand, resolve)
+	if !ok {
+		return nil, 0, false
+	}
+	switch {
+	case t == c.Target:
+		return in, t, true
+	case t == sqltypes.TypeInt && c.Target == sqltypes.TypeFloat:
+		return &intToFloatKernel{in: in, out: &sqltypes.Vector{T: sqltypes.TypeFloat}}, sqltypes.TypeFloat, true
+	case t == sqltypes.TypeFloat && c.Target == sqltypes.TypeInt:
+		return &floatToIntKernel{in: in, out: &sqltypes.Vector{T: sqltypes.TypeInt}}, sqltypes.TypeInt, true
+	}
+	return nil, 0, false
+}
+
+// compileCoalesce handles COALESCE over same-typed arguments. Mixed types
+// refuse: the boxed evaluator returns the first non-NULL value unconverted,
+// so a promoting kernel would change result types row by row.
+func compileCoalesce(f *ScalarFunc, resolve func(int) (int, sqltypes.Type, bool)) (Kernel, sqltypes.Type, bool) {
+	if len(f.Args) == 0 {
+		return nil, 0, false
+	}
+	args := make([]Kernel, len(f.Args))
+	var t sqltypes.Type
+	for i, a := range f.Args {
+		k, at, ok := compileKernel(a, resolve)
+		if !ok || (i > 0 && at != t) {
+			return nil, 0, false
+		}
+		args[i], t = k, at
+	}
+	if len(args) == 1 {
+		return args[0], t, true
+	}
+	return &coalesceKernel{args: args, out: &sqltypes.Vector{T: t}}, t, true
+}
+
+// compileCase handles searched CASE (no operand) whose conditions are
+// boolean and whose branches share one type — the shape the IVM
+// multiplicity projections use (CASE WHEN mult = FALSE THEN -v ELSE v END).
+// A missing ELSE contributes NULL. Every branch is evaluated eagerly over
+// the whole vector; that is invisible because kernels never fail (errors
+// are defined to yield NULL), and per row the value is taken only from the
+// first matching branch.
+func compileCase(c *Case, resolve func(int) (int, sqltypes.Type, bool)) (Kernel, sqltypes.Type, bool) {
+	if c.Operand != nil || len(c.Whens) == 0 {
+		return nil, 0, false
+	}
+	whens := make([]Kernel, len(c.Whens))
+	thens := make([]Kernel, len(c.Whens))
+	var t sqltypes.Type
+	for i, w := range c.Whens {
+		k, wt, ok := compileKernel(w.When, resolve)
+		if !ok || wt != sqltypes.TypeBool {
+			return nil, 0, false
+		}
+		whens[i] = k
+		k, tt, ok := compileKernel(w.Then, resolve)
+		if !ok || (i > 0 && tt != t) {
+			return nil, 0, false
+		}
+		thens[i], t = k, tt
+	}
+	var els Kernel
+	if c.Else != nil {
+		k, et, ok := compileKernel(c.Else, resolve)
+		if !ok || et != t {
+			return nil, 0, false
+		}
+		els = k
+	}
+	return &caseKernel{whens: whens, thens: thens, els: els, out: &sqltypes.Vector{T: t}}, t, true
 }
 
 func vectorizableType(t sqltypes.Type) bool {
@@ -192,6 +280,23 @@ func (k *intToFloatKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vec
 	out.Resize(n)
 	for i, x := range in.Ints[:n] {
 		out.Floats[i] = float64(x)
+	}
+	copyNulls(out, in, n)
+	return out
+}
+
+type floatToIntKernel struct {
+	in  Kernel
+	out *sqltypes.Vector
+}
+
+func (k *floatToIntKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
+	in := k.in.EvalVec(cols, n)
+	out := k.out
+	out.Resize(n)
+	// Truncation toward zero, matching sqltypes.Cast's int64(f).
+	for i, x := range in.Floats[:n] {
+		out.Ints[i] = int64(x)
 	}
 	copyNulls(out, in, n)
 	return out
@@ -590,6 +695,94 @@ func (k *notKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
 		os[i] = !is[i]
 	}
 	copyNulls(out, in, n)
+	return out
+}
+
+// --- COALESCE / CASE ---
+
+// setCell copies src's cell i into out's cell i (same element type); a NULL
+// src cell clears out's validity bit. out must have been Resized.
+func setCell(out, src *sqltypes.Vector, i int) {
+	if !src.Valid(i) {
+		out.SetNull(i)
+		return
+	}
+	switch out.T {
+	case sqltypes.TypeInt:
+		out.Ints[i] = src.Ints[i]
+	case sqltypes.TypeFloat:
+		out.Floats[i] = src.Floats[i]
+	case sqltypes.TypeBool:
+		out.Bools[i] = src.Bools[i]
+	case sqltypes.TypeString:
+		out.Strs[i] = src.Strs[i]
+	}
+}
+
+type coalesceKernel struct {
+	args []Kernel
+	out  *sqltypes.Vector
+	vecs []*sqltypes.Vector // per-call scratch
+}
+
+func (k *coalesceKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
+	vecs := k.vecs[:0]
+	for _, a := range k.args {
+		vecs = append(vecs, a.EvalVec(cols, n))
+	}
+	k.vecs = vecs
+	out := k.out
+	out.Resize(n)
+rows:
+	for i := 0; i < n; i++ {
+		for _, v := range vecs {
+			if v.Valid(i) {
+				setCell(out, v, i)
+				continue rows
+			}
+		}
+		out.SetNull(i)
+	}
+	return out
+}
+
+type caseKernel struct {
+	whens []Kernel
+	thens []Kernel
+	els   Kernel // nil = NULL
+	out   *sqltypes.Vector
+
+	whenVecs, thenVecs []*sqltypes.Vector // per-call scratch
+}
+
+func (k *caseKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
+	wv, tv := k.whenVecs[:0], k.thenVecs[:0]
+	for i := range k.whens {
+		wv = append(wv, k.whens[i].EvalVec(cols, n))
+		tv = append(tv, k.thens[i].EvalVec(cols, n))
+	}
+	k.whenVecs, k.thenVecs = wv, tv
+	var ev *sqltypes.Vector
+	if k.els != nil {
+		ev = k.els.EvalVec(cols, n)
+	}
+	out := k.out
+	out.Resize(n)
+rows:
+	for i := 0; i < n; i++ {
+		for a, w := range wv {
+			// SQL CASE: a NULL condition is simply not matched.
+			if w.Valid(i) && w.Bools[i] {
+				setCell(out, tv[a], i)
+				continue rows
+			}
+		}
+		if ev != nil {
+			setCell(out, ev, i)
+		} else {
+			out.SetNull(i)
+		}
+	}
 	return out
 }
 

@@ -61,6 +61,25 @@ func kcol(i int, t sqltypes.Type) *Column { return &Column{Idx: i, Typ: t} }
 
 func klit(v sqltypes.Value) *Literal { return &Literal{Val: v} }
 
+// coalesceFn / absFn are the boxed implementations from the ScalarFuncs
+// registry, so test expressions Eval like bound ones.
+func coalesceFn(args []sqltypes.Value) (sqltypes.Value, error) {
+	for _, a := range args {
+		if !a.IsNull() {
+			return a, nil
+		}
+	}
+	return sqltypes.Null, nil
+}
+
+func absFn(args []sqltypes.Value) (sqltypes.Value, error) {
+	v := args[0]
+	if v.T == sqltypes.TypeInt && v.I < 0 {
+		return sqltypes.NewInt(-v.I), nil
+	}
+	return v, nil
+}
+
 // TestKernelMatchesEval compiles a spread of expressions and checks the
 // vector result against per-row boxed evaluation, NULLs included.
 func TestKernelMatchesEval(t *testing.T) {
@@ -91,6 +110,29 @@ func TestKernelMatchesEval(t *testing.T) {
 		&Binary{Op: "OR",
 			Left:  &IsNull{Operand: ic},
 			Right: &Binary{Op: "=", Left: sc, Right: klit(sqltypes.NewString("v1"))}},
+		&Cast{Operand: ic, Target: sqltypes.TypeFloat},
+		&Cast{Operand: fc, Target: sqltypes.TypeInt}, // truncation toward zero
+		&Cast{Operand: ic, Target: sqltypes.TypeInt}, // identity
+		&ScalarFunc{Name: "COALESCE", Typ: sqltypes.TypeInt,
+			Args: []Expr{ic, klit(sqltypes.NewInt(0))},
+			Fn:   coalesceFn},
+		&ScalarFunc{Name: "COALESCE", Typ: sqltypes.TypeString,
+			Args: []Expr{sc, sc, klit(sqltypes.NewString("dflt"))},
+			Fn:   coalesceFn},
+		// The IVM multiplicity shape: searched CASE, negated branch.
+		&Case{Whens: []CaseWhen{{
+			When: &Binary{Op: "<", Left: ic, Right: klit(sqltypes.NewInt(0))},
+			Then: &Unary{Op: "-", Operand: ic}}},
+			Else: ic},
+		// No ELSE -> NULL; NULL condition is not matched.
+		&Case{Whens: []CaseWhen{{
+			When: &Binary{Op: ">", Left: fc, Right: klit(sqltypes.NewFloat(2))},
+			Then: fc}}},
+		// Multiple arms, first match wins.
+		&Case{Whens: []CaseWhen{
+			{When: &Binary{Op: "=", Left: ic, Right: klit(sqltypes.NewInt(1))}, Then: klit(sqltypes.NewInt(100))},
+			{When: &Binary{Op: ">", Left: ic, Right: klit(sqltypes.NewInt(1))}, Then: ic},
+		}, Else: klit(sqltypes.NewInt(-100))},
 	}
 	for _, seed := range []int64{1, 2, 3} {
 		cols, rows := kernelFixture(333, seed)
@@ -157,10 +199,19 @@ func TestKernelUnsupportedFallback(t *testing.T) {
 	ic := kcol(0, sqltypes.TypeInt)
 	sc := kcol(2, sqltypes.TypeString)
 	unsupported := []Expr{
-		&Case{Whens: []CaseWhen{{When: &IsNull{Operand: ic}, Then: klit(sqltypes.NewInt(0))}}},
+		// Simple CASE (with operand) is not vectorized, only searched CASE.
+		&Case{Operand: ic, Whens: []CaseWhen{{When: klit(sqltypes.NewInt(1)), Then: klit(sqltypes.NewInt(0))}}},
+		// Mixed branch types would change result types row by row.
+		&Case{Whens: []CaseWhen{{When: &IsNull{Operand: ic}, Then: klit(sqltypes.NewInt(0))}},
+			Else: klit(sqltypes.NewFloat(0.5))},
 		&Between{Operand: ic, Lo: klit(sqltypes.NewInt(0)), Hi: klit(sqltypes.NewInt(5))},
 		&In{Operand: ic, List: []Expr{klit(sqltypes.NewInt(1))}},
 		&Cast{Operand: ic, Target: sqltypes.TypeString},
+		// COALESCE over mixed types keeps the boxed first-non-NULL semantics.
+		&ScalarFunc{Name: "COALESCE", Typ: sqltypes.TypeFloat,
+			Args: []Expr{kcol(1, sqltypes.TypeFloat), klit(sqltypes.NewInt(0))}, Fn: coalesceFn},
+		// Other scalar functions stay boxed.
+		&ScalarFunc{Name: "ABS", Typ: sqltypes.TypeInt, Args: []Expr{ic}, Fn: absFn},
 		&Binary{Op: "+", Left: sc, Right: sc},  // string concat
 		&Binary{Op: "||", Left: sc, Right: sc}, // concat operator
 		&Binary{Op: "=", Left: ic, Right: sc},  // mismatched types

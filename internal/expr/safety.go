@@ -10,41 +10,66 @@ package expr
 //
 // A nil expression (absent filter, COUNT(*) argument) is trivially safe.
 func ParallelSafe(e Expr) bool {
+	return exprSafe(e, false)
+}
+
+// Reusable reports whether e may be evaluated again on a later execution
+// of the same plan — the gate for the engine's prepared-statement plan
+// cache. It is weaker than ParallelSafe: per-node scratch buffers
+// (ScalarFunc) are fine across sequential executions, but expressions
+// that cache query RESULTS lazily (InQuery's subquery rows, the engine's
+// scalar subqueries, which arrive here as unknown node kinds) would
+// replay stale data and must force a re-plan.
+func Reusable(e Expr) bool {
+	return exprSafe(e, true)
+}
+
+func exprSafe(e Expr, allowScratch bool) bool {
 	switch x := e.(type) {
 	case nil:
 		return true
 	case *Column, *Literal:
 		return true
 	case *Binary:
-		return ParallelSafe(x.Left) && ParallelSafe(x.Right)
+		return exprSafe(x.Left, allowScratch) && exprSafe(x.Right, allowScratch)
 	case *Unary:
-		return ParallelSafe(x.Operand)
+		return exprSafe(x.Operand, allowScratch)
 	case *IsNull:
-		return ParallelSafe(x.Operand)
+		return exprSafe(x.Operand, allowScratch)
 	case *In:
-		if !ParallelSafe(x.Operand) {
+		if !exprSafe(x.Operand, allowScratch) {
 			return false
 		}
 		for _, item := range x.List {
-			if !ParallelSafe(item) {
+			if !exprSafe(item, allowScratch) {
 				return false
 			}
 		}
 		return true
 	case *Between:
-		return ParallelSafe(x.Operand) && ParallelSafe(x.Lo) && ParallelSafe(x.Hi)
+		return exprSafe(x.Operand, allowScratch) && exprSafe(x.Lo, allowScratch) && exprSafe(x.Hi, allowScratch)
 	case *Case:
-		if x.Operand != nil && !ParallelSafe(x.Operand) {
+		if x.Operand != nil && !exprSafe(x.Operand, allowScratch) {
 			return false
 		}
 		for _, w := range x.Whens {
-			if !ParallelSafe(w.When) || !ParallelSafe(w.Then) {
+			if !exprSafe(w.When, allowScratch) || !exprSafe(w.Then, allowScratch) {
 				return false
 			}
 		}
-		return x.Else == nil || ParallelSafe(x.Else)
+		return x.Else == nil || exprSafe(x.Else, allowScratch)
 	case *Cast:
-		return ParallelSafe(x.Operand)
+		return exprSafe(x.Operand, allowScratch)
+	case *ScalarFunc:
+		if !allowScratch {
+			return false // mutable argument scratch, single goroutine only
+		}
+		for _, a := range x.Args {
+			if !exprSafe(a, allowScratch) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -56,15 +57,17 @@ type Extension struct {
 	// lose deltas.
 	refreshMu sync.Mutex
 
-	// refreshing guards against re-entrant lazy refresh during propagation
+	// refreshGID guards against re-entrant lazy refresh during propagation
 	// (the propagation script's own SELECTs pass through the statement
-	// hook). Atomic: concurrent readers consult it while the propagating
-	// goroutine flips it. A reader observing true skips lazy refresh for
-	// its views — even ones unrelated to the in-flight propagation — so
-	// concurrent reads may see a staleness window while any refresh runs
-	// (same skip the pre-parallel code made; a per-goroutine re-entrancy
-	// guard would let readers block and refresh instead, see ROADMAP).
-	refreshing atomic.Bool
+	// hook): it holds the goroutine id of the goroutine currently running
+	// propagate, 0 when none. Only that goroutine skips the lazy-refresh
+	// check; every other reader that finds stale views proceeds into
+	// Refresh and blocks on refreshMu until the in-flight propagation
+	// finishes, then refreshes and reads fresh — closing the staleness
+	// window the previous global refreshing flag allowed (a reader
+	// arriving mid-propagation used to skip refresh for ALL stale views
+	// and could observe pre-refresh state).
+	refreshGID atomic.Int64
 
 	// prepared caches propagation scripts parsed into statements, keyed by
 	// the (immutable) compiled script, so a refresh re-executes the stored
@@ -146,8 +149,11 @@ func (ext *Extension) statementHook(db *engine.DB, stmt sqlparser.Statement) (bo
 	case *sqlparser.SelectStmt:
 		// Lazy mode: refresh any stale materialized view the query touches
 		// before letting normal execution proceed (the paper models this
-		// as an implicit table function ahead of the plan).
-		if ext.refreshing.Load() {
+		// as an implicit table function ahead of the plan). Re-entrancy is
+		// per goroutine: only the propagating goroutine's own SELECTs skip
+		// the check; concurrent readers fall through into Refresh and
+		// block on refreshMu for a fresh read.
+		if g := ext.refreshGID.Load(); g != 0 && g == gid() {
 			return false, nil, nil
 		}
 		for _, name := range referencedTables(st) {
@@ -417,8 +423,8 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 	sort.Strings(names)
 	ext.mu.Unlock()
 
-	ext.refreshing.Store(true)
-	defer ext.refreshing.Store(false)
+	ext.refreshGID.Store(gid())
+	defer ext.refreshGID.Store(0)
 	return ext.db.WithoutTriggers(func() error {
 		for _, n := range names {
 			comp := group[n]
@@ -529,6 +535,30 @@ func (ext *Extension) SaveScripts(dir string) error {
 		}
 	}
 	return nil
+}
+
+// gid returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]: …"). The runtime deliberately hides
+// goroutine ids, but a re-entrancy guard needs exactly this: a value that
+// identifies "the goroutine currently running propagation" so its own
+// hook re-entries can be told apart from concurrent readers. The parse
+// runs only while a propagation is in flight (the hook's fast path is a
+// single atomic load), so the ~1µs runtime.Stack cost never touches the
+// steady-state query path.
+func gid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	// "goroutine " is 10 bytes; the id runs to the next space.
+	s = s[len("goroutine "):]
+	id := int64(0)
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
 }
 
 // referencedTables collects every table name referenced in the FROM

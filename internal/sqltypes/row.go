@@ -73,39 +73,50 @@ func EncodeKey(dst []byte, vals ...Value) []byte {
 		case TypeNull:
 			dst = append(dst, 0x00)
 		case TypeBool:
-			dst = append(dst, 0x01)
-			if v.B {
-				dst = append(dst, 0x01)
-			} else {
-				dst = append(dst, 0x00)
-			}
+			dst = appendKeyBool(dst, v.B)
 		case TypeInt, TypeFloat:
-			dst = append(dst, 0x02)
-			bits := math.Float64bits(v.AsFloat())
-			// Flip so that lexicographic byte order equals numeric order.
-			if bits&(1<<63) != 0 {
-				bits = ^bits
-			} else {
-				bits |= 1 << 63
-			}
-			var buf [8]byte
-			binary.BigEndian.PutUint64(buf[:], bits)
-			dst = append(dst, buf[:]...)
+			dst = appendKeyNumber(dst, v.AsFloat())
 		case TypeString:
-			dst = append(dst, 0x03)
-			for i := 0; i < len(v.S); i++ {
-				c := v.S[i]
-				dst = append(dst, c)
-				if c == 0x00 {
-					dst = append(dst, 0xFF)
-				}
-			}
-			dst = append(dst, 0x00, 0x00)
+			dst = appendKeyString(dst, v.S)
 		default:
 			dst = append(dst, 0x00)
 		}
 	}
 	return dst
+}
+
+func appendKeyBool(dst []byte, b bool) []byte {
+	dst = append(dst, 0x01)
+	if b {
+		return append(dst, 0x01)
+	}
+	return append(dst, 0x00)
+}
+
+func appendKeyNumber(dst []byte, f float64) []byte {
+	dst = append(dst, 0x02)
+	bits := math.Float64bits(f)
+	// Flip so that lexicographic byte order equals numeric order.
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+func appendKeyString(dst []byte, s string) []byte {
+	dst = append(dst, 0x03)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		dst = append(dst, c)
+		if c == 0x00 {
+			dst = append(dst, 0xFF)
+		}
+	}
+	return append(dst, 0x00, 0x00)
 }
 
 // KeyString returns EncodeKey as a string, suitable as a map key.

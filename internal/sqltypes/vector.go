@@ -274,6 +274,27 @@ func (v *Vector) ValueAt(i int) Value {
 	return Null
 }
 
+// EncodeCell appends cell i's hash/sort key encoding to dst,
+// byte-identical to EncodeKey(dst, v.ValueAt(i)) without boxing the cell —
+// the columnar group-key path of the hash aggregation operator encodes
+// key vectors cell-wise straight into its table's probe buffer.
+func (v *Vector) EncodeCell(dst []byte, i int) []byte {
+	if !v.Valid(i) {
+		return append(dst, 0x00)
+	}
+	switch v.T {
+	case TypeInt:
+		return appendKeyNumber(dst, float64(v.Ints[i]))
+	case TypeFloat:
+		return appendKeyNumber(dst, v.Floats[i])
+	case TypeBool:
+		return appendKeyBool(dst, v.Bools[i])
+	case TypeString:
+		return appendKeyString(dst, v.Strs[i])
+	}
+	return append(dst, 0x00)
+}
+
 // GatherFrom fills the vector with src's cells at the sel positions,
 // replacing any previous contents. Both vectors must share an element
 // type. It is the vector-to-vector sibling of LoadRows: when a column was
@@ -327,7 +348,9 @@ func (v *Vector) GatherFrom(src *Vector, sel []int) {
 // (pass sel == nil for all rows), replacing any previous contents. This is
 // the fused scan's late-materialization step: only the columns a pipeline
 // actually references are ever lifted out of row storage, and only for the
-// rows that survived the filter.
+// rows that survived the filter. Callers must know the cells match the
+// vector's element type (base-table columns are validated on insert);
+// for untyped sources use LoadRowsChecked.
 func (v *Vector) LoadRows(rows []Row, sel []int, col int) {
 	v.Reset()
 	if sel == nil {
@@ -341,4 +364,41 @@ func (v *Vector) LoadRows(rows []Row, sel []int, col int) {
 	for _, i := range sel {
 		v.AppendValue(rows[i][col])
 	}
+}
+
+// LoadRowsChecked is LoadRows that refuses lossy conversions: ok=false
+// when any non-NULL cell's type neither equals the vector's element type
+// nor widens losslessly into it (int into a float vector — the same
+// promotion the row engine applies). Derived columns can carry cells
+// whose runtime type diverges from the declared schema type (a CASE with
+// mixed branch types reports its first branch), and AppendValue would
+// silently turn those cells into NULLs; callers use the refusal to fall
+// back to the boxed row path instead. On refusal the vector's contents
+// are unspecified.
+func (v *Vector) LoadRowsChecked(rows []Row, sel []int, col int) bool {
+	v.Reset()
+	if sel == nil {
+		v.grow(len(rows))
+		for _, r := range rows {
+			if !v.appendValueChecked(r[col]) {
+				return false
+			}
+		}
+		return true
+	}
+	v.grow(len(sel))
+	for _, i := range sel {
+		if !v.appendValueChecked(rows[i][col]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *Vector) appendValueChecked(val Value) bool {
+	if !val.IsNull() && val.T != v.T && !(v.T == TypeFloat && val.T == TypeInt) {
+		return false
+	}
+	v.AppendValue(val)
+	return true
 }
