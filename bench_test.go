@@ -6,6 +6,8 @@ package openivm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"openivm/internal/engine"
@@ -470,6 +472,58 @@ func BenchmarkE8_AutoStrategy(b *testing.B) {
 				b.StartTimer()
 				mustExecB(b, db, "REFRESH MATERIALIZED VIEW query_groups")
 			}
+		})
+	}
+}
+
+// BenchmarkWire_Concurrent measures the multi-client wire server end to
+// end: c concurrent connections — one engine.Session each — run the same
+// aggregation against one preloaded engine, exercising JSON transport,
+// per-session dispatch and the shared SQL-text plan cache under
+// contention. Workers stay pinned at 1 (loadGroups) so ns/op is
+// comparable across machines; scaling with c measures session/server
+// overhead, not executor parallelism.
+func BenchmarkWire_Concurrent(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			db := loadGroups(b, 5000, 50)
+			srv := wire.NewServer(db)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			conns := make([]*wire.Client, clients)
+			for i := range conns {
+				cl, err := wire.Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				conns[i] = cl
+			}
+			const q = "SELECT group_index, SUM(group_value) FROM groups WHERE group_value > 500 GROUP BY group_index"
+			// Warm the shared plan cache once so the steady state is measured.
+			if _, err := conns[0].Exec(q); err != nil {
+				b.Fatal(err)
+			}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, cl := range conns {
+				wg.Add(1)
+				go func(cl *wire.Client) {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if _, err := cl.Exec(q); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -156,19 +156,21 @@ func (c *Catalog) HasTable(name string) bool {
 	return ok
 }
 
-// DropTable removes a table (and its indexes).
-func (c *Catalog) DropTable(name string, ifExists bool) error {
+// DropTable removes a table (and its indexes). The bool reports whether
+// a table was actually removed — an IF EXISTS no-op returns (false, nil),
+// so callers can skip invalidation work when nothing changed.
+func (c *Catalog) DropTable(name string, ifExists bool) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := norm(name)
 	if _, ok := c.tables[key]; !ok {
 		if ifExists {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("catalog: table %q does not exist", name)
+		return false, fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
-	return nil
+	return true, nil
 }
 
 // CreateView registers a plain (virtual) view.
@@ -194,19 +196,20 @@ func (c *Catalog) View(name string) (*View, bool) {
 	return v, ok
 }
 
-// DropView removes a view.
-func (c *Catalog) DropView(name string, ifExists bool) error {
+// DropView removes a view. The bool reports whether a view was actually
+// removed (see DropTable).
+func (c *Catalog) DropView(name string, ifExists bool) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := norm(name)
 	if _, ok := c.views[key]; !ok {
 		if ifExists {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("catalog: view %q does not exist", name)
+		return false, fmt.Errorf("catalog: view %q does not exist", name)
 	}
 	delete(c.views, key)
-	return nil
+	return true, nil
 }
 
 // PutIVM stores IVM metadata for a materialized view.
@@ -398,6 +401,85 @@ func (t *Table) InsertBatch(rows []sqltypes.Row) (int, error) {
 		t.live++
 	}
 	return len(rows), nil
+}
+
+// InsertVecs appends n rows given as typed column vectors — the columnar
+// DML sink INSERT ... SELECT uses when its source pipeline produces
+// columnar batches, so rows materialize straight from the vector payloads
+// into one row-major slab with no intermediate row view. Validation is
+// hoisted out of the row loop: a vector whose type matches its column
+// needs no per-value coercion, only a NOT NULL sweep over the validity
+// bitmap. Semantics match InsertBatch row for row: the first failing row
+// stops the insert, earlier rows stay, and the returned count says how
+// many landed. The built rows are returned (durable slab rows) so callers
+// can fire triggers and undo-log the inserted prefix without rebuilding.
+func (t *Table) InsertVecs(cols []*sqltypes.Vector, n int) ([]sqltypes.Row, int, error) {
+	if len(cols) != len(t.Columns) {
+		return nil, 0, fmt.Errorf("table %s: batch has %d columns, want %d", t.Name, len(cols), len(t.Columns))
+	}
+	width := len(t.Columns)
+	slab := make([]sqltypes.Value, n*width)
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		rows[i] = sqltypes.Row(slab[i*width : (i+1)*width : (i+1)*width])
+	}
+
+	// Column-wise materialization + validation. A later column's failure
+	// must not mask an earlier row's: track the lowest failing row (ties
+	// resolved by column order, like the row-at-a-time path).
+	badRow, badCol := n, -1
+	var badErr error
+	note := func(i, j int, err error) {
+		if i < badRow || (i == badRow && j < badCol) {
+			badRow, badCol, badErr = i, j, err
+		}
+	}
+	for j, vec := range cols {
+		col := &t.Columns[j]
+		if vec.Len() < n {
+			return nil, 0, fmt.Errorf("table %s: column %s vector has %d cells, want %d", t.Name, col.Name, vec.Len(), n)
+		}
+		direct := vec.T == col.Type || col.Type == sqltypes.TypeAny
+		for i := 0; i < n && i <= badRow; i++ {
+			v := vec.ValueAt(i)
+			if !direct && !v.IsNull() {
+				cv, err := sqltypes.CoerceToColumn(v, col.Type)
+				if err != nil {
+					note(i, j, fmt.Errorf("table %s column %s: %w", t.Name, col.Name, err))
+					continue
+				}
+				v = cv
+			}
+			if v.IsNull() && col.NotNull {
+				note(i, j, fmt.Errorf("table %s: NOT NULL constraint on %s violated", t.Name, col.Name))
+				continue
+			}
+			slab[i*width+j] = v
+		}
+	}
+	if badRow < n {
+		n = badRow // rows before the first failure still insert below
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < n; i++ {
+		r := rows[i]
+		if t.pkIndex != nil {
+			key := t.pkKey(r)
+			if _, ok := t.pkIndex.Get(key); ok {
+				return rows[:i], i, fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+			}
+			t.pkIndex.Put(key, len(t.rows))
+		}
+		t.insertIndexedLocked(r, len(t.rows))
+		t.rows = append(t.rows, r)
+		t.live++
+	}
+	if badErr != nil {
+		return rows[:n], n, badErr
+	}
+	return rows[:n], n, nil
 }
 
 // Upsert inserts, or replaces the existing row with the same primary key

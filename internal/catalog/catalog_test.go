@@ -347,13 +347,13 @@ func TestViews(t *testing.T) {
 	if err := c.CreateView("v", "SELECT 2"); err == nil {
 		t.Error("duplicate view")
 	}
-	if err := c.DropView("v", false); err != nil {
+	if _, err := c.DropView("v", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DropView("v", false); err == nil {
+	if _, err := c.DropView("v", false); err == nil {
 		t.Error("drop missing view")
 	}
-	if err := c.DropView("v", true); err != nil {
+	if _, err := c.DropView("v", true); err != nil {
 		t.Error("drop IF EXISTS")
 	}
 }
@@ -385,16 +385,16 @@ func TestDropTable(t *testing.T) {
 	if !c.HasTable("t") {
 		t.Fatal("HasTable")
 	}
-	if err := c.DropTable("t", false); err != nil {
+	if _, err := c.DropTable("t", false); err != nil {
 		t.Fatal(err)
 	}
 	if c.HasTable("t") {
 		t.Error("still present")
 	}
-	if err := c.DropTable("t", false); err == nil {
+	if _, err := c.DropTable("t", false); err == nil {
 		t.Error("double drop")
 	}
-	if err := c.DropTable("t", true); err != nil {
+	if _, err := c.DropTable("t", true); err != nil {
 		t.Error("IF EXISTS drop")
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,8 +15,8 @@ import (
 
 // execInsert handles INSERT, INSERT OR REPLACE (DuckDB dialect) and
 // INSERT ... ON CONFLICT (PostgreSQL dialect).
-func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
-	tbl, err := db.cat.Table(st.Table)
+func (s *Session) execInsert(ctx context.Context, st *sqlparser.InsertStmt) (*Result, error) {
+	tbl, err := s.db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -23,12 +24,9 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 		return nil, fmt.Errorf("engine: ON CONFLICT DO UPDATE requires a primary key on %s", st.Table)
 	}
 
-	// Source rows.
-	n, err := db.PlanSelect(st.Select)
-	if err != nil {
-		return nil, err
-	}
-	srcRows, err := exec.Run(n)
+	// Source plan (rows are pulled after the column mapping is known: the
+	// plain-INSERT path streams batches instead of materializing them).
+	n, err := s.PlanSelect(st.Select)
 	if err != nil {
 		return nil, err
 	}
@@ -86,40 +84,18 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 		return row, nil
 	}
 
-	// Plain INSERT: build all rows first, then append under one table
-	// lock — the batched DML path IVM delta application runs on.
+	// Plain INSERT: stream source batches straight into storage, one lock
+	// acquisition per batch — the batched DML path IVM delta application
+	// runs on. Columnar batches (fused scan pipelines) sink through
+	// Table.InsertVecs without ever boxing through the batch's RowView.
 	if !st.OrReplace && st.Conflict == nil {
-		rows := make([]sqltypes.Row, len(srcRows))
-		for i, src := range srcRows {
-			row, err := buildRow(src)
-			if err != nil {
-				return nil, err
-			}
-			rows[i] = row
-		}
-		n, insErr := tbl.InsertBatch(rows)
-		if db.txn != nil && n > 0 {
-			// Undo-log the inserted prefix even when a later row failed, so
-			// ROLLBACK removes it (matching the old per-row Insert path).
-			prefix := rows[:n]
-			db.logUndo(func() error {
-				for _, r := range prefix {
-					if err := undoInsert(tbl, r); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
-		}
-		if insErr != nil {
-			return nil, insErr
-		}
-		if err := db.fire(st.Table, TrigInsert, nil, rows); err != nil {
-			return nil, err
-		}
-		return &Result{RowsAffected: len(rows)}, nil
+		return s.insertStream(ctx, n, tbl, st, colPos, identity, buildRow)
 	}
 
+	srcRows, err := exec.RunOpts(n, s.execOpts(ctx))
+	if err != nil {
+		return nil, err
+	}
 	var inserted, replacedOld, replacedNew []sqltypes.Row
 	for _, src := range srcRows {
 		row, err := buildRow(src)
@@ -135,15 +111,24 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 			if existed {
 				replacedOld = append(replacedOld, old)
 				replacedNew = append(replacedNew, row)
-				if db.txn != nil {
-					db.logUndo(func() error { return tbl.Upsert(old) })
+				if s.txn != nil {
+					comp := s.undoFire(st.Table, TrigUpdate)
+					s.logUndo(func() error {
+						if err := tbl.Upsert(old); err != nil {
+							return err
+						}
+						return comp([]sqltypes.Row{row}, []sqltypes.Row{old})
+					})
 				}
 			} else {
 				inserted = append(inserted, row)
-				if db.txn != nil {
-					db.logUndo(func() error {
-						_, derr := tbl.Delete(matchPK(tbl, row))
-						return derr
+				if s.txn != nil {
+					comp := s.undoFire(st.Table, TrigDelete)
+					s.logUndo(func() error {
+						if _, derr := tbl.Delete(matchPK(tbl, row)); derr != nil {
+							return derr
+						}
+						return comp([]sqltypes.Row{row}, nil)
 					})
 				}
 			}
@@ -153,7 +138,7 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 				continue
 			}
 			if existed {
-				merged, err := db.applyConflictSet(tbl, st.Conflict, old, row)
+				merged, err := s.applyConflictSet(tbl, st.Conflict, old, row)
 				if err != nil {
 					return nil, err
 				}
@@ -162,31 +147,116 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt) (*Result, error) {
 				}
 				replacedOld = append(replacedOld, old)
 				replacedNew = append(replacedNew, merged)
-				if db.txn != nil {
-					db.logUndo(func() error { return tbl.Upsert(old) })
+				if s.txn != nil {
+					comp := s.undoFire(st.Table, TrigUpdate)
+					s.logUndo(func() error {
+						if err := tbl.Upsert(old); err != nil {
+							return err
+						}
+						return comp([]sqltypes.Row{merged}, []sqltypes.Row{old})
+					})
 				}
 			} else {
 				if err := tbl.Insert(row); err != nil {
 					return nil, err
 				}
 				inserted = append(inserted, row)
-				if db.txn != nil {
-					db.logUndo(func() error {
-						_, derr := tbl.Delete(matchPK(tbl, row))
-						return derr
+				if s.txn != nil {
+					comp := s.undoFire(st.Table, TrigDelete)
+					s.logUndo(func() error {
+						if _, derr := tbl.Delete(matchPK(tbl, row)); derr != nil {
+							return derr
+						}
+						return comp([]sqltypes.Row{row}, nil)
 					})
 				}
 			}
 		}
 	}
 
-	if err := db.fire(st.Table, TrigInsert, nil, inserted); err != nil {
+	if err := s.fire(st.Table, TrigInsert, nil, inserted); err != nil {
 		return nil, err
 	}
-	if err := db.fire(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
+	if err := s.fire(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(inserted) + len(replacedNew)}, nil
+}
+
+// insertStream executes the plain-INSERT sink over a batch pipeline. Each
+// batch lands under one table lock; a columnar identity-mapped batch goes
+// through the vectorized InsertVecs path (typed column loops, hoisted
+// validation), anything else builds rows and uses InsertBatch. Error
+// semantics per batch match InsertBatch: the first failing row stops the
+// statement with every earlier row (including earlier batches) inserted
+// and undo-logged — identical to the historical all-rows-first path,
+// which also left the prefix in place on failure.
+func (s *Session) insertStream(ctx context.Context, n plan.Node, tbl *catalog.Table, st *sqlparser.InsertStmt,
+	colPos []int, identity bool, buildRow func(sqltypes.Row) (sqltypes.Row, error)) (*Result, error) {
+	it, err := exec.OpenBatch(n, s.execOpts(ctx))
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	total := 0
+	collect := s.wantsTriggerRows(st.Table, TrigInsert)
+	var all []sqltypes.Row
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		var rows []sqltypes.Row
+		var landed int
+		var insErr error
+		if identity && b.Cols != nil && len(b.Cols) == len(colPos) {
+			rows, landed, insErr = tbl.InsertVecs(b.Cols, b.Len())
+		} else if b.Cols != nil && len(b.Cols) != len(colPos) {
+			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(b.Cols), len(colPos))
+		} else {
+			src := b.RowView()
+			built := make([]sqltypes.Row, len(src))
+			for i, r := range src {
+				row, berr := buildRow(r)
+				if berr != nil {
+					return nil, berr
+				}
+				built[i] = row
+			}
+			landed, insErr = tbl.InsertBatch(built)
+			rows = built
+		}
+		if s.txn != nil && landed > 0 {
+			// Undo-log the inserted prefix even when a later row failed, so
+			// ROLLBACK removes it (matching the old per-row Insert path).
+			prefix := rows[:landed]
+			// Compensating trigger, decided at DML time: IVM delta capture
+			// must observe the rollback iff it observed the insert.
+			comp := s.undoFire(st.Table, TrigDelete)
+			s.logUndo(func() error {
+				for _, r := range prefix {
+					if err := undoInsert(tbl, r); err != nil {
+						return err
+					}
+				}
+				return comp(prefix, nil)
+			})
+		}
+		if insErr != nil {
+			return nil, insErr
+		}
+		total += landed
+		if collect && landed > 0 {
+			all = append(all, rows[:landed]...)
+		}
+	}
+	if err := s.fire(st.Table, TrigInsert, nil, all); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: total}, nil
 }
 
 func undoInsert(tbl *catalog.Table, row sqltypes.Row) error {
@@ -218,7 +288,7 @@ func matchPK(tbl *catalog.Table, row sqltypes.Row) func(sqltypes.Row) (bool, err
 
 // applyConflictSet computes the merged row for ON CONFLICT DO UPDATE.
 // Assignment expressions see the schema [table columns..., excluded.*].
-func (db *DB) applyConflictSet(tbl *catalog.Table, oc *sqlparser.OnConflict, old, new sqltypes.Row) (sqltypes.Row, error) {
+func (s *Session) applyConflictSet(tbl *catalog.Table, oc *sqlparser.OnConflict, old, new sqltypes.Row) (sqltypes.Row, error) {
 	schema := make([]plan.ColumnInfo, 0, 2*len(tbl.Columns))
 	for _, c := range tbl.Columns {
 		schema = append(schema, plan.ColumnInfo{Table: tbl.Name, Name: c.Name, Type: c.Type})
@@ -231,7 +301,7 @@ func (db *DB) applyConflictSet(tbl *catalog.Table, oc *sqlparser.OnConflict, old
 	env = append(env, new...)
 
 	merged := old.Clone()
-	b := db.newBinder()
+	b := s.newBinder()
 	for _, a := range oc.Set {
 		p := tbl.ColumnPos(a.Column)
 		if p < 0 {
@@ -250,13 +320,13 @@ func (db *DB) applyConflictSet(tbl *catalog.Table, oc *sqlparser.OnConflict, old
 	return merged, nil
 }
 
-func (db *DB) execUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
-	tbl, err := db.cat.Table(st.Table)
+func (s *Session) execUpdate(ctx context.Context, st *sqlparser.UpdateStmt) (*Result, error) {
+	tbl, err := s.db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	schema := tableSchema(tbl)
-	b := db.newBinder()
+	b := s.newBinder()
 
 	var pred expr.Expr
 	if st.Where != nil {
@@ -282,8 +352,12 @@ func (db *DB) execUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		sets = append(sets, setOp{pos: p, e: e})
 	}
 
+	check := ctxChecker(ctx)
 	old, new_, err := tbl.Update(
 		func(r sqltypes.Row) (bool, error) {
+			if err := check(); err != nil {
+				return false, err
+			}
 			if pred == nil {
 				return true, nil
 			}
@@ -308,34 +382,38 @@ func (db *DB) execUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		return nil, err
 	}
 	for i := range old {
-		if db.txn == nil {
+		if s.txn == nil {
 			break // undo closures are only needed inside a transaction
 		}
 		o, n := old[i], new_[i]
-		db.logUndo(func() error {
+		comp := s.undoFire(st.Table, TrigUpdate)
+		s.logUndo(func() error {
 			// Restore exactly one matching row (duplicates must each be
 			// reverted by their own undo entry).
 			done := false
 			_, _, uerr := tbl.Update(
 				func(r sqltypes.Row) (bool, error) { return !done && r.Equal(n), nil },
 				func(sqltypes.Row) (sqltypes.Row, error) { done = true; return o, nil })
-			return uerr
+			if uerr != nil {
+				return uerr
+			}
+			return comp([]sqltypes.Row{n}, []sqltypes.Row{o})
 		})
 	}
-	if err := db.fire(st.Table, TrigUpdate, old, new_); err != nil {
+	if err := s.fire(st.Table, TrigUpdate, old, new_); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(new_)}, nil
 }
 
-func (db *DB) execDelete(st *sqlparser.DeleteStmt) (*Result, error) {
-	tbl, err := db.cat.Table(st.Table)
+func (s *Session) execDelete(ctx context.Context, st *sqlparser.DeleteStmt) (*Result, error) {
+	tbl, err := s.db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	var pred expr.Expr
 	if st.Where != nil {
-		pred, err = db.newBinder().BindExprSchema(st.Where, tableSchema(tbl))
+		pred, err = s.newBinder().BindExprSchema(st.Where, tableSchema(tbl))
 		if err != nil {
 			return nil, err
 		}
@@ -349,12 +427,16 @@ func (db *DB) execDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 		// will actually consume it — the IVM truncation path runs with
 		// triggers suppressed and no transaction, so it skips the copy.
 		affected = tbl.RowCount()
-		if db.txn != nil || db.wantsTriggerRows(st.Table, TrigDelete) {
+		if s.txn != nil || s.wantsTriggerRows(st.Table, TrigDelete) {
 			deleted = tbl.Rows()
 		}
 		tbl.Truncate()
 	} else {
+		check := ctxChecker(ctx)
 		deleted, err = tbl.Delete(func(r sqltypes.Row) (bool, error) {
+			if err := check(); err != nil {
+				return false, err
+			}
 			v, err := pred.Eval(r)
 			if err != nil {
 				return false, err
@@ -366,39 +448,41 @@ func (db *DB) execDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 		}
 		affected = len(deleted)
 	}
-	if db.txn != nil {
+	if s.txn != nil {
 		rows := deleted
-		db.logUndo(func() error {
+		comp := s.undoFire(st.Table, TrigInsert)
+		s.logUndo(func() error {
 			for _, r := range rows {
 				if err := tbl.Insert(r); err != nil {
 					return err
 				}
 			}
-			return nil
+			return comp(nil, rows)
 		})
 	}
-	if err := db.fire(st.Table, TrigDelete, deleted, nil); err != nil {
+	if err := s.fire(st.Table, TrigDelete, deleted, nil); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: affected}, nil
 }
 
-func (db *DB) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
-	tbl, err := db.cat.Table(st.Table)
+func (s *Session) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
+	tbl, err := s.db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	rows := tbl.Rows()
 	tbl.Truncate()
-	db.logUndo(func() error {
+	comp := s.undoFire(st.Table, TrigInsert)
+	s.logUndo(func() error {
 		for _, r := range rows {
 			if err := tbl.Insert(r); err != nil {
 				return err
 			}
 		}
-		return nil
+		return comp(nil, rows)
 	})
-	if err := db.fire(st.Table, TrigDelete, rows, nil); err != nil {
+	if err := s.fire(st.Table, TrigDelete, rows, nil); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(rows)}, nil
@@ -417,8 +501,8 @@ func tableSchema(tbl *catalog.Table) []plan.ColumnInfo {
 // exactly one matching copy (Z-set semantics). Row-level triggers fire, so
 // IVM delta capture observes the replayed change — this is the primitive
 // the cross-system HTAP pipeline uses to mirror remote deltas locally.
-func (db *DB) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
-	tbl, err := db.cat.Table(table)
+func (s *Session) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
+	tbl, err := s.db.cat.Table(table)
 	if err != nil {
 		return err
 	}
@@ -426,12 +510,30 @@ func (db *DB) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
 		if err := tbl.Insert(row); err != nil {
 			return err
 		}
-		return db.fire(table, TrigInsert, nil, []sqltypes.Row{row})
+		return s.fire(table, TrigInsert, nil, []sqltypes.Row{row})
 	}
 	if !tbl.DeleteOne(row) {
 		return fmt.Errorf("engine: delta deletion found no matching row in %s", table)
 	}
-	return db.fire(table, TrigDelete, []sqltypes.Row{row}, nil)
+	return s.fire(table, TrigDelete, []sqltypes.Row{row}, nil)
+}
+
+// ctxChecker returns a per-row cancellation probe for filtered
+// UPDATE/DELETE loops: the context is consulted every 1024 rows, so a
+// long predicate sweep over a huge table observes cancellation promptly
+// without paying a context check per row.
+func ctxChecker(ctx context.Context) func() error {
+	if ctx == nil {
+		return func() error { return nil }
+	}
+	n := 0
+	return func() error {
+		n++
+		if n&1023 != 0 {
+			return nil
+		}
+		return ctx.Err()
+	}
 }
 
 // --- transactions ---
@@ -443,34 +545,34 @@ type txnState struct {
 	undo []func() error
 }
 
-func (db *DB) logUndo(fn func() error) {
-	if db.txn != nil {
-		db.txn.undo = append(db.txn.undo, fn)
+func (s *Session) logUndo(fn func() error) {
+	if s.txn != nil {
+		s.txn.undo = append(s.txn.undo, fn)
 	}
 }
 
-func (db *DB) execBegin() (*Result, error) {
-	if db.txn != nil {
+func (s *Session) execBegin() (*Result, error) {
+	if s.txn != nil {
 		return nil, fmt.Errorf("engine: transaction already in progress")
 	}
-	db.txn = &txnState{}
+	s.txn = &txnState{}
 	return &Result{}, nil
 }
 
-func (db *DB) execCommit() (*Result, error) {
-	if db.txn == nil {
+func (s *Session) execCommit() (*Result, error) {
+	if s.txn == nil {
 		return nil, fmt.Errorf("engine: no transaction in progress")
 	}
-	db.txn = nil
+	s.txn = nil
 	return &Result{}, nil
 }
 
-func (db *DB) execRollback() (*Result, error) {
-	if db.txn == nil {
+func (s *Session) execRollback() (*Result, error) {
+	if s.txn == nil {
 		return nil, fmt.Errorf("engine: no transaction in progress")
 	}
-	undo := db.txn.undo
-	db.txn = nil // undo actions must not re-log
+	undo := s.txn.undo
+	s.txn = nil // undo actions must not re-log
 	var firstErr error
 	for i := len(undo) - 1; i >= 0; i-- {
 		if err := undo[i](); err != nil && firstErr == nil {
@@ -483,17 +585,20 @@ func (db *DB) execRollback() (*Result, error) {
 // --- lazy scalar subquery ---
 
 // lazySubquery evaluates an uncorrelated scalar subquery on first use and
-// caches the result.
+// caches the result. It is bound to the session that planned it: the
+// subquery runs with that session's execution options and cancellation
+// context. Plans holding one are never cached or shared (expr.Reusable
+// refuses unknown node kinds).
 type lazySubquery struct {
-	db     *DB
+	s      *Session
 	sel    *sqlparser.SelectStmt
 	done   bool
 	cached sqltypes.Value
 	typ    sqltypes.Type
 }
 
-func newLazySubquery(db *DB, sel *sqlparser.SelectStmt) *lazySubquery {
-	return &lazySubquery{db: db, sel: sel, typ: sqltypes.TypeAny}
+func newLazySubquery(s *Session, sel *sqlparser.SelectStmt) *lazySubquery {
+	return &lazySubquery{s: s, sel: sel, typ: sqltypes.TypeAny}
 }
 
 // Eval implements expr.Expr.
@@ -501,11 +606,11 @@ func (l *lazySubquery) Eval(sqltypes.Row) (sqltypes.Value, error) {
 	if l.done {
 		return l.cached, nil
 	}
-	n, err := l.db.PlanSelect(l.sel)
+	n, err := l.s.PlanSelect(l.sel)
 	if err != nil {
 		return sqltypes.Null, err
 	}
-	rows, err := exec.Run(n)
+	rows, err := exec.RunOpts(n, l.s.execOpts(l.s.ctx))
 	if err != nil {
 		return sqltypes.Null, err
 	}

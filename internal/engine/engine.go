@@ -14,8 +14,8 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -83,7 +83,13 @@ type trigger struct {
 	handler TriggerFunc
 }
 
-// DB is an embedded database instance.
+// DB is an embedded database instance. A DB is safe for concurrent use by
+// multiple sessions: per-connection execution state (transactions, trigger
+// suppression, execution pragmas, cancellation) lives in Session, while
+// the DB holds only shared state — catalog, triggers, hooks, the schema
+// epoch and the plan caches — each behind its own lock. The DB's own
+// Exec/Query/... methods delegate to a built-in default session, so
+// single-connection callers keep the historical API.
 type DB struct {
 	Name    string
 	dialect Dialect
@@ -91,17 +97,23 @@ type DB struct {
 	mu  sync.Mutex
 	cat *catalog.Catalog
 
+	// pragmas are the engine-global defaults; sessions overlay
+	// batch_size/workers locally (see Session.SetPragma).
 	pragmas map[string]string
 
-	fallbacks    []FallbackParser
-	hooks        []StatementHook
+	fallbacks []FallbackParser
+	hooks     []StatementHook
+
+	// trigMu guards the trigger registry: CREATE MATERIALIZED VIEW installs
+	// capture triggers at runtime while concurrent sessions' DML reads the
+	// registry to fire them.
+	trigMu       sync.RWMutex
 	triggers     map[string][]*trigger // table -> triggers
 	trigHandlers map[string]TriggerFunc
 
-	// DisableTriggers suppresses trigger firing (used by internal writes).
-	triggersOff bool
-
-	txn *txnState
+	// def is the built-in default session the DB's legacy single-connection
+	// API (Exec, Query, WithoutTriggers, ...) delegates to.
+	def *Session
 
 	// Prepared-statement plan cache. PrepareScript marks its statements'
 	// SELECT bodies; PlanSelect then caches their bound+optimized plans so
@@ -111,16 +123,31 @@ type DB struct {
 	// plan: DDL (tables, views, indexes, triggers) and pragma writes
 	// (batch_size/workers become plan.Hint nodes). Plans holding lazily
 	// cached query results (scalar/IN subqueries) are never cached — see
-	// expr.Reusable.
+	// expr.Reusable. Unprepare releases markers and entries when a prepared
+	// script is discarded (materialized-view drop), so churning through
+	// many prepared scripts cannot permanently exhaust the marker cap.
 	schemaEpoch int64
 	prepared    map[*sqlparser.SelectStmt]bool
 	planCache   map[*sqlparser.SelectStmt]cachedPlan
+
+	// stmts is the general SQL-text keyed plan cache shared across
+	// sessions: LRU-bounded, schema-epoch invalidated, keyed by (text,
+	// batch_size, workers) so sessions with different execution knobs never
+	// share a Hint. Only plans safe for concurrent re-execution enter it —
+	// see planShareable.
+	stmts *stmtCache
 }
 
-// cachedPlan is one plan-cache entry, valid while the schema epoch holds.
+// cachedPlan is one plan-cache entry, valid while the schema epoch holds
+// and only for a session whose execution knobs match the Hint baked into
+// the plan (batchSize/workers record the knob values at plan time, so a
+// session with a different session-local PRAGMA overlay re-plans instead
+// of inheriting another session's parallelism).
 type cachedPlan struct {
-	node  plan.Node
-	epoch int64
+	node      plan.Node
+	epoch     int64
+	batchSize int
+	workers   int
 }
 
 // preparedMarkerCap bounds the prepared-statement marker set (and with it
@@ -132,7 +159,7 @@ const preparedMarkerCap = 4096
 
 // Open creates a fresh in-memory database with the given dialect.
 func Open(name string, dialect Dialect) *DB {
-	return &DB{
+	db := &DB{
 		Name:         name,
 		dialect:      dialect,
 		cat:          catalog.New(),
@@ -141,7 +168,10 @@ func Open(name string, dialect Dialect) *DB {
 		trigHandlers: map[string]TriggerFunc{},
 		prepared:     map[*sqlparser.SelectStmt]bool{},
 		planCache:    map[*sqlparser.SelectStmt]cachedPlan{},
+		stmts:        newStmtCache(stmtCacheSize),
 	}
+	db.def = db.NewSession()
+	return db
 }
 
 // bumpSchemaEpoch invalidates every cached prepared-statement plan. The
@@ -155,6 +185,47 @@ func (db *DB) bumpSchemaEpoch() {
 	db.schemaEpoch++
 	clear(db.planCache)
 	db.mu.Unlock()
+	db.stmts.clear()
+}
+
+// epoch returns the current schema epoch.
+func (db *DB) epoch() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.schemaEpoch
+}
+
+// Unprepare releases the prepared-statement markers (and any cached
+// plans) of a previously prepared script. The IVM extension calls it when
+// a materialized view is dropped, so its propagation scripts stop holding
+// marker slots — without this, a process churning through many prepared
+// scripts would hit the marker cap and new scripts would run uncached
+// forever.
+func (db *DB) Unprepare(stmts []sqlparser.Statement) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	drop := func(sel *sqlparser.SelectStmt) {
+		delete(db.prepared, sel)
+		delete(db.planCache, sel)
+	}
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.SelectStmt:
+			drop(x)
+		case *sqlparser.InsertStmt:
+			if x.Select != nil {
+				drop(x.Select)
+			}
+		}
+	}
+}
+
+// PreparedCount returns the number of marked prepared statements (tests
+// and monitoring).
+func (db *DB) PreparedCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.prepared)
 }
 
 // Catalog exposes the catalog (used by the IVM compiler and tests).
@@ -170,52 +241,19 @@ func (db *DB) Pragma(name string) string {
 	return db.pragmas[strings.ToLower(name)]
 }
 
-// SetPragma sets a pragma programmatically.
+// SetPragma sets an engine-global pragma programmatically (session-local
+// overlays go through Session.SetPragma).
 func (db *DB) SetPragma(name, value string) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.pragmas[strings.ToLower(name)] = value
 	// Pragmas flow into plans (batch_size/workers as Hint nodes), so any
 	// change invalidates cached prepared-statement plans (cleared like
 	// bumpSchemaEpoch — dead entries would never hit again).
 	db.schemaEpoch++
 	clear(db.planCache)
+	db.mu.Unlock()
+	db.stmts.clear()
 }
-
-// setPragmaChecked validates engine-owned pragmas before storing them.
-func (db *DB) setPragmaChecked(name, value string) error {
-	if strings.EqualFold(name, "batch_size") {
-		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n <= 0 {
-			return fmt.Errorf("engine: PRAGMA batch_size requires a positive integer, got %q", value)
-		}
-	}
-	if strings.EqualFold(name, "workers") {
-		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n < 0 {
-			return fmt.Errorf("engine: PRAGMA workers requires a non-negative integer (1 = serial, 0 = one per CPU), got %q", value)
-		}
-	}
-	db.SetPragma(name, value)
-	return nil
-}
-
-// intPragma returns a positive-integer pragma's value (0 when unset or
-// unparsable, meaning the executor default).
-func (db *DB) intPragma(name string) int {
-	if s := db.Pragma(name); s != "" {
-		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 0
-}
-
-// batchSize returns the execution batch size selected by PRAGMA
-// batch_size (0 when unset, meaning the executor default).
-func (db *DB) batchSize() int { return db.intPragma("batch_size") }
-
-// workers returns the scan parallelism selected by PRAGMA workers (0 when
-// unset: the executor defaults to one worker per CPU).
-func (db *DB) workers() int { return db.intPragma("workers") }
 
 // RegisterFallbackParser appends a parser tried when the main parse fails.
 func (db *DB) RegisterFallbackParser(p FallbackParser) { db.fallbacks = append(db.fallbacks, p) }
@@ -236,26 +274,61 @@ func (db *DB) AddTrigger(table, name string, events []TriggerEvent, fn TriggerFu
 		tr.events[e] = true
 	}
 	key := strings.ToLower(table)
+	db.trigMu.Lock()
 	db.triggers[key] = append(db.triggers[key], tr)
+	db.trigMu.Unlock()
 }
 
-// WithoutTriggers runs fn with trigger firing suppressed — the engine's own
-// internal writes (e.g. IVM propagation filling delta tables) must not
-// re-enter delta capture.
+// RemoveTrigger deregisters a trigger by table and name (the IVM
+// extension removes a base table's delta-capture trigger when the last
+// view fed by it is dropped). Unknown names are a no-op.
+func (db *DB) RemoveTrigger(table, name string) {
+	key := strings.ToLower(table)
+	db.trigMu.Lock()
+	defer db.trigMu.Unlock()
+	trs := db.triggers[key]
+	for i, tr := range trs {
+		if strings.EqualFold(tr.name, name) {
+			// Copy-on-write removal: sessions iterating a previously read
+			// slice header keep a consistent view.
+			next := make([]*trigger, 0, len(trs)-1)
+			next = append(next, trs[:i]...)
+			next = append(next, trs[i+1:]...)
+			if len(next) == 0 {
+				delete(db.triggers, key)
+			} else {
+				db.triggers[key] = next
+			}
+			return
+		}
+	}
+}
+
+// triggersFor returns the current trigger list for a table; the returned
+// slice is immutable (registration replaces the slice header under
+// trigMu), so callers may iterate it lock-free.
+func (db *DB) triggersFor(table string) []*trigger {
+	db.trigMu.RLock()
+	defer db.trigMu.RUnlock()
+	return db.triggers[strings.ToLower(table)]
+}
+
+// WithoutTriggers runs fn on the default session with trigger firing
+// suppressed (see Session.WithoutTriggers). Suppression is per session:
+// one session's internal writes never disable another session's delta
+// capture.
 func (db *DB) WithoutTriggers(fn func() error) error {
-	db.triggersOff = true
-	defer func() { db.triggersOff = false }()
-	return fn()
+	return db.def.WithoutTriggers(fn)
 }
 
 // wantsTriggerRows reports whether any trigger would currently fire for
-// the event — i.e. whether DML must snapshot affected rows it otherwise
-// would not need.
-func (db *DB) wantsTriggerRows(table string, ev TriggerEvent) bool {
-	if db.triggersOff {
+// the event in this session — i.e. whether DML must snapshot affected
+// rows it otherwise would not need.
+func (s *Session) wantsTriggerRows(table string, ev TriggerEvent) bool {
+	if s.trigOff.Load() > 0 {
 		return false
 	}
-	for _, tr := range db.triggers[strings.ToLower(table)] {
+	for _, tr := range s.db.triggersFor(table) {
 		if tr.events[ev] {
 			return true
 		}
@@ -263,18 +336,46 @@ func (db *DB) wantsTriggerRows(table string, ev TriggerEvent) bool {
 	return false
 }
 
-func (db *DB) fire(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
-	if db.triggersOff || len(oldRows)+len(newRows) == 0 {
+// fire invokes the table's triggers for the event unless this session has
+// suppressed them.
+func (s *Session) fire(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
+	if s.trigOff.Load() > 0 {
 		return nil
 	}
-	for _, tr := range db.triggers[strings.ToLower(table)] {
+	return s.fireForce(table, ev, oldRows, newRows)
+}
+
+// fireForce is fire without the suppression check — undo compensations
+// use it so a rollback mirrors the original capture even when the
+// suppression state has changed since (see undoFire).
+func (s *Session) fireForce(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
+	if len(oldRows)+len(newRows) == 0 {
+		return nil
+	}
+	for _, tr := range s.db.triggersFor(table) {
 		if tr.events[ev] {
-			if err := tr.handler(db, table, ev, oldRows, newRows); err != nil {
+			if err := tr.handler(s.db, table, ev, oldRows, newRows); err != nil {
 				return fmt.Errorf("trigger %s: %w", tr.name, err)
 			}
 		}
 	}
 	return nil
+}
+
+// undoFire returns the compensating-trigger function an undo closure
+// should call on rollback. The decision is captured NOW, at DML time: a
+// compensation fires if and only if the original statement's triggers
+// fired, regardless of the suppression state when ROLLBACK later runs —
+// otherwise a suppressed insert could emit a spurious deletion delta (or
+// a captured insert lose its retraction) and the IVM Z-set would no
+// longer cancel to zero.
+func (s *Session) undoFire(table string, ev TriggerEvent) func(oldRows, newRows []sqltypes.Row) error {
+	if s.trigOff.Load() > 0 {
+		return func([]sqltypes.Row, []sqltypes.Row) error { return nil }
+	}
+	return func(oldRows, newRows []sqltypes.Row) error {
+		return s.fireForce(table, ev, oldRows, newRows)
+	}
 }
 
 // Parse parses one statement, consulting fallback parsers on failure.
@@ -291,33 +392,12 @@ func (db *DB) Parse(sql string) (sqlparser.Statement, error) {
 	return nil, err
 }
 
-// Exec parses and executes a single statement.
-func (db *DB) Exec(sql string) (*Result, error) {
-	stmt, err := db.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return db.ExecStmt(stmt)
-}
+// Exec parses and executes a single statement on the default session.
+func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
 
-// ExecScript executes a semicolon-separated script, returning the last
-// statement's result.
-func (db *DB) ExecScript(sql string) (*Result, error) {
-	stmts, err := sqlparser.ParseScript(sql)
-	if err != nil {
-		// Retry statement-by-statement so fallback parsers get a chance.
-		return db.execScriptWithFallback(sql)
-	}
-	var last *Result
-	for _, st := range stmts {
-		r, err := db.ExecStmt(st)
-		if err != nil {
-			return nil, err
-		}
-		last = r
-	}
-	return last, nil
-}
+// ExecScript executes a semicolon-separated script on the default
+// session, returning the last statement's result.
+func (db *DB) ExecScript(sql string) (*Result, error) { return db.def.ExecScript(sql) }
 
 // PrepareScript parses a script into its statements once, consulting
 // fallback parsers per statement when the main parser rejects the whole
@@ -366,33 +446,9 @@ func (db *DB) PrepareScript(sql string) ([]sqlparser.Statement, error) {
 	return stmts, nil
 }
 
-// ExecStmts executes pre-parsed statements in order, returning the last
-// result. Statements are bound and planned fresh on every call, so a
-// prepared script observes current table contents like re-parsed SQL.
+// ExecStmts executes pre-parsed statements on the default session.
 func (db *DB) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
-	var last *Result
-	for _, st := range stmts {
-		r, err := db.ExecStmt(st)
-		if err != nil {
-			return nil, err
-		}
-		last = r
-	}
-	return last, nil
-}
-
-// execScriptWithFallback splits naively on top-level semicolons and runs
-// each piece through Exec (which consults fallback parsers).
-func (db *DB) execScriptWithFallback(sql string) (*Result, error) {
-	var last *Result
-	for _, piece := range SplitStatements(sql) {
-		r, err := db.Exec(piece)
-		if err != nil {
-			return nil, err
-		}
-		last = r
-	}
-	return last, nil
+	return db.def.ExecStmts(stmts)
 }
 
 // SplitStatements splits a script on semicolons outside quotes.
@@ -442,11 +498,28 @@ func SplitStatements(sql string) []string {
 // call sites).
 func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement on the default session.
 func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	return db.def.ExecStmt(stmt)
+}
+
+// ApplyDeltaRow replays one captured delta row on the default session.
+func (db *DB) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
+	return db.def.ApplyDeltaRow(table, row, mult)
+}
+
+// PlanSelect binds and optimizes a SELECT on the default session (exposed
+// for the IVM compiler, which rewrites view plans).
+func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
+	return db.def.PlanSelect(sel)
+}
+
+// execStmt runs the hook pass and dispatches a parsed statement. ctx
+// cancels any query execution the statement performs.
+func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
 	// Statement hooks first (IVM interception etc.).
-	for _, h := range db.hooks {
-		handled, res, err := h(db, stmt)
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -457,56 +530,57 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 
 	switch st := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return db.execSelect(st)
+		return s.execSelect(ctx, st)
 	case *sqlparser.CreateTableStmt:
-		return db.execCreateTable(st)
+		return s.execCreateTable(ctx, st)
 	case *sqlparser.CreateIndexStmt:
-		return db.execCreateIndex(st)
+		return s.execCreateIndex(st)
 	case *sqlparser.CreateViewStmt:
 		if st.Materialized {
 			return nil, fmt.Errorf("engine: CREATE MATERIALIZED VIEW requires the IVM extension (openivm/internal/ivmext)")
 		}
-		defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
-		if err := db.cat.CreateView(st.Name, st.SourceSQL); err != nil {
+		if err := s.db.cat.CreateView(st.Name, st.SourceSQL); err != nil {
 			return nil, err
 		}
+		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 		return &Result{}, nil
 	case *sqlparser.DropStmt:
-		return db.execDrop(st)
+		return s.execDrop(st)
 	case *sqlparser.InsertStmt:
-		return db.execInsert(st)
+		return s.execInsert(ctx, st)
 	case *sqlparser.UpdateStmt:
-		return db.execUpdate(st)
+		return s.execUpdate(ctx, st)
 	case *sqlparser.DeleteStmt:
-		return db.execDelete(st)
+		return s.execDelete(ctx, st)
 	case *sqlparser.TruncateStmt:
-		return db.execTruncate(st)
+		return s.execTruncate(st)
 	case *sqlparser.BeginStmt:
-		return db.execBegin()
+		return s.execBegin()
 	case *sqlparser.CommitStmt:
-		return db.execCommit()
+		return s.execCommit()
 	case *sqlparser.RollbackStmt:
-		return db.execRollback()
+		return s.execRollback()
 	case *sqlparser.PragmaStmt:
-		if err := db.setPragmaChecked(st.Name, st.Value); err != nil {
+		if err := s.setPragmaChecked(st.Name, st.Value); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *sqlparser.ExplainStmt:
-		return db.execExplain(st)
+		return s.execExplain(st)
 	case *sqlparser.CreateTriggerStmt:
-		return db.execCreateTrigger(st)
+		return s.execCreateTrigger(st)
 	case *sqlparser.RefreshStmt:
 		return nil, fmt.Errorf("engine: REFRESH MATERIALIZED VIEW requires the IVM extension")
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }
 
-// newBinder builds a binder with scalar-subquery support wired to this DB.
-func (db *DB) newBinder() *plan.Binder {
-	b := plan.NewBinder(db.cat)
+// newBinder builds a binder with scalar-subquery support wired to this
+// session (subqueries execute with the session's options and context).
+func (s *Session) newBinder() *plan.Binder {
+	b := plan.NewBinder(s.db.cat)
 	b.SubqueryFn = func(sel *sqlparser.SelectStmt) (expr.Expr, error) {
-		return newLazySubquery(db, sel), nil
+		return newLazySubquery(s, sel), nil
 	}
 	b.SubqueryRowsFn = func(sel *sqlparser.SelectStmt) (func() ([]sqltypes.Value, error), error) {
 		var cached []sqltypes.Value
@@ -515,11 +589,11 @@ func (db *DB) newBinder() *plan.Binder {
 			if done {
 				return cached, nil
 			}
-			n, err := db.PlanSelect(sel)
+			n, err := s.PlanSelect(sel)
 			if err != nil {
 				return nil, err
 			}
-			rows, err := exec.Run(n)
+			rows, err := exec.RunOpts(n, s.execOpts(s.ctx))
 			if err != nil {
 				return nil, err
 			}
@@ -538,11 +612,15 @@ func (db *DB) newBinder() *plan.Binder {
 
 // PlanSelect binds and optimizes a SELECT, returning the logical plan.
 // Exposed for the IVM compiler, which rewrites view plans. When PRAGMA
-// batch_size or PRAGMA workers is set, the root is wrapped in a plan.Hint
-// so the executor runs the whole tree with the requested knobs.
-func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
+// batch_size or PRAGMA workers is set (session overlay or global), the
+// root is wrapped in a plan.Hint so the executor runs the whole tree with
+// the requested knobs.
+func (s *Session) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
+	db := s.db
+	bs, w := s.batchSize(), s.workers()
 	db.mu.Lock()
-	if cp, ok := db.planCache[sel]; ok && cp.epoch == db.schemaEpoch {
+	if cp, ok := db.planCache[sel]; ok && cp.epoch == db.schemaEpoch &&
+		cp.batchSize == bs && cp.workers == w {
 		db.mu.Unlock()
 		return cp.node, nil
 	}
@@ -550,57 +628,67 @@ func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 	epoch := db.schemaEpoch
 	db.mu.Unlock()
 
-	n, err := db.newBinder().BindSelect(sel)
+	n, err := s.newBinder().BindSelect(sel)
 	if err != nil {
 		return nil, err
 	}
 	n = optimizer.Optimize(n)
-	if bs, w := db.batchSize(), db.workers(); bs > 0 || w > 0 {
+	if bs > 0 || w > 0 {
 		n = &plan.Hint{Input: n, BatchSize: bs, Workers: w}
 	}
 	if cacheWanted && planCacheable(n) {
 		db.mu.Lock()
 		if db.schemaEpoch == epoch { // schema unchanged while planning
-			db.planCache[sel] = cachedPlan{node: n, epoch: epoch}
+			db.planCache[sel] = cachedPlan{node: n, epoch: epoch, batchSize: bs, workers: w}
 		}
 		db.mu.Unlock()
 	}
 	return n, nil
 }
 
-// planCacheable reports whether a bound plan may be re-executed verbatim:
-// every expression in every node must be expr.Reusable (no lazily cached
-// subquery results — see the field comment on DB.planCache). Unknown node
-// kinds refuse, keeping the default conservative if new plan nodes appear.
+// planCacheable reports whether a bound plan may be re-executed verbatim
+// (sequentially) on later executions: every expression in every node must
+// be expr.Reusable (no lazily cached subquery results — see the field
+// comment on DB.planCache). planShareable layers the concurrent-execution
+// requirement on top for the shared statement cache.
 func planCacheable(n plan.Node) bool {
+	return planExprsOK(n, expr.Reusable)
+}
+
+// planExprsOK walks a plan and applies one predicate to every expression
+// in every known node kind — the single walker behind planCacheable and
+// planShareable, so the two cache gates can never drift apart on node
+// coverage. Unknown node kinds refuse, keeping the default conservative
+// if new plan nodes appear.
+func planExprsOK(n plan.Node, pred func(expr.Expr) bool) bool {
 	ok := true
 	plan.Walk(n, func(nd plan.Node) bool {
 		switch x := nd.(type) {
 		case *plan.Scan:
-			ok = ok && expr.Reusable(x.Filter)
+			ok = ok && pred(x.Filter)
 		case *plan.Filter:
-			ok = ok && expr.Reusable(x.Pred)
+			ok = ok && pred(x.Pred)
 		case *plan.Project:
 			for _, e := range x.Exprs {
-				ok = ok && expr.Reusable(e)
+				ok = ok && pred(e)
 			}
 		case *plan.Aggregate:
 			for _, g := range x.GroupBy {
-				ok = ok && expr.Reusable(g)
+				ok = ok && pred(g)
 			}
 			for _, a := range x.Aggs {
-				ok = ok && expr.Reusable(a.Arg)
+				ok = ok && pred(a.Arg)
 			}
 		case *plan.Join:
-			ok = ok && expr.Reusable(x.On)
+			ok = ok && pred(x.On)
 		case *plan.Sort:
 			for _, k := range x.Keys {
-				ok = ok && expr.Reusable(k.Expr)
+				ok = ok && pred(k.Expr)
 			}
 		case *plan.Values:
 			for _, row := range x.Rows {
 				for _, e := range row {
-					ok = ok && expr.Reusable(e)
+					ok = ok && pred(e)
 				}
 			}
 		case *plan.Distinct, *plan.Limit, *plan.SetOp, *plan.Hint:
@@ -612,12 +700,18 @@ func planCacheable(n plan.Node) bool {
 	return ok
 }
 
-func (db *DB) execSelect(sel *sqlparser.SelectStmt) (*Result, error) {
-	n, err := db.PlanSelect(sel)
+func (s *Session) execSelect(ctx context.Context, sel *sqlparser.SelectStmt) (*Result, error) {
+	n, err := s.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(n)
+	return s.runPlan(ctx, n)
+}
+
+// runPlan executes a planned SELECT with the session's options and builds
+// the result.
+func (s *Session) runPlan(ctx context.Context, n plan.Node) (*Result, error) {
+	rows, err := exec.RunOpts(n, s.execOpts(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -628,12 +722,12 @@ func (db *DB) execSelect(sel *sqlparser.SelectStmt) (*Result, error) {
 	return res, nil
 }
 
-func (db *DB) execExplain(st *sqlparser.ExplainStmt) (*Result, error) {
+func (s *Session) execExplain(st *sqlparser.ExplainStmt) (*Result, error) {
 	sel, ok := st.Stmt.(*sqlparser.SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
 	}
-	n, err := db.PlanSelect(sel)
+	n, err := s.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -644,17 +738,25 @@ func (db *DB) execExplain(st *sqlparser.ExplainStmt) (*Result, error) {
 	return res, nil
 }
 
-func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
-	// Deferred: the epoch must move only after the catalog mutation is
-	// visible, or a concurrently-planning prepared statement could cache a
-	// pre-DDL plan under the post-DDL epoch and never be invalidated.
-	defer db.bumpSchemaEpoch()
+func (s *Session) execCreateTable(ctx context.Context, st *sqlparser.CreateTableStmt) (*Result, error) {
+	// The epoch moves only after the catalog mutation is visible (a
+	// concurrently-planning prepared statement could otherwise cache a
+	// pre-DDL plan under the post-DDL epoch and never be invalidated), and
+	// only when a mutation actually happened: CREATE TABLE IF NOT EXISTS
+	// on an existing table — the idempotent init-script pattern — must not
+	// flush every session's cached plans.
+	created := !s.db.cat.HasTable(st.Name)
+	bump := func() {
+		if created {
+			s.db.bumpSchemaEpoch()
+		}
+	}
 	if st.AsSelect != nil {
-		n, err := db.PlanSelect(st.AsSelect)
+		n, err := s.PlanSelect(st.AsSelect)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := exec.Run(n)
+		rows, err := exec.RunOpts(n, s.execOpts(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -666,10 +768,11 @@ func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
 			}
 			cols = append(cols, catalog.Column{Name: c.Name, Type: t})
 		}
-		tbl, err := db.cat.CreateTable(st.Name, cols, nil, st.IfNotExists)
+		tbl, err := s.db.cat.CreateTable(st.Name, cols, nil, st.IfNotExists)
 		if err != nil {
 			return nil, err
 		}
+		bump()
 		for _, r := range rows {
 			if err := tbl.Insert(r); err != nil {
 				return nil, err
@@ -681,7 +784,7 @@ func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
 	for _, cd := range st.Columns {
 		col := catalog.Column{Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull}
 		if cd.Default != nil {
-			b := db.newBinder()
+			b := s.newBinder()
 			e, err := b.BindExprNoInput(cd.Default)
 			if err != nil {
 				return nil, fmt.Errorf("engine: DEFAULT for %s: %w", cd.Name, err)
@@ -695,45 +798,61 @@ func (db *DB) execCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
 		}
 		cols = append(cols, col)
 	}
-	if _, err := db.cat.CreateTable(st.Name, cols, st.PrimaryKey, st.IfNotExists); err != nil {
+	if _, err := s.db.cat.CreateTable(st.Name, cols, st.PrimaryKey, st.IfNotExists); err != nil {
 		return nil, err
 	}
+	bump()
 	return &Result{}, nil
 }
 
-func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
-	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
-	tbl, err := db.cat.Table(st.Table)
+func (s *Session) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
+	tbl, err := s.db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
+	_, existed := tbl.Index(st.Name)
 	if _, err := tbl.CreateIndex(st.Name, st.Columns, st.Unique, st.IfNotExists); err != nil {
 		return nil, err
+	}
+	if !existed {
+		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 	}
 	return &Result{}, nil
 }
 
-func (db *DB) execDrop(st *sqlparser.DropStmt) (*Result, error) {
-	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
+func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 	switch st.Kind {
 	case "TABLE":
-		if err := db.cat.DropTable(st.Name, st.IfExists); err != nil {
+		dropped, err := s.db.cat.DropTable(st.Name, st.IfExists)
+		if err != nil {
 			return nil, err
+		}
+		if dropped {
+			s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 		}
 	case "VIEW":
 		// Materialized views are stored as tables + metadata (+ an exposed
-		// plain view under AVG decomposition).
-		if m, ok := db.cat.IVM(st.Name); ok {
-			db.cat.DropIVM(st.Name)
-			db.cat.DropView(st.Name, true)
+		// plain view under AVG decomposition). The IVM extension's drop hook
+		// normally intercepts these before this point and performs the full
+		// cleanup (delta tables, triggers, prepared scripts); this branch
+		// remains for engines without the extension installed.
+		if m, ok := s.db.cat.IVM(st.Name); ok {
+			s.db.cat.DropIVM(st.Name)
+			s.db.cat.DropView(st.Name, true)
 			storage := m.StorageTable
 			if storage == "" {
 				storage = st.Name
 			}
-			return &Result{}, db.cat.DropTable(storage, true)
+			_, err := s.db.cat.DropTable(storage, true)
+			s.db.bumpSchemaEpoch()
+			return &Result{}, err
 		}
-		if err := db.cat.DropView(st.Name, st.IfExists); err != nil {
+		dropped, err := s.db.cat.DropView(st.Name, st.IfExists)
+		if err != nil {
 			return nil, err
+		}
+		if dropped {
+			s.db.bumpSchemaEpoch()
 		}
 	case "INDEX":
 		return nil, fmt.Errorf("engine: DROP INDEX not supported")
@@ -741,16 +860,16 @@ func (db *DB) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) execCreateTrigger(st *sqlparser.CreateTriggerStmt) (*Result, error) {
-	defer db.bumpSchemaEpoch() // after the mutation; see execCreateTable
-	fn, ok := db.trigHandlers[strings.ToLower(st.Handler)]
+func (s *Session) execCreateTrigger(st *sqlparser.CreateTriggerStmt) (*Result, error) {
+	fn, ok := s.db.trigHandlers[strings.ToLower(st.Handler)]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown trigger handler %q", st.Handler)
 	}
+	defer s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 	var events []TriggerEvent
 	for _, e := range st.Events {
 		events = append(events, TriggerEvent(e))
 	}
-	db.AddTrigger(st.Table, st.Name, events, fn)
+	s.db.AddTrigger(st.Table, st.Name, events, fn)
 	return &Result{}, nil
 }

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"openivm/internal/exec"
+	"openivm/internal/expr"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+)
+
+// Session is one connection's execution context over a shared DB. All
+// per-connection state lives here — the open transaction, trigger
+// suppression, execution-pragma overlays (batch_size/workers) and the
+// cancellation context — so N sessions can run interleaved DML and
+// queries against one DB without sharing any mutable statement state.
+//
+// A Session is cheap to create (the wire server makes one per accepted
+// connection, the IVM extension one per internal script run) and is NOT
+// itself safe for concurrent use: one goroutine drives a session at a
+// time, exactly like one client drives one connection. Cancel is the one
+// exception — it may be called from any goroutine to interrupt the
+// session's in-flight query (Close, which also rolls back, belongs to
+// the driving goroutine; see its comment).
+type Session struct {
+	db *DB
+
+	// mu guards the pragma overlay (read per statement, written by PRAGMA).
+	mu      sync.Mutex
+	pragmas map[string]string
+
+	// ctx is the session's lifetime context: queries started through the
+	// plain Exec/Query API run under it, and Cancel/Close cancel it, which
+	// stops in-flight scans and parallel workers (see exec.Options.Ctx).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// txn is the session's open transaction (nil outside BEGIN..COMMIT).
+	// Deliberately unsynchronized: a session is single-goroutine. The one
+	// sanctioned multi-goroutine sharing — legacy callers racing db.Exec
+	// on the default session — is supported for NON-transactional
+	// statements only (the historical contract: reads and autocommit DML
+	// against the thread-safe catalog); goroutines that need BEGIN/COMMIT
+	// must take their own NewSession.
+	txn *txnState
+
+	// trigOff counts nested WithoutTriggers scopes. An atomic because the
+	// legacy default session is shared by concurrent callers of db.Exec
+	// (see the txn comment for the limits of that sharing).
+	trigOff atomic.Int32
+}
+
+// NewSession creates an independent execution context over the database.
+// Sessions share the catalog, triggers, materialized views and the plan
+// caches; they do not share transactions, trigger suppression or
+// execution pragmas.
+func (db *DB) NewSession() *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Session{db: db, pragmas: map[string]string{}, ctx: ctx, cancel: cancel}
+}
+
+// DB returns the underlying database.
+func (s *Session) DB() *DB { return s.db }
+
+// Cancel interrupts the session's in-flight query (if any): scans and
+// parallel workers observe the cancelled context and the statement
+// returns context.Canceled. The session itself becomes unusable for
+// further queries — Cancel is a connection-teardown primitive, not a
+// per-statement one (use ExecContext for that).
+func (s *Session) Cancel() { s.cancel() }
+
+// Close releases the session: the in-flight query (if any) is cancelled
+// and an open transaction is rolled back. Like every other session
+// method, Close must be called by the session's driving goroutine once
+// it has stopped executing statements (the wire server calls it from the
+// connection goroutine's teardown, after the read loop exits) — the
+// rollback replays the undo log, which must not race a statement in
+// flight. To interrupt a session from ANOTHER goroutine, use Cancel: it
+// only cancels the context, which is safe concurrently, and the driver
+// then observes the error and closes.
+func (s *Session) Close() error {
+	s.cancel()
+	if s.txn != nil {
+		_, err := s.execRollback()
+		return err
+	}
+	return nil
+}
+
+// --- pragmas ---
+
+// Pragma returns the session-effective pragma value: the session overlay
+// when set, the engine-global value otherwise.
+func (s *Session) Pragma(name string) string {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	v, ok := s.pragmas[key]
+	s.mu.Unlock()
+	if ok {
+		return v
+	}
+	return s.db.Pragma(name)
+}
+
+// SetPragma sets a pragma for this session. The engine-owned execution
+// knobs (batch_size, workers) stay session-local, so two connections can
+// run with different parallelism against one DB; every other pragma
+// (ivm_mode, ivm_strategy, ...) configures shared engine state — the IVM
+// extension is one extension instance per DB — and is therefore written
+// through to the global table. The default session always writes through:
+// its historical API (db.Exec("PRAGMA ...")) configures the engine.
+func (s *Session) SetPragma(name, value string) {
+	if s != s.db.def && sessionLocalPragma(name) {
+		s.mu.Lock()
+		s.pragmas[strings.ToLower(name)] = value
+		s.mu.Unlock()
+		return
+	}
+	s.db.SetPragma(name, value)
+}
+
+// sessionLocalPragma reports whether a pragma is a per-session execution
+// knob rather than shared engine configuration.
+func sessionLocalPragma(name string) bool {
+	return strings.EqualFold(name, "batch_size") || strings.EqualFold(name, "workers")
+}
+
+// setPragmaChecked validates engine-owned pragmas before storing them.
+func (s *Session) setPragmaChecked(name, value string) error {
+	if strings.EqualFold(name, "batch_size") {
+		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n <= 0 {
+			return fmt.Errorf("engine: PRAGMA batch_size requires a positive integer, got %q", value)
+		}
+	}
+	if strings.EqualFold(name, "workers") {
+		if n, err := strconv.Atoi(strings.TrimSpace(value)); err != nil || n < 0 {
+			return fmt.Errorf("engine: PRAGMA workers requires a non-negative integer (1 = serial, 0 = one per CPU), got %q", value)
+		}
+	}
+	s.SetPragma(name, value)
+	return nil
+}
+
+// intPragma returns a positive-integer pragma's session-effective value
+// (0 when unset or unparsable, meaning the executor default).
+func (s *Session) intPragma(name string) int {
+	if v := s.Pragma(name); v != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// batchSize returns the execution batch size selected by PRAGMA
+// batch_size (0 when unset, meaning the executor default).
+func (s *Session) batchSize() int { return s.intPragma("batch_size") }
+
+// workers returns the scan parallelism selected by PRAGMA workers (0 when
+// unset: the executor defaults to one worker per CPU).
+func (s *Session) workers() int { return s.intPragma("workers") }
+
+// execOpts assembles the executor options for one statement: the
+// session's knobs plus the cancellation context.
+func (s *Session) execOpts(ctx context.Context) exec.Options {
+	return exec.Options{BatchSize: s.batchSize(), Workers: s.workers(), Ctx: ctx}
+}
+
+// --- triggers ---
+
+// WithoutTriggers runs fn with this session's trigger firing suppressed —
+// the engine's own internal writes (e.g. IVM propagation filling delta
+// tables) must not re-enter delta capture. Suppression nests, and it is
+// per session: concurrent sessions' DML keeps capturing deltas while one
+// session runs an internal script.
+func (s *Session) WithoutTriggers(fn func() error) error {
+	s.trigOff.Add(1)
+	defer s.trigOff.Add(-1)
+	return fn()
+}
+
+// --- statement execution ---
+
+// Exec parses and executes a single statement under the session context.
+func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(s.ctx, sql)
+}
+
+// Query is Exec restricted to row-returning statements (for readability
+// at call sites).
+func (s *Session) Query(sql string) (*Result, error) { return s.Exec(sql) }
+
+// ExecContext is Exec with an explicit cancellation context for this
+// statement: the statement's own execution — scans, parallel workers,
+// filtered UPDATE/DELETE sweeps — observes ctx. (Uncorrelated scalar/IN
+// subqueries are bound to the session at plan time and run under the
+// session context instead.) Cached plans are consulted first: a SELECT
+// whose text (and execution knobs) hit the shared statement cache skips
+// parsing, binding and optimization entirely.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	if ent, ok := s.lookupStmt(sql); ok {
+		return s.runCachedSelect(ctx, ent)
+	}
+	stmt, err := s.db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, isSel := stmt.(*sqlparser.SelectStmt); isSel {
+		return s.execSelectText(ctx, sql, sel)
+	}
+	return s.execStmt(ctx, stmt)
+}
+
+// ExecStmt executes a parsed statement under the session context.
+func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	return s.execStmt(s.ctx, stmt)
+}
+
+// ExecStmts executes pre-parsed statements in order, returning the last
+// result. Statements are bound and planned fresh on every call (unless
+// marked by PrepareScript), so a prepared script observes current table
+// contents like re-parsed SQL.
+func (s *Session) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.execStmt(s.ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result. Single-statement scripts hit the shared statement
+// cache like Exec.
+func (s *Session) ExecScript(sql string) (*Result, error) {
+	if ent, ok := s.lookupStmt(sql); ok {
+		return s.runCachedSelect(s.ctx, ent)
+	}
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		// Retry statement-by-statement so fallback parsers get a chance.
+		return s.execScriptWithFallback(sql)
+	}
+	if len(stmts) == 1 {
+		if sel, isSel := stmts[0].(*sqlparser.SelectStmt); isSel {
+			return s.execSelectText(s.ctx, sql, sel)
+		}
+	}
+	return s.ExecStmts(stmts)
+}
+
+// execScriptWithFallback splits naively on top-level semicolons and runs
+// each piece through Exec (which consults fallback parsers).
+func (s *Session) execScriptWithFallback(sql string) (*Result, error) {
+	var last *Result
+	for _, piece := range SplitStatements(sql) {
+		r, err := s.Exec(piece)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// textKey builds the statement-cache key: the raw SQL plus the session's
+// execution knobs, so sessions with different batch_size/workers never
+// share a plan whose Hint disagrees with them.
+func (s *Session) textKey(sql string) string {
+	return sql + "\x00" + strconv.Itoa(s.batchSize()) + "," + strconv.Itoa(s.workers())
+}
+
+// lookupStmt probes the shared statement cache — but only for
+// SELECT-shaped texts. Only SELECT plans are ever admitted, so probing
+// DML would build a key string, take the pragma locks and inflate the
+// miss counter on every INSERT of a write-heavy workload for a cache it
+// can never hit.
+func (s *Session) lookupStmt(sql string) (*stmtEntry, bool) {
+	if !selectShaped(sql) {
+		return nil, false
+	}
+	return s.db.stmts.get(s.textKey(sql), s.db.epoch())
+}
+
+// selectShaped reports whether the text's first keyword is SELECT or
+// WITH (allocation-free; case-insensitive).
+func selectShaped(sql string) bool {
+	i := 0
+	for i < len(sql) && (sql[i] == ' ' || sql[i] == '\t' || sql[i] == '\n' || sql[i] == '\r') {
+		i++
+	}
+	rest := sql[i:]
+	return keywordPrefix(rest, "SELECT") || keywordPrefix(rest, "WITH")
+}
+
+// keywordPrefix reports whether s begins with the (upper-case) keyword
+// followed by a non-identifier byte or end of string.
+func keywordPrefix(s, kw string) bool {
+	if len(s) < len(kw) {
+		return false
+	}
+	for i := 0; i < len(kw); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	if len(s) == len(kw) {
+		return true
+	}
+	c := s[len(kw)]
+	return !(c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+}
+
+// runCachedSelect executes a statement-cache hit. The statement hook pass
+// still runs over the cached AST — lazy IVM refresh must see the SELECT
+// even when planning is skipped — and the epoch is re-checked afterwards
+// in case a hook performed DDL.
+func (s *Session) runCachedSelect(ctx context.Context, ent *stmtEntry) (*Result, error) {
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, ent.sel)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return res, nil
+		}
+	}
+	if s.db.epoch() != ent.epoch {
+		// A hook invalidated the schema mid-statement; replan.
+		return s.execSelect(ctx, ent.sel)
+	}
+	return s.runPlan(ctx, ent.node)
+}
+
+// execSelectText runs the hook pass, plans the SELECT, executes it, and —
+// when the plan is safe for concurrent re-execution — publishes it in the
+// shared statement cache for every session.
+func (s *Session) execSelectText(ctx context.Context, sql string, sel *sqlparser.SelectStmt) (*Result, error) {
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, sel)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return res, nil
+		}
+	}
+	epoch := s.db.epoch()
+	n, err := s.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if planShareable(n) && selectShaped(sql) && s.db.epoch() == epoch {
+		s.db.stmts.put(s.textKey(sql), &stmtEntry{sel: sel, node: n, epoch: epoch})
+	}
+	return s.runPlan(ctx, n)
+}
+
+// planShareable reports whether a bound plan may be re-executed verbatim
+// by MULTIPLE sessions, possibly concurrently. It is strictly stronger
+// than planCacheable: besides refusing lazily cached subquery results
+// (expr.Reusable), every expression must be expr.ParallelSafe, because
+// two sessions executing the shared plan at once evaluate the same
+// expression trees from two goroutines (per-node scratch like
+// ScalarFunc's argument buffer would race). Unknown node kinds refuse.
+func planShareable(n plan.Node) bool {
+	return planExprsOK(n, func(e expr.Expr) bool {
+		return expr.Reusable(e) && expr.ParallelSafe(e)
+	})
+}
+
+// PrepareScript delegates to the DB (markers are engine-global; see
+// DB.PrepareScript).
+func (s *Session) PrepareScript(sql string) ([]sqlparser.Statement, error) {
+	return s.db.PrepareScript(sql)
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"openivm/internal/sqltypes"
+)
+
+// TestSessionTransactionIsolation: transactions are session state — two
+// sessions BEGIN concurrently, one commits, one rolls back, and only the
+// committed work survives.
+func TestSessionTransactionIsolation(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	s1, s2 := db.NewSession(), db.NewSession()
+
+	for _, sql := range []string{"BEGIN", "INSERT INTO t VALUES (1)"} {
+		if _, err := s1.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sql := range []string{"BEGIN", "INSERT INTO t VALUES (2)", "COMMIT"} {
+		if _, err := s2.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s1.Query("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows = %v, want [[2]]", res.Rows)
+	}
+
+	// The default session's transaction is independent of both.
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO t VALUES (3)")
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err) // s1 may BEGIN while def's txn is open
+	}
+	mustExec(t, db, "ROLLBACK")
+	if _, err := s1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCloseRollsBack: closing a session with an open transaction
+// rolls it back (the wire server's disconnect path).
+func TestSessionCloseRollsBack(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	s1 := db.NewSession()
+	for _, sql := range []string{"BEGIN", "INSERT INTO t VALUES (1)"} {
+		if _, err := s1.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, db, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("closed session's transaction survived: %v", res.Rows)
+	}
+}
+
+// TestSessionTriggerSuppressionIsolation: WithoutTriggers on one session
+// must not disable another session's trigger firing — the bug class that
+// loses IVM deltas under concurrent DML.
+func TestSessionTriggerSuppressionIsolation(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	var mu sync.Mutex
+	fired := 0
+	db.AddTrigger("t", "count", []TriggerEvent{TrigInsert}, func(*DB, string, TriggerEvent, []sqltypes.Row, []sqltypes.Row) error {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+		return nil
+	})
+	s1, s2 := db.NewSession(), db.NewSession()
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s1.WithoutTriggers(func() error {
+			close(gate)
+			if _, err := s1.Exec("INSERT INTO t VALUES (1)"); err != nil {
+				t.Error(err)
+			}
+			<-done2(t, s2) // s2 inserts while s1's suppression is active
+			return nil
+		})
+	}()
+	<-gate
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (s2 fires, suppressed s1 does not)", fired)
+	}
+}
+
+func done2(t *testing.T, s2 *Session) chan struct{} {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		if _, err := s2.Exec("INSERT INTO t VALUES (2)"); err != nil {
+			t.Error(err)
+		}
+	}()
+	return ch
+}
+
+// TestSessionPragmaOverlay: batch_size/workers set on a session stay
+// session-local; the default session's writes stay engine-global (the
+// historical PRAGMA semantics every benchmark and test relies on).
+func TestSessionPragmaOverlay(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	s1, s2 := db.NewSession(), db.NewSession()
+	if _, err := s1.Exec("PRAGMA workers = 3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Pragma("workers"); got != "3" {
+		t.Fatalf("s1 workers = %q, want 3", got)
+	}
+	if got := s2.Pragma("workers"); got != "" {
+		t.Fatalf("s2 sees s1's overlay: %q", got)
+	}
+	if got := db.Pragma("workers"); got != "" {
+		t.Fatalf("global table polluted: %q", got)
+	}
+	// Global default flows into sessions without an overlay.
+	mustExec(t, db, "PRAGMA workers = 2")
+	if got := s2.Pragma("workers"); got != "2" {
+		t.Fatalf("s2 misses the global default: %q", got)
+	}
+	if got := s1.Pragma("workers"); got != "3" {
+		t.Fatalf("s1 overlay lost: %q", got)
+	}
+	// Validation applies on sessions too.
+	if _, err := s1.Exec("PRAGMA batch_size = 0"); err == nil {
+		t.Fatal("invalid batch_size accepted on a session")
+	}
+}
+
+// TestSessionContextCancel: a cancelled statement context surfaces
+// context.Canceled, and Session.Cancel interrupts the session.
+func TestSessionContextCancel(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	rows := make([]sqltypes.Row, 0, 8192)
+	for i := 0; i < 8192; i++ {
+		rows = append(rows, sqltypes.Row{sqltypes.NewInt(int64(i))})
+	}
+	tbl, _ := db.Catalog().Table("t")
+	if _, err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := db.NewSession()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s1.ExecContext(ctx, "SELECT a FROM t"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext after cancel: %v, want context.Canceled", err)
+	}
+	// The session itself is still usable with a live context.
+	if _, err := s1.Exec("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel kills the session's own context.
+	s1.Cancel()
+	if _, err := s1.Exec("SELECT a FROM t"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exec after Session.Cancel: %v, want context.Canceled", err)
+	}
+}
+
+// TestMultiSessionConcurrentDML is the engine-level race test: N writer
+// sessions and M reader sessions interleave DML (some transactional),
+// queries and trigger firing against one DB. Run under -race in CI.
+func TestMultiSessionConcurrentDML(t *testing.T) {
+	db := Open("s", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE t (w INTEGER, v INTEGER)")
+	mustExec(t, db, "CREATE TABLE audit (w INTEGER)")
+	db.AddTrigger("t", "audit", []TriggerEvent{TrigInsert}, func(db *DB, _ string, _ TriggerEvent, _, newRows []sqltypes.Row) error {
+		at, err := db.Catalog().Table("audit")
+		if err != nil {
+			return err
+		}
+		for _, r := range newRows {
+			if err := at.Insert(sqltypes.Row{r[0]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	const writers, readers, rounds = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			committed := 0
+			for j := 0; j < rounds; j++ {
+				switch j % 4 {
+				case 0, 1: // plain insert
+					if _, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", w, j)); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					committed++
+				case 2: // committed txn
+					for _, sql := range []string{"BEGIN", fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", w, j), "COMMIT"} {
+						if _, err := s.Exec(sql); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+					committed++
+				case 3: // rolled-back txn: must leave no trace in t
+					for _, sql := range []string{"BEGIN", fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", w, j), "ROLLBACK"} {
+						if _, err := s.Exec(sql); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+				}
+			}
+			// Every committed row of this writer is present.
+			res, err := s.Query(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE w = %d", w))
+			if err != nil {
+				t.Errorf("writer %d final: %v", w, err)
+				return
+			}
+			if got := res.Rows[0][0].I; got != int64(committed) {
+				t.Errorf("writer %d: %d rows committed, table has %d", w, committed, got)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for j := 0; j < rounds; j++ {
+				q := "SELECT w, COUNT(*), SUM(v) FROM t GROUP BY w"
+				if j%3 == 0 {
+					q = "SELECT COUNT(*) FROM audit"
+				}
+				if _, err := s.Query(q); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+)
+
+// stmtCacheSize bounds the shared SQL-text plan cache. LRU eviction keeps
+// the working set of a wire server's repeated ad-hoc queries hot while a
+// stream of one-off statements cannot grow the cache without limit.
+const stmtCacheSize = 512
+
+// stmtEntry is one cached statement: the parsed AST (the hook pass runs
+// over it on every hit), the bound+optimized plan, and the schema epoch
+// the plan was built under.
+type stmtEntry struct {
+	sel   *sqlparser.SelectStmt
+	node  plan.Node
+	epoch int64
+}
+
+// stmtCache is the general SQL-text keyed plan cache shared across
+// sessions: a bounded LRU whose entries are invalidated by schema-epoch
+// mismatch (checked on get, and cleared wholesale on DDL/pragma writes so
+// dead plan trees are released rather than retained until eviction).
+// Only plans that are safe for concurrent re-execution are admitted — the
+// caller gates on planShareable.
+type stmtCache struct {
+	mu     sync.Mutex
+	max    int
+	m      map[string]*list.Element // key -> element whose Value is *lruItem
+	lru    *list.List               // front = most recently used
+	hits   int64
+	misses int64
+}
+
+type lruItem struct {
+	key string
+	ent *stmtEntry
+}
+
+func newStmtCache(max int) *stmtCache {
+	return &stmtCache{max: max, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached entry for key when present and planned under the
+// current epoch. A stale entry is evicted on sight.
+func (c *stmtCache) get(key string, epoch int64) (*stmtEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	item := el.Value.(*lruItem)
+	if item.ent.epoch != epoch {
+		c.lru.Remove(el)
+		delete(c.m, key)
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return item.ent, true
+}
+
+// put inserts (or replaces) an entry, evicting the least recently used
+// one beyond capacity.
+func (c *stmtCache) put(key string, ent *stmtEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruItem).ent = ent
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&lruItem{key: key, ent: ent})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*lruItem).key)
+	}
+}
+
+// clear drops every entry (schema epoch moved: none could ever hit again).
+func (c *stmtCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.m)
+	c.lru.Init()
+}
+
+// len returns the number of cached entries.
+func (c *stmtCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// StmtCacheStats reports the shared statement cache's counters (tests,
+// monitoring, the wire server's stats op).
+type StmtCacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// StmtCacheStats returns a snapshot of the shared statement cache.
+func (db *DB) StmtCacheStats() StmtCacheStats {
+	c := db.stmts
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StmtCacheStats{Entries: c.lru.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"openivm/internal/expr"
@@ -55,6 +56,7 @@ type batchScan struct {
 	rows []sqltypes.Row // row snapshot taken at open (live rows only)
 	pos  int
 	size int
+	ctx  context.Context
 	out  Batch
 	slab valueSlab
 }
@@ -69,7 +71,7 @@ func newBatchScan(s *plan.Scan, opts Options) *batchScan {
 // newBatchScanRows is newBatchScan over an explicit row snapshot — the
 // parallel scan hands each worker one snapshot partition.
 func newBatchScanRows(s *plan.Scan, rows []sqltypes.Row, opts Options) *batchScan {
-	it := &batchScan{node: s, rows: rows, size: opts.BatchSize}
+	it := &batchScan{node: s, rows: rows, size: opts.BatchSize, ctx: opts.Ctx}
 	if s.Projection != nil {
 		it.slab = newValueSlab(len(s.Projection), opts.BatchSize)
 	}
@@ -78,6 +80,9 @@ func newBatchScanRows(s *plan.Scan, rows []sqltypes.Row, opts Options) *batchSca
 
 // NextBatch implements BatchIterator.
 func (it *batchScan) NextBatch() (*Batch, error) {
+	if err := ctxErr(it.ctx); err != nil {
+		return nil, err
+	}
 	it.out.reset()
 	for it.pos < len(it.rows) && len(it.out.Rows) < it.size {
 		r := it.rows[it.pos]
@@ -105,6 +110,9 @@ func (it *batchScan) NextBatch() (*Batch, error) {
 	}
 	return &it.out, nil
 }
+
+// Close implements BatchIterator (leaf: nothing to release).
+func (it *batchScan) Close() {}
 
 // --- values ---
 
@@ -142,6 +150,9 @@ func (it *batchValues) NextBatch() (*Batch, error) {
 	return &it.out, nil
 }
 
+// Close implements BatchIterator (leaf: nothing to release).
+func (it *batchValues) Close() {}
+
 // --- filter ---
 
 type batchFilter struct {
@@ -178,6 +189,9 @@ func (it *batchFilter) NextBatch() (*Batch, error) {
 	}
 }
 
+// Close implements BatchIterator.
+func (it *batchFilter) Close() { it.in.Close() }
+
 // --- project ---
 
 type batchProject struct {
@@ -211,6 +225,9 @@ func (it *batchProject) NextBatch() (*Batch, error) {
 	}
 	return &it.out, nil
 }
+
+// Close implements BatchIterator.
+func (it *batchProject) Close() { it.in.Close() }
 
 // --- sort ---
 
@@ -290,6 +307,9 @@ func (it *batchSort) NextBatch() (*Batch, error) {
 	return &it.out, nil
 }
 
+// Close implements BatchIterator.
+func (it *batchSort) Close() { it.in.Close() }
+
 // --- limit ---
 
 type batchLimit struct {
@@ -333,3 +353,6 @@ func (it *batchLimit) NextBatch() (*Batch, error) {
 		return b, nil
 	}
 }
+
+// Close implements BatchIterator.
+func (it *batchLimit) Close() { it.in.Close() }

@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"openivm/internal/plan"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (plus slack for runtime background goroutines), failing after a
+// generous deadline. Polling is required: Close is a barrier for the
+// workers' user code, but the runtime needs a moment to retire them.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines did not return to baseline: %d > %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelScanCloseReleasesWorkers is the leak test the Close protocol
+// is measured by: open a parallel scan, pull one batch, Close mid-stream,
+// and require the goroutine count to return to its pre-query baseline.
+func TestParallelScanCloseReleasesWorkers(t *testing.T) {
+	c := parallelCatalog(t, 40000)
+	n := bindSQL(t, c, "SELECT g, v FROM p WHERE v >= 0")
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		it, err := OpenBatch(n, Options{Workers: 4, BatchSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := it.(*parallelScan); !ok {
+			t.Fatalf("expected *parallelScan, got %T", it)
+		}
+		if b, err := it.NextBatch(); err != nil || b == nil {
+			t.Fatalf("first batch = (%v, %v)", b, err)
+		}
+		it.Close()
+	}
+	waitGoroutines(t, base)
+}
+
+// TestLimitEarlyCloseNoLeak drives a full LIMIT plan through RunOpts —
+// the engine path — and asserts no worker goroutine survives the query.
+// The plan forces parallel execution below the limit via an Aggregate
+// (a pipeline breaker, so the scan fans out even under LIMIT).
+func TestLimitEarlyCloseNoLeak(t *testing.T) {
+	c := parallelCatalog(t, 40000)
+	base := runtime.NumGoroutine()
+	rows, err := RunOpts(bindSQL(t, c, "SELECT g, SUM(v) FROM p GROUP BY g LIMIT 3"), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("LIMIT 3 returned %d rows", len(rows))
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelScanChannelBounded pins the acceptance criterion that the
+// parallel scan's output channel holds O(workers) morsels — each of at
+// most a morsel's surviving row headers — rather than one slot for every
+// morsel of the snapshot (the old full-materialization sizing).
+func TestParallelScanChannelBounded(t *testing.T) {
+	c := parallelCatalog(t, 40000)
+	scan, filters, proj, ok := plan.ScanPipeline(bindSQL(t, c, "SELECT g, v FROM p WHERE v >= 0"))
+	if !ok {
+		t.Fatal("not a pipeline")
+	}
+	it, ok := newParallelScan(scan, filters, proj, Options{BatchSize: DefaultBatchSize, Workers: 4})
+	if !ok {
+		t.Fatal("parallel scan refused")
+	}
+	ps := it.(*parallelScan)
+	defer ps.Close()
+	if _, err := ps.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cap(ps.ch), ps.workers; got != want {
+		t.Fatalf("channel capacity = %d morsels, want O(workers) = %d", got, want)
+	}
+	if morsels := ps.queue.count(); cap(ps.ch) >= morsels {
+		t.Fatalf("channel capacity %d not smaller than morsel count %d — no backpressure", cap(ps.ch), morsels)
+	}
+	// Drain fully: the claim window must have kept the reorder buffer
+	// within O(workers) morsels the whole way, regardless of skew.
+	for {
+		b, err := ps.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+	}
+	if ps.maxBuf > ps.window {
+		t.Fatalf("reorder buffer reached %d morsels, claim window is %d", ps.maxBuf, ps.window)
+	}
+}
+
+// TestContextCancelStopsQuery: a context cancelled mid-stream must surface
+// ctx.Err() from serial and parallel plans alike, and leave no workers.
+func TestContextCancelStopsQuery(t *testing.T) {
+	c := parallelCatalog(t, 40000)
+	base := runtime.NumGoroutine()
+
+	// Pre-cancelled context: even the first batch must refuse.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := RunOpts(bindSQL(t, c, "SELECT g, SUM(v) FROM p GROUP BY g"), Options{Workers: workers, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancelled context returned %v, want context.Canceled", workers, err)
+		}
+	}
+
+	// Cancel after the first batch: the parallel workers must stop claiming
+	// morsels and the error must surface.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	it, err := OpenBatch(bindSQL(t, c, "SELECT g, v FROM p WHERE v >= 0"), Options{Workers: 4, BatchSize: 64, Ctx: ctx2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("mid-stream cancel surfaced %v", err)
+			}
+			break
+		}
+		if b == nil {
+			t.Fatal("cancelled query drained cleanly without surfacing ctx.Err()")
+		}
+	}
+	it.Close()
+	waitGoroutines(t, base)
+}
+
+// TestCloseIdempotentAcrossOperators closes whole operator trees twice at
+// several shapes (join, set op, sort, distinct) — double-close must be a
+// no-op everywhere and half-drained children must be released.
+func TestCloseIdempotentAcrossOperators(t *testing.T) {
+	c := parallelCatalog(t, 20000)
+	base := runtime.NumGoroutine()
+	queries := []string{
+		"SELECT a.g, b.v FROM p AS a JOIN p AS b ON a.g = b.g LIMIT 1",
+		"SELECT g FROM p WHERE v > 10 UNION SELECT g FROM p WHERE v < 5",
+		"SELECT DISTINCT g FROM p ORDER BY g",
+	}
+	for _, sql := range queries {
+		it, err := OpenBatch(bindSQL(t, c, sql), Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.NextBatch(); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		it.Close()
+		it.Close()
+	}
+	waitGoroutines(t, base)
+}

@@ -54,6 +54,21 @@
 // buckets, multiset counts). Hash tables are pre-sized from plan
 // cardinality hints (plan.EstimateRows).
 //
+// # Close and cancellation
+//
+// Every iterator must be closed when the caller is done with it, drained
+// or not: Close releases operator resources and — crucially — terminates
+// the worker goroutines of parallel operators, which otherwise block on
+// their bounded output channels. Close is idempotent, propagates through
+// the whole operator tree (every wrapping operator closes its inputs,
+// including half-drained ones), and returns only after the subtree's
+// goroutines have exited. Run/RunOpts close the tree they open; callers
+// of Open/OpenBatch own the close.
+//
+// Options.Ctx carries a cancellation context into the tree: scans check
+// it between batches and parallel workers between morsels, so a cancelled
+// query surfaces ctx.Err() promptly instead of scanning to completion.
+//
 // # Row-at-a-time compatibility
 //
 // The Iterator interface remains for callers that want single rows; Open
@@ -62,6 +77,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"openivm/internal/plan"
@@ -137,14 +153,20 @@ func (b *Batch) reset() {
 }
 
 // BatchIterator produces batches of rows. NextBatch returns nil at end of
-// stream and never returns a non-nil empty batch.
+// stream and never returns a non-nil empty batch. Close releases the
+// subtree's resources (terminating any worker goroutines) and must be
+// called exactly when the caller is done, drained or not; it is
+// idempotent, and NextBatch must not be called after it.
 type BatchIterator interface {
 	NextBatch() (*Batch, error)
+	Close()
 }
 
 // Iterator produces rows one at a time. Next returns ok=false at end.
+// Close follows the BatchIterator contract.
 type Iterator interface {
 	Next() (row sqltypes.Row, ok bool, err error)
+	Close()
 }
 
 // Options tunes execution.
@@ -157,6 +179,18 @@ type Options struct {
 	// subtree. Parallelism only engages on snapshots large enough to repay
 	// the fan-out cost; see internal/exec/parallel.go.
 	Workers int
+	// Ctx cancels execution: scans check it between batches and parallel
+	// workers between morsels, surfacing ctx.Err(). nil means no
+	// cancellation (context.Background()).
+	Ctx context.Context
+}
+
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Run materializes all rows produced by the plan.
@@ -164,12 +198,15 @@ func Run(n plan.Node) ([]sqltypes.Row, error) {
 	return RunOpts(n, Options{})
 }
 
-// RunOpts is Run with explicit execution options.
+// RunOpts is Run with explicit execution options. The iterator tree is
+// always closed before returning, so early errors (and cancellation)
+// cannot leak parallel workers.
 func RunOpts(n plan.Node, opts Options) ([]sqltypes.Row, error) {
 	it, err := OpenBatch(n, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer it.Close()
 	var out []sqltypes.Row
 	for {
 		b, err := it.NextBatch()
@@ -271,11 +308,13 @@ func openBatch(n plan.Node, opts Options) (BatchIterator, error) {
 	case *plan.Limit:
 		// A LIMIT whose input streams straight from a scan (through any
 		// chain of streaming operators — filters, projections, DISTINCT,
-		// nested limits) stops pulling after a few rows; the parallel
-		// scan's workers would still process their whole partitions into
-		// their buffers. Keep that subtree serial — it reads ~limit rows
-		// and stops. Pipeline breakers in between (Sort, Aggregate, Join)
-		// drain their input fully anyway, so parallelism stays on there.
+		// nested limits) stops pulling after a few rows. The Close
+		// protocol would terminate a parallel scan's workers promptly, but
+		// they would still have fanned out and scanned O(workers) morsels
+		// for a query that needs ~limit rows; keep that subtree serial —
+		// strictly less work and lower latency. Pipeline breakers in
+		// between (Sort, Aggregate, Join) drain their input fully anyway,
+		// so parallelism stays on there.
 		if x.Limit >= 0 && streamsFromScan(x.Input) {
 			opts.Workers = 1
 		}
@@ -351,6 +390,9 @@ func (it *rowIter) Next() (sqltypes.Row, bool, error) {
 	return r, true, nil
 }
 
+// Close implements Iterator.
+func (it *rowIter) Close() { it.in.Close() }
+
 // NewBatchIterator adapts a row-at-a-time Iterator to the batch interface,
 // accumulating up to size rows per batch (0 = DefaultBatchSize). The rows
 // produced by the source must be durable (not reused across Next calls).
@@ -390,6 +432,9 @@ func (it *batchAdapter) NextBatch() (*Batch, error) {
 	}
 	return &it.out, nil
 }
+
+// Close implements BatchIterator.
+func (it *batchAdapter) Close() { it.in.Close() }
 
 // drain materializes every row of a batch subtree (build sides, sorts).
 // The size hint comes from plan.EstimateRows and is capped like the hash

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"openivm/internal/expr"
 	"openivm/internal/plan"
 	"openivm/internal/sqltypes"
@@ -27,6 +29,7 @@ type fusedScan struct {
 	rows []sqltypes.Row // row snapshot taken at open (live rows only)
 	pos  int
 	size int
+	ctx  context.Context
 
 	// Filter stage: full-schema columns to load, the compiled predicate
 	// kernels, and their input-vector slice.
@@ -131,7 +134,7 @@ func compileFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, 
 		return scan.Projection[c]
 	}
 
-	it := &fusedScan{size: opts.BatchSize}
+	it := &fusedScan{size: opts.BatchSize, ctx: opts.Ctx}
 
 	// Predicates: the scan's own pushed-down filter is bound against the
 	// full row; stacked Filter nodes are bound against the scan output.
@@ -206,6 +209,9 @@ func compileFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, 
 
 // NextBatch implements BatchIterator.
 func (it *fusedScan) NextBatch() (*Batch, error) {
+	if err := ctxErr(it.ctx); err != nil {
+		return nil, err
+	}
 	for it.pos < len(it.rows) {
 		end := it.pos + it.size
 		if end > len(it.rows) {
@@ -282,3 +288,6 @@ func (it *fusedScan) NextBatch() (*Batch, error) {
 	}
 	return nil, nil
 }
+
+// Close implements BatchIterator (leaf: nothing to release).
+func (it *fusedScan) Close() {}

@@ -124,6 +124,11 @@ func TestFusedMatchesClassic(t *testing.T) {
 		// searched CASE (the IVM multiplicity shape), incl. missing ELSE
 		"SELECT CASE WHEN b = FALSE THEN -i ELSE i END FROM nh WHERE i <> 0",
 		"SELECT CASE WHEN i > 2 THEN f END FROM nh WHERE f IS NOT NULL",
+		// simple CASE (with operand) rewrites to searched form: equality
+		// matching incl. NULL operands (match nothing) and promotion
+		"SELECT CASE i WHEN 1 THEN 10 WHEN 2 THEN 20 ELSE 0 END FROM nh WHERE i <> 0",
+		"SELECT CASE s WHEN 's1' THEN i END FROM nh WHERE i IS NOT NULL",
+		"SELECT CASE i WHEN f THEN 1 ELSE 0 END FROM nh WHERE b IS NOT NULL",
 		// same-typed COALESCE and numeric CAST
 		"SELECT COALESCE(i, 0) + 1 FROM nh WHERE i <> 1",
 		"SELECT CAST(i AS DOUBLE) / 2, CAST(f AS INTEGER) FROM nh WHERE i IS NOT NULL",
@@ -153,9 +158,8 @@ func TestFusedMatchesClassic(t *testing.T) {
 func TestFusedFallback(t *testing.T) {
 	c := nullHeavyCatalog(t, 500)
 	queries := []string{
-		// Simple CASE (with operand) is outside the kernel compiler;
-		// searched CASE compiles since PR 4.
-		"SELECT CASE i WHEN 1 THEN 10 ELSE 0 END FROM nh WHERE i <> 0",
+		// Simple CASE whose rewritten arms mix result types stays boxed.
+		"SELECT CASE i WHEN 1 THEN 10 ELSE 0.5 END FROM nh WHERE i <> 0",
 		// Mixed-type COALESCE keeps the boxed first-non-NULL semantics.
 		"SELECT COALESCE(f, 0) FROM nh WHERE f > 1.0",
 		// Other scalar functions stay boxed.

@@ -298,6 +298,9 @@ func (it *batchAgg) NextBatch() (*Batch, error) {
 	return &it.out, nil
 }
 
+// Close implements BatchIterator.
+func (it *batchAgg) Close() { it.in.Close() }
+
 // --- hash join ---
 
 // joinBucket holds the build-side row indexes for one key. The first index
@@ -379,6 +382,7 @@ func newBatchJoin(j *plan.Join, opts Options) (BatchIterator, error) {
 		return nil, err
 	}
 	buildRows, err := drain(bi, plan.EstimateRows(buildNode))
+	bi.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -705,6 +709,16 @@ func (it *batchJoin) NextBatch() (*Batch, error) {
 	return &it.out, nil
 }
 
+// Close implements BatchIterator. The probe side may be half-drained (a
+// consumer abandoning the join early) or never opened at all (the
+// empty-build short-circuit); the build side was drained and closed during
+// construction.
+func (it *batchJoin) Close() {
+	if it.probe != nil {
+		it.probe.Close()
+	}
+}
+
 // --- distinct ---
 
 type batchDistinct struct {
@@ -733,6 +747,9 @@ func (it *batchDistinct) NextBatch() (*Batch, error) {
 	}
 }
 
+// Close implements BatchIterator.
+func (it *batchDistinct) Close() { it.in.Close() }
+
 // --- set operations ---
 
 // batchConcat streams its sources back to back (UNION ALL).
@@ -754,6 +771,13 @@ func (it *batchConcat) NextBatch() (*Batch, error) {
 		it.pos++
 	}
 	return nil, nil
+}
+
+// Close implements BatchIterator: every source closes, drained or not.
+func (it *batchConcat) Close() {
+	for _, src := range it.srcs {
+		src.Close()
+	}
 }
 
 // batchKeep streams its input, keeping rows the keep func accepts (the
@@ -784,6 +808,9 @@ func (it *batchKeep) NextBatch() (*Batch, error) {
 	}
 }
 
+// Close implements BatchIterator.
+func (it *batchKeep) Close() { it.in.Close() }
+
 func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
 	left, err := openBatch(s.Left, opts)
 	if err != nil {
@@ -791,6 +818,7 @@ func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
 	}
 	right, err := openBatch(s.Right, opts)
 	if err != nil {
+		left.Close()
 		return nil, err
 	}
 	switch s.Op {
@@ -801,7 +829,9 @@ func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
 		return &batchDistinct{in: &batchConcat{srcs: []BatchIterator{left, right}}, set: set}, nil
 	case sqlparser.SetExcept, sqlparser.SetExceptAll:
 		counts, err := drainCounts(right, plan.EstimateRows(s.Right))
+		right.Close()
 		if err != nil {
+			left.Close()
 			return nil, err
 		}
 		if s.Op == sqlparser.SetExcept {
@@ -815,7 +845,9 @@ func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
 		}}, nil
 	case sqlparser.SetIntersect:
 		counts, err := drainCounts(right, plan.EstimateRows(s.Right))
+		right.Close()
 		if err != nil {
+			left.Close()
 			return nil, err
 		}
 		seen := newRowKeySet(plan.EstimateRows(s.Left))
@@ -823,6 +855,8 @@ func newBatchSetOp(s *plan.SetOp, opts Options) (BatchIterator, error) {
 			return counts.count(r) > 0 && seen.add(r)
 		}}, nil
 	}
+	left.Close()
+	right.Close()
 	return nil, fmt.Errorf("exec: unsupported set operation")
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -122,6 +123,13 @@ func (q *morselQueue) count() int {
 	return (len(q.rows) + q.size - 1) / q.size
 }
 
+// cancel exhausts the queue: no further morsel is ever claimed. Workers
+// mid-morsel finish that morsel (bounded work) and exit on their next
+// claim — the wait-free half of the Close/cancellation protocol.
+func (q *morselQueue) cancel() {
+	q.cursor.Store(int64(len(q.rows)))
+}
+
 // next claims the next morsel. ok=false when the snapshot is exhausted.
 func (q *morselQueue) next() (seq int, rows []sqltypes.Row, ok bool) {
 	lo := q.cursor.Add(int64(q.size)) - int64(q.size)
@@ -208,30 +216,54 @@ type morselOut struct {
 }
 
 // parallelScan fans the morsel queue out to worker goroutines and merges
-// completed morsels back into sequence order. The output channel is sized
-// for every morsel (each sends exactly one message), so workers never
-// block on a slow consumer and always run to completion — abandoning the
-// iterator early (LIMIT, join short-circuits) cannot leak a goroutine; at
-// worst the remaining workers finish scanning into the channel buffer and
-// exit. The flip side of leak-freedom without a Close protocol is that a
-// consumer slower than the scan gives no backpressure: up to the whole
-// surviving row-header set can sit buffered (rows themselves are shared
-// snapshot references, not copies). LIMIT-bounded streaming plans are
-// kept serial for this reason (see openBatch), and a Close/cancellation
-// protocol is on the roadmap to shrink the buffers to O(workers×batch).
+// completed morsels back into sequence order. The output channel holds
+// O(workers) morsels (each morsel is one message of at most morselRows
+// surviving row headers), so a consumer slower than the scan parks the
+// workers on their sends — real backpressure — instead of letting the
+// whole surviving row set pile up in a full-materialization buffer.
+//
+// The flip side of a bounded channel is that workers can block forever on
+// an abandoned consumer, so the iterator carries the Close half of the
+// protocol: Close cancels the morsel queue, closes the done channel (which
+// wakes every parked sender), and drains the output channel until the last
+// worker has exited — a full barrier, after which the goroutine count is
+// back to its pre-query baseline. Options.Ctx cancellation reaches the
+// workers between morsels and surfaces as the query error.
+//
+// The reorder buffer (buf) holds completed morsels that arrived ahead of
+// their sequence turn. It is bounded by construction: workers stall
+// before processing a morsel whose sequence is more than the claim
+// window (2×workers) ahead of the consumer's emit cursor, so even under
+// worst-case head-of-line skew — morsel 0 expensive, everything after it
+// cheap — at most a window of completed morsels can ever sit buffered,
+// never the whole table.
 type parallelScan struct {
 	queue   *morselQueue
 	build   func() (BatchIterator, func([]sqltypes.Row))
 	workers int
+	window  int // claim window: max morsels processed ahead of nextEmit
+	ctx     context.Context
 	started bool
+	closed  bool
+
+	// nextEmit mirrors the consumer's next-sequence-to-emit cursor for the
+	// workers' claim-window check; stallCond parks workers whose claimed
+	// sequence is outside the window until the consumer advances it (or
+	// shutdown), instead of busy-polling.
+	nextEmit  atomic.Int64
+	stallMu   sync.Mutex
+	stallCond *sync.Cond
+	stallStop bool // set under stallMu by Close/error paths; wakes stallers
+	maxBuf    int  // high-water mark of the reorder buffer (tests)
 
 	ch        chan morselOut
+	done      chan struct{}            // closed by Close: senders drop and exit
 	buf       map[int][][]sqltypes.Row // completed morsels ahead of their turn
 	next      int                      // next morsel sequence to emit
 	cur       [][]sqltypes.Row         // chunks of the morsel being emitted
 	curPos    int
-	curActive bool // a morsel is being emitted (it may have zero chunks)
-	done      bool
+	curActive bool  // a morsel is being emitted (it may have zero chunks)
+	drained   bool  // workers exited and the channel closed
 	err       error // first worker error, surfaced after in-order chunks
 	out       Batch
 }
@@ -263,13 +295,16 @@ func newParallelScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, o
 	if workers < 2 {
 		return nil, false
 	}
-	return &parallelScan{queue: queue, build: build, workers: workers}, true
+	return &parallelScan{queue: queue, build: build, workers: workers, window: 2 * workers, ctx: opts.Ctx}, true
 }
 
 func (it *parallelScan) start() {
-	// Every morsel sends exactly one message, so this capacity guarantees
-	// workers never block and can always run to completion.
-	it.ch = make(chan morselOut, it.queue.count())
+	// O(workers) capacity: enough that workers keep scanning while the
+	// consumer processes a morsel, small enough that a slow consumer parks
+	// the producers (backpressure) instead of buffering the stream.
+	it.ch = make(chan morselOut, it.workers)
+	it.done = make(chan struct{})
+	it.stallCond = sync.NewCond(&it.stallMu)
 	it.buf = make(map[int][][]sqltypes.Row, it.workers*2)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -279,9 +314,34 @@ func (it *parallelScan) start() {
 		wg.Add(1)
 		go func(pipe BatchIterator, bind func([]sqltypes.Row)) {
 			defer wg.Done()
+			send := func(m morselOut) bool {
+				select {
+				case it.ch <- m:
+					return true
+				case <-it.done:
+					return false
+				}
+			}
 			for !failed.Load() {
+				if err := ctxErr(it.ctx); err != nil {
+					failed.Store(true)
+					it.queue.cancel()
+					it.wakeStalled(true)
+					send(morselOut{err: err})
+					return
+				}
 				seq, rows, ok := it.queue.next()
 				if !ok {
+					return
+				}
+				// Claim-window throttle: running ahead of the consumer's
+				// emit cursor by more than the window would let the reorder
+				// buffer grow toward the whole table when one head-of-line
+				// morsel is slow. Park on the condition variable until the
+				// consumer advances (or shutdown); the worker holding the
+				// next-to-emit morsel is never stalled, so progress is
+				// guaranteed.
+				if !it.stall(seq) {
 					return
 				}
 				bind(rows)
@@ -290,7 +350,8 @@ func (it *parallelScan) start() {
 					b, err := pipe.NextBatch()
 					if err != nil {
 						failed.Store(true)
-						it.ch <- morselOut{seq: seq, err: err}
+						it.wakeStalled(true)
+						send(morselOut{seq: seq, err: err})
 						return
 					}
 					if b == nil {
@@ -301,7 +362,9 @@ func (it *parallelScan) start() {
 					// its next NextBatch call, but the rows are durable.
 					chunks = append(chunks, append(make([]sqltypes.Row, 0, len(v)), v...))
 				}
-				it.ch <- morselOut{seq: seq, chunks: chunks}
+				if !send(morselOut{seq: seq, chunks: chunks}) {
+					return
+				}
 			}
 		}(pipe, bind)
 	}
@@ -309,6 +372,52 @@ func (it *parallelScan) start() {
 		wg.Wait()
 		close(it.ch)
 	}()
+}
+
+// stall parks the worker until its claimed morsel's sequence falls
+// inside the claim window. Returns false when the scan is shutting down
+// (Close or a failed sibling) — the worker must exit without processing.
+func (it *parallelScan) stall(seq int) bool {
+	it.stallMu.Lock()
+	defer it.stallMu.Unlock()
+	for int64(seq) >= it.nextEmit.Load()+int64(it.window) {
+		if it.stallStop {
+			return false
+		}
+		it.stallCond.Wait()
+	}
+	return !it.stallStop
+}
+
+// wakeStalled broadcasts to workers parked in stall; stop additionally
+// marks the scan as shutting down so they exit instead of proceeding.
+func (it *parallelScan) wakeStalled(stop bool) {
+	it.stallMu.Lock()
+	if stop {
+		it.stallStop = true
+	}
+	it.stallCond.Broadcast()
+	it.stallMu.Unlock()
+}
+
+// Close implements BatchIterator: it cancels outstanding morsel claims,
+// wakes workers parked on the bounded channel or in the claim-window
+// stall, and blocks until the last worker has exited (the channel closes
+// only then). Idempotent; safe on a never-started iterator.
+func (it *parallelScan) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if !it.started {
+		return
+	}
+	it.queue.cancel()
+	close(it.done)
+	it.wakeStalled(true)
+	for range it.ch {
+	}
+	it.drained = true
 }
 
 // NextBatch implements BatchIterator, emitting morsels in sequence order.
@@ -328,6 +437,8 @@ func (it *parallelScan) NextBatch() (*Batch, error) {
 		if it.curActive {
 			it.cur, it.curPos, it.curActive = nil, 0, false
 			it.next++
+			it.nextEmit.Store(int64(it.next))
+			it.wakeStalled(false)
 		}
 		// Then anything already buffered for the next sequence number (a
 		// fully filtered-out morsel legitimately buffers zero chunks).
@@ -336,14 +447,14 @@ func (it *parallelScan) NextBatch() (*Batch, error) {
 			it.cur, it.curPos, it.curActive = chunks, 0, true
 			continue
 		}
-		if it.done {
+		if it.drained {
 			// Workers have exited; anything still missing was dropped on an
 			// error, which now surfaces after every in-order predecessor.
 			return nil, it.err
 		}
 		msg, ok := <-it.ch
 		if !ok {
-			it.done = true
+			it.drained = true
 			continue
 		}
 		if msg.err != nil {
@@ -353,6 +464,9 @@ func (it *parallelScan) NextBatch() (*Batch, error) {
 			continue
 		}
 		it.buf[msg.seq] = msg.chunks
+		if len(it.buf) > it.maxBuf {
+			it.maxBuf = len(it.buf)
+		}
 	}
 }
 
@@ -365,6 +479,7 @@ type morselSource struct {
 	queue *morselQueue
 	pipe  BatchIterator
 	bind  func([]sqltypes.Row)
+	ctx   context.Context
 
 	active  bool
 	seqBase int64 // tag of the current morsel's first output row
@@ -387,6 +502,9 @@ func (s *morselSource) NextBatch() (*Batch, error) {
 			}
 			s.active = false
 		}
+		if err := ctxErr(s.ctx); err != nil {
+			return nil, err
+		}
 		seq, rows, ok := s.queue.next()
 		if !ok {
 			return nil, nil
@@ -404,6 +522,9 @@ func (s *morselSource) NextBatch() (*Batch, error) {
 // batchTag implements taggedSource.
 func (s *morselSource) batchTag() int64 { return s.tagBase }
 
+// Close implements BatchIterator.
+func (s *morselSource) Close() { s.pipe.Close() }
+
 // parallelAgg is two-phase morsel-parallel hash aggregation: each worker
 // aggregates the morsels it claims into a thread-local batchAgg, then a
 // combine phase folds every local table into the first worker's with
@@ -412,8 +533,10 @@ func (s *morselSource) batchTag() int64 { return s.tagBase }
 // work assignment.
 type parallelAgg struct {
 	locals []*batchAgg
+	queue  *morselQueue
 	base   *batchAgg
 	merged bool
+	closed bool
 }
 
 // newParallelAgg matches an Aggregate whose input is a partitionable scan
@@ -462,9 +585,9 @@ func newParallelAgg(node *plan.Aggregate, opts Options) (BatchIterator, bool) {
 	locals := make([]*batchAgg, workers)
 	for w := range locals {
 		pipe, bind := build()
-		locals[w] = newBatchAgg(&morselSource{queue: queue, pipe: pipe, bind: bind}, node, opts)
+		locals[w] = newBatchAgg(&morselSource{queue: queue, pipe: pipe, bind: bind, ctx: opts.Ctx}, node, opts)
 	}
-	return &parallelAgg{locals: locals}, true
+	return &parallelAgg{locals: locals, queue: queue}, true
 }
 
 // buildMerge runs every local build concurrently, then combines.
@@ -545,4 +668,20 @@ func (it *parallelAgg) NextBatch() (*Batch, error) {
 		it.merged = true
 	}
 	return it.base.NextBatch()
+}
+
+// Close implements BatchIterator. buildMerge joins its worker goroutines
+// before returning, so by the time the consumer can call Close nothing is
+// in flight; cancelling the queue stops any morsel claims a concurrent
+// Options.Ctx cancellation is still racing through, and the locals release
+// their pipeline copies.
+func (it *parallelAgg) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.queue.cancel()
+	for _, la := range it.locals {
+		la.Close()
+	}
 }

@@ -244,9 +244,9 @@ func TestParallelScanEarlyAbandon(t *testing.T) {
 		t.Fatalf("DISTINCT+LIMIT differs: %v vs %v", gotD, wantD)
 	}
 
-	// Abandon a parallel scan mid-stream: workers run to completion into
-	// their bounded buffers and exit; pulling once then walking away must
-	// not deadlock or corrupt anything.
+	// Abandon a parallel scan mid-stream: Close must cancel the morsel
+	// queue, wake workers parked on the bounded channel, and return only
+	// after every worker exited — no deadlock, no goroutine left behind.
 	scan, filters, proj, ok := plan.ScanPipeline(bindSQL(t, c, "SELECT g, v FROM p WHERE v >= 0"))
 	if !ok {
 		t.Fatal("not a pipeline")
@@ -258,7 +258,8 @@ func TestParallelScanEarlyAbandon(t *testing.T) {
 	if b, err := ps.NextBatch(); err != nil || b == nil || b.Len() == 0 {
 		t.Fatalf("first batch = (%v, %v)", b, err)
 	}
-	// ps dropped here with most of the stream unread.
+	ps.Close() // most of the stream unread; Close is the leak barrier
+	ps.Close() // idempotent
 }
 
 // TestParallelScanErrorPropagates: a worker hitting an evaluation error

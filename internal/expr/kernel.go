@@ -145,26 +145,56 @@ func compileCoalesce(f *ScalarFunc, resolve func(int) (int, sqltypes.Type, bool)
 	return &coalesceKernel{args: args, out: &sqltypes.Vector{T: t}}, t, true
 }
 
-// compileCase handles searched CASE (no operand) whose conditions are
-// boolean and whose branches share one type — the shape the IVM
-// multiplicity projections use (CASE WHEN mult = FALSE THEN -v ELSE v END).
-// A missing ELSE contributes NULL. Every branch is evaluated eagerly over
+// compileCase handles CASE whose conditions are boolean and whose
+// branches share one type — the shape the IVM multiplicity projections
+// use (CASE WHEN mult = FALSE THEN -v ELSE v END). Simple CASE (with an
+// operand) compiles each arm's condition as an equality against a shared,
+// memoized operand kernel — semantically CASE x WHEN v ... becomes
+// CASE WHEN x = v ..., which matches the boxed evaluator exactly (the arm
+// matches iff CompareSQL(x, v) == 0, so a NULL operand or arm value
+// matches nothing, and int/float compare under numeric promotion), while
+// the operand itself is evaluated once per batch, not once per arm. A
+// missing ELSE contributes NULL. Every branch is evaluated eagerly over
 // the whole vector; that is invisible because kernels never fail (errors
-// are defined to yield NULL), and per row the value is taken only from the
-// first matching branch.
+// are defined to yield NULL), and per row the value is taken only from
+// the first matching branch.
 func compileCase(c *Case, resolve func(int) (int, sqltypes.Type, bool)) (Kernel, sqltypes.Type, bool) {
-	if c.Operand != nil || len(c.Whens) == 0 {
+	if len(c.Whens) == 0 {
 		return nil, 0, false
+	}
+	// Simple CASE: compile the operand ONCE behind a memo so each arm's
+	// equality reads the same per-batch result vector instead of
+	// re-evaluating the operand once per arm; the memo is reset by the
+	// enclosing caseKernel at the start of every batch.
+	var memo *memoKernel
+	if c.Operand != nil {
+		opK, opT, ok := compileKernel(c.Operand, resolve)
+		if !ok {
+			return nil, 0, false
+		}
+		memo = &memoKernel{in: opK, t: opT}
 	}
 	whens := make([]Kernel, len(c.Whens))
 	thens := make([]Kernel, len(c.Whens))
 	var t sqltypes.Type
 	for i, w := range c.Whens {
-		k, wt, ok := compileKernel(w.When, resolve)
-		if !ok || wt != sqltypes.TypeBool {
-			return nil, 0, false
+		if memo != nil {
+			wk, wt, ok := compileKernel(w.When, resolve)
+			if !ok {
+				return nil, 0, false
+			}
+			eq, ok := buildCmpKernel("=", memo, memo.t, wk, wt)
+			if !ok {
+				return nil, 0, false
+			}
+			whens[i] = eq
+		} else {
+			k, wt, ok := compileKernel(w.When, resolve)
+			if !ok || wt != sqltypes.TypeBool {
+				return nil, 0, false
+			}
+			whens[i] = k
 		}
-		whens[i] = k
 		k, tt, ok := compileKernel(w.Then, resolve)
 		if !ok || (i > 0 && tt != t) {
 			return nil, 0, false
@@ -179,8 +209,27 @@ func compileCase(c *Case, resolve func(int) (int, sqltypes.Type, bool)) (Kernel,
 		}
 		els = k
 	}
-	return &caseKernel{whens: whens, thens: thens, els: els, out: &sqltypes.Vector{T: t}}, t, true
+	return &caseKernel{whens: whens, thens: thens, els: els, memo: memo, out: &sqltypes.Vector{T: t}}, t, true
 }
+
+// memoKernel caches its input's output for the duration of one enclosing
+// caseKernel batch evaluation: the simple-CASE operand is shared by every
+// arm's equality kernel, so it is computed once per batch, not once per
+// arm. The owner resets it between batches.
+type memoKernel struct {
+	in Kernel
+	t  sqltypes.Type
+	v  *sqltypes.Vector
+}
+
+func (m *memoKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
+	if m.v == nil {
+		m.v = m.in.EvalVec(cols, n)
+	}
+	return m.v
+}
+
+func (m *memoKernel) reset() { m.v = nil }
 
 func vectorizableType(t sqltypes.Type) bool {
 	switch t {
@@ -214,18 +263,11 @@ func compileBinary(b *Binary, resolve func(int) (int, sqltypes.Type, bool)) (Ker
 		}
 		return &floatArithKernel{op: b.Op[0], l: toFloat(l, lt), r: toFloat(r, rt), out: &sqltypes.Vector{T: sqltypes.TypeFloat}}, sqltypes.TypeFloat, true
 	case "=", "<>", "<", "<=", ">", ">=":
-		out := &sqltypes.Vector{T: sqltypes.TypeBool}
-		switch {
-		case lt == sqltypes.TypeInt && rt == sqltypes.TypeInt:
-			return &cmpIntKernel{op: b.Op, l: l, r: r, out: out}, sqltypes.TypeBool, true
-		case numericType(lt) && numericType(rt):
-			return &cmpFloatKernel{op: b.Op, l: toFloat(l, lt), r: toFloat(r, rt), out: out}, sqltypes.TypeBool, true
-		case lt == sqltypes.TypeString && rt == sqltypes.TypeString:
-			return &cmpStringKernel{op: b.Op, l: l, r: r, out: out}, sqltypes.TypeBool, true
-		case lt == sqltypes.TypeBool && rt == sqltypes.TypeBool:
-			return &cmpBoolKernel{op: b.Op, l: l, r: r, out: out}, sqltypes.TypeBool, true
+		k, ok := buildCmpKernel(b.Op, l, lt, r, rt)
+		if !ok {
+			return nil, 0, false
 		}
-		return nil, 0, false
+		return k, sqltypes.TypeBool, true
 	case "LIKE":
 		if lt != sqltypes.TypeString || rt != sqltypes.TypeString {
 			return nil, 0, false
@@ -233,6 +275,25 @@ func compileBinary(b *Binary, resolve func(int) (int, sqltypes.Type, bool)) (Ker
 		return &likeKernel{l: l, r: r, out: &sqltypes.Vector{T: sqltypes.TypeBool}}, sqltypes.TypeBool, true
 	}
 	return nil, 0, false
+}
+
+// buildCmpKernel assembles a typed comparison kernel over two compiled
+// inputs (with int→float promotion) — shared by compileBinary and the
+// simple-CASE operand rewrite, which compares a memoized operand kernel
+// against each arm.
+func buildCmpKernel(op string, l Kernel, lt sqltypes.Type, r Kernel, rt sqltypes.Type) (Kernel, bool) {
+	out := &sqltypes.Vector{T: sqltypes.TypeBool}
+	switch {
+	case lt == sqltypes.TypeInt && rt == sqltypes.TypeInt:
+		return &cmpIntKernel{op: op, l: l, r: r, out: out}, true
+	case numericType(lt) && numericType(rt):
+		return &cmpFloatKernel{op: op, l: toFloat(l, lt), r: toFloat(r, rt), out: out}, true
+	case lt == sqltypes.TypeString && rt == sqltypes.TypeString:
+		return &cmpStringKernel{op: op, l: l, r: r, out: out}, true
+	case lt == sqltypes.TypeBool && rt == sqltypes.TypeBool:
+		return &cmpBoolKernel{op: op, l: l, r: r, out: out}, true
+	}
+	return nil, false
 }
 
 func numericType(t sqltypes.Type) bool {
@@ -749,13 +810,17 @@ rows:
 type caseKernel struct {
 	whens []Kernel
 	thens []Kernel
-	els   Kernel // nil = NULL
+	els   Kernel      // nil = NULL
+	memo  *memoKernel // simple-CASE operand shared by the arms (nil = searched)
 	out   *sqltypes.Vector
 
 	whenVecs, thenVecs []*sqltypes.Vector // per-call scratch
 }
 
 func (k *caseKernel) EvalVec(cols []*sqltypes.Vector, n int) *sqltypes.Vector {
+	if k.memo != nil {
+		k.memo.reset() // new batch: the arms share one fresh operand eval
+	}
 	wv, tv := k.whenVecs[:0], k.thenVecs[:0]
 	for i := range k.whens {
 		wv = append(wv, k.whens[i].EvalVec(cols, n))

@@ -133,6 +133,17 @@ func TestKernelMatchesEval(t *testing.T) {
 			{When: &Binary{Op: "=", Left: ic, Right: klit(sqltypes.NewInt(1))}, Then: klit(sqltypes.NewInt(100))},
 			{When: &Binary{Op: ">", Left: ic, Right: klit(sqltypes.NewInt(1))}, Then: ic},
 		}, Else: klit(sqltypes.NewInt(-100))},
+		// Simple CASE (with operand) rewrites to searched form: NULL
+		// operands match nothing, first equal arm wins.
+		&Case{Operand: ic, Whens: []CaseWhen{
+			{When: klit(sqltypes.NewInt(1)), Then: klit(sqltypes.NewInt(10))},
+			{When: klit(sqltypes.NewInt(2)), Then: klit(sqltypes.NewInt(20))},
+		}, Else: klit(sqltypes.NewInt(0))},
+		// Operand equality under int/float promotion; no ELSE -> NULL.
+		&Case{Operand: ic, Whens: []CaseWhen{{When: fc, Then: ic}}},
+		// String operand.
+		&Case{Operand: sc, Whens: []CaseWhen{{When: klit(sqltypes.NewString("v1")), Then: klit(sqltypes.NewInt(1))}},
+			Else: klit(sqltypes.NewInt(0))},
 	}
 	for _, seed := range []int64{1, 2, 3} {
 		cols, rows := kernelFixture(333, seed)
@@ -199,8 +210,9 @@ func TestKernelUnsupportedFallback(t *testing.T) {
 	ic := kcol(0, sqltypes.TypeInt)
 	sc := kcol(2, sqltypes.TypeString)
 	unsupported := []Expr{
-		// Simple CASE (with operand) is not vectorized, only searched CASE.
-		&Case{Operand: ic, Whens: []CaseWhen{{When: klit(sqltypes.NewInt(1)), Then: klit(sqltypes.NewInt(0))}}},
+		// Simple CASE whose operand/arm equality cannot compile (string vs
+		// int never vectorizes) stays boxed even after the searched rewrite.
+		&Case{Operand: sc, Whens: []CaseWhen{{When: klit(sqltypes.NewInt(1)), Then: klit(sqltypes.NewInt(0))}}},
 		// Mixed branch types would change result types row by row.
 		&Case{Whens: []CaseWhen{{When: &IsNull{Operand: ic}, Then: klit(sqltypes.NewInt(0))}},
 			Else: klit(sqltypes.NewFloat(0.5))},

@@ -1,0 +1,106 @@
+package ivmext
+
+import (
+	"testing"
+)
+
+// TestDropMaterializedView: DROP VIEW on a materialized view must remove
+// the view, its delta tables, its capture trigger, and its metadata —
+// subsequent base-table DML runs without capture, and the view name is
+// free for reuse.
+func TestDropMaterializedView(t *testing.T) {
+	db, ext := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW query_groups")
+
+	mustExec(t, db, "DROP VIEW query_groups")
+
+	for _, tbl := range []string{"query_groups", "delta_groups", "delta_query_groups"} {
+		if db.Catalog().HasTable(tbl) {
+			t.Errorf("table %q survived DROP VIEW", tbl)
+		}
+	}
+	if len(ext.Views()) != 0 {
+		t.Errorf("extension still registers views: %v", ext.Views())
+	}
+	// Capture trigger is gone: DML must not try to write a dropped delta
+	// table, and no deltas accumulate.
+	before := ext.Stats.DeltasCaught
+	mustExec(t, db, "INSERT INTO groups VALUES ('c', 3)")
+	if ext.Stats.DeltasCaught != before {
+		t.Errorf("delta capture still active after drop")
+	}
+	// Name is reusable.
+	mustExec(t, db, `CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	viewEquals(t, db, "group_index, total_value", "query_groups",
+		"SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index")
+}
+
+// TestDropSharedBaseKeepsSiblingCapture: two views over one base table
+// share the base delta; dropping one must keep the other's capture and
+// propagation intact.
+func TestDropSharedBaseKeepsSiblingCapture(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW v_sum AS SELECT group_index,
+		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW v_cnt AS SELECT group_index,
+		COUNT(*) AS n FROM groups GROUP BY group_index`)
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 1)")
+	mustExec(t, db, "DROP VIEW v_sum")
+
+	if !db.Catalog().HasTable("delta_groups") {
+		t.Fatal("shared delta table dropped while a sibling view still needs it")
+	}
+	mustExec(t, db, "INSERT INTO groups VALUES ('a', 2), ('b', 5)")
+	mustExec(t, db, "REFRESH MATERIALIZED VIEW v_cnt")
+	viewEquals(t, db, "group_index, n", "v_cnt",
+		"SELECT group_index, COUNT(*) FROM groups GROUP BY group_index")
+}
+
+// TestDropReleasesPreparedMarkers is the plan-cache lifecycle acceptance
+// test (ROADMAP open item): churning through CREATE/DROP MATERIALIZED
+// VIEW cycles must not accumulate prepared-statement markers, or a
+// long-lived process would hit the marker cap and lose plan caching for
+// every future script.
+func TestDropReleasesPreparedMarkers(t *testing.T) {
+	db, _ := setup(t)
+	baseline := db.PreparedCount()
+	var after1 int
+	for i := 0; i < 24; i++ {
+		mustExec(t, db, `CREATE MATERIALIZED VIEW churn AS SELECT group_index,
+			SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
+		// Exercise the propagation script so it is prepared and cached.
+		mustExec(t, db, "INSERT INTO groups VALUES ('x', 1)")
+		mustExec(t, db, "REFRESH MATERIALIZED VIEW churn")
+		mustExec(t, db, "DROP VIEW churn")
+		if i == 0 {
+			after1 = db.PreparedCount()
+		}
+	}
+	if got := db.PreparedCount(); got > after1 {
+		t.Fatalf("prepared markers grew across CREATE/DROP cycles: %d after one cycle, %d after many (baseline %d)",
+			after1, got, baseline)
+	}
+}
+
+// TestDropMaterializedViewAvgDecomposition covers the hidden-storage
+// shape: AVG decomposes into SUM/COUNT columns in a storage table with a
+// plain view on top; DROP must remove all three names.
+func TestDropMaterializedViewAvgDecomposition(t *testing.T) {
+	db, _ := setup(t)
+	mustExec(t, db, `CREATE MATERIALIZED VIEW v_avg AS SELECT group_index,
+		AVG(group_value) AS a FROM groups GROUP BY group_index`)
+	mustExec(t, db, "DROP VIEW v_avg")
+	if db.Catalog().HasTable("v_avg") || db.Catalog().HasTable("v_avg_ivm_storage") {
+		t.Fatal("AVG-decomposed storage survived DROP VIEW")
+	}
+	if _, ok := db.Catalog().View("v_avg"); ok {
+		t.Fatal("exposed plain view survived DROP VIEW")
+	}
+	if _, err := db.Exec("SELECT * FROM v_avg"); err == nil {
+		t.Fatal("querying a dropped materialized view succeeded")
+	}
+}

@@ -146,6 +146,18 @@ func (ext *Extension) statementHook(db *engine.DB, stmt sqlparser.Statement) (bo
 			return true, nil, err
 		}
 		return true, &engine.Result{}, nil
+	case *sqlparser.DropStmt:
+		if st.Kind != "VIEW" {
+			return false, nil, nil
+		}
+		comp := ext.lookup(st.Name)
+		if comp == nil {
+			return false, nil, nil // plain view: engine handles it
+		}
+		if err := ext.dropMaterializedView(comp); err != nil {
+			return true, nil, err
+		}
+		return true, &engine.Result{}, nil
 	case *sqlparser.SelectStmt:
 		// Lazy mode: refresh any stale materialized view the query touches
 		// before letting normal execution proceed (the paper models this
@@ -222,23 +234,27 @@ func (ext *Extension) createMaterializedView(st *sqlparser.CreateViewStmt) (*eng
 		}
 	}
 
-	// Execute setup DDL and initial population. The index build order
-	// follows the paper: the ART is created after populating V ("it is
-	// more efficient to build small indexes for each chunk and merge
-	// them") — our engine's CREATE TABLE with PRIMARY KEY builds the ART
-	// incrementally during population, and the chunk-merge path is used by
-	// secondary CREATE INDEX builds.
-	if err := ext.db.WithoutTriggers(func() error {
-		if _, err := ext.db.ExecScript(comp.SetupSQL()); err != nil {
+	// Execute setup DDL and initial population on a fresh internal
+	// session: trigger suppression is session-scoped, so concurrent
+	// sessions' DML keeps capturing deltas while this one populates V.
+	// The index build order follows the paper: the ART is created after
+	// populating V ("it is more efficient to build small indexes for each
+	// chunk and merge them") — our engine's CREATE TABLE with PRIMARY KEY
+	// builds the ART incrementally during population, and the chunk-merge
+	// path is used by secondary CREATE INDEX builds.
+	is := ext.db.NewSession()
+	defer is.Close()
+	if err := is.WithoutTriggers(func() error {
+		if _, err := is.ExecScript(comp.SetupSQL()); err != nil {
 			return fmt.Errorf("ivmext: setup script: %w", err)
 		}
-		if _, err := ext.db.ExecScript(comp.PopulateSQLText()); err != nil {
+		if _, err := is.ExecScript(comp.PopulateSQLText()); err != nil {
 			return fmt.Errorf("ivmext: populate script: %w", err)
 		}
 		// AVG decomposition: expose the declared columns as a plain view
 		// over the storage table.
 		if v := comp.ExposedViewSQL(); v != "" {
-			if _, err := ext.db.Exec(v); err != nil {
+			if _, err := is.Exec(v); err != nil {
 				return fmt.Errorf("ivmext: exposed view: %w", err)
 			}
 		}
@@ -335,6 +351,90 @@ func (ext *Extension) capture(deltaTable string, ev engine.TriggerEvent, oldRows
 	return nil
 }
 
+// dropMaterializedView tears one view down completely: registry entry,
+// capture triggers and delta tables no surviving view needs, the storage
+// table and metadata, and — the plan-cache lifecycle half — the prepared
+// markers of its propagation scripts (engine.DB.Unprepare), so a process
+// churning through CREATE/DROP MATERIALIZED VIEW cycles never exhausts
+// the prepared-statement marker cap and new scripts keep caching.
+func (ext *Extension) dropMaterializedView(comp *ivm.Compilation) error {
+	// Serialize against propagation: a refresh mid-flight must finish
+	// before its scripts and delta tables disappear underneath it.
+	ext.refreshMu.Lock()
+	defer ext.refreshMu.Unlock()
+
+	ext.mu.Lock()
+	delete(ext.views, strings.ToLower(comp.ViewName))
+	// Deltas still feeding surviving views keep their capture triggers.
+	live := map[string]bool{}
+	for _, other := range ext.views {
+		for _, b := range other.Bases {
+			live[strings.ToLower(b.Delta)] = true
+		}
+	}
+	type deadDelta struct{ base, delta string }
+	var dead []deadDelta
+	for _, b := range comp.Bases {
+		key := strings.ToLower(b.Delta)
+		if !live[key] && ext.captured[key] {
+			delete(ext.captured, key)
+			dead = append(dead, deadDelta{base: b.Name, delta: b.Delta})
+		}
+	}
+	// Release the prepared markers and parsed-script cache entries of
+	// every script this compilation could have executed.
+	scripts := []*duckast.Script{comp.PropagateBody, comp.TruncateBase, comp.Propagate, comp.Populate}
+	for _, alt := range comp.AltBodies {
+		scripts = append(scripts, alt)
+	}
+	for _, sc := range scripts {
+		if sc == nil {
+			continue
+		}
+		if stmts, ok := ext.prepared[sc]; ok {
+			ext.db.Unprepare(stmts)
+			delete(ext.prepared, sc)
+		}
+	}
+	ext.mu.Unlock()
+
+	// Engine-side drops run through a fresh session so they follow the
+	// ordinary DDL paths (epoch bumps, catalog locking). The hook pass
+	// sees these DROPs again, but none of them names a registered view.
+	is := ext.db.NewSession()
+	defer is.Close()
+	for _, d := range dead {
+		ext.db.RemoveTrigger(d.base, "ivm_capture_"+d.delta)
+		if _, err := is.Exec("DROP TABLE IF EXISTS " + d.delta); err != nil {
+			return fmt.Errorf("ivmext: dropping delta table %s: %w", d.delta, err)
+		}
+	}
+	for _, tbl := range []string{comp.DeltaView, comp.JoinDelta} {
+		if tbl == "" {
+			continue
+		}
+		if _, err := is.Exec("DROP TABLE IF EXISTS " + tbl); err != nil {
+			return fmt.Errorf("ivmext: dropping %s: %w", tbl, err)
+		}
+	}
+	cat := ext.db.Catalog()
+	cat.DropIVM(comp.ViewName)
+	storage := comp.Storage
+	if storage == "" {
+		storage = comp.ViewName
+	}
+	if storage != comp.ViewName {
+		// AVG decomposition: ViewName is a plain view over the storage table.
+		if _, err := is.Exec("DROP VIEW IF EXISTS " + comp.ViewName); err != nil {
+			return fmt.Errorf("ivmext: dropping exposed view %s: %w", comp.ViewName, err)
+		}
+	}
+	if _, err := is.Exec("DROP TABLE IF EXISTS " + storage); err != nil {
+		return fmt.Errorf("ivmext: dropping storage table %s: %w", storage, err)
+	}
+	return nil
+}
+
 // refreshByDelta propagates every view fed by the given delta table.
 func (ext *Extension) refreshByDelta(deltaTable string) error {
 	ext.mu.Lock()
@@ -425,7 +525,14 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 
 	ext.refreshGID.Store(gid())
 	defer ext.refreshGID.Store(0)
-	return ext.db.WithoutTriggers(func() error {
+	// Propagation runs on a fresh internal session: its trigger
+	// suppression and any script-level state stay invisible to the
+	// sessions whose DML queued the deltas (refreshMu already guarantees
+	// one propagation at a time, so prepared statements' per-node scratch
+	// is never shared across goroutines).
+	is := ext.db.NewSession()
+	defer is.Close()
+	return is.WithoutTriggers(func() error {
 		for _, n := range names {
 			comp := group[n]
 			ext.bumpStat(&ext.Stats.Propagations)
@@ -433,7 +540,7 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 			if err != nil {
 				return fmt.Errorf("ivmext: propagation for %s: %w", comp.ViewName, err)
 			}
-			if _, err := ext.db.ExecStmts(stmts); err != nil {
+			if _, err := is.ExecStmts(stmts); err != nil {
 				return fmt.Errorf("ivmext: propagation for %s: %w", comp.ViewName, err)
 			}
 		}
@@ -443,7 +550,7 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 			if err != nil {
 				return fmt.Errorf("ivmext: delta truncation for %s: %w", comp.ViewName, err)
 			}
-			if _, err := ext.db.ExecStmts(stmts); err != nil {
+			if _, err := is.ExecStmts(stmts); err != nil {
 				return fmt.Errorf("ivmext: delta truncation for %s: %w", comp.ViewName, err)
 			}
 		}

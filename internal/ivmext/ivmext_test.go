@@ -402,16 +402,6 @@ func TestScriptsSavedAndInspectable(t *testing.T) {
 	}
 }
 
-func TestDropMaterializedView(t *testing.T) {
-	db, _ := setup(t)
-	mustExec(t, db, `CREATE MATERIALIZED VIEW qg AS SELECT group_index,
-		SUM(group_value) AS total_value FROM groups GROUP BY group_index`)
-	mustExec(t, db, "DROP VIEW qg")
-	if db.Catalog().HasTable("qg") {
-		t.Error("view table still present")
-	}
-}
-
 func TestUnsupportedViewsRejected(t *testing.T) {
 	db, _ := setup(t)
 	for _, bad := range []string{

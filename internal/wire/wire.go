@@ -1,14 +1,29 @@
-// Package wire implements a minimal SQL-over-TCP protocol connecting the
-// two engines of the cross-system demo — the stand-in for the
-// PostgreSQL client protocol / DuckDB postgres_scanner bridge in the
-// paper's Figure 3. Requests and responses are newline-delimited JSON.
+// Package wire implements a minimal SQL-over-TCP protocol — the stand-in
+// for the PostgreSQL client protocol / DuckDB postgres_scanner bridge in
+// the paper's Figure 3, grown into a multi-client server front end.
+// Requests and responses are newline-delimited JSON.
+//
+// Every accepted connection gets its own engine.Session, so N clients run
+// interleaved DML, transactions and queries concurrently against one
+// shared DB: transactions, trigger suppression and PRAGMA
+// batch_size/workers are connection-local, while the catalog,
+// materialized views and the shared SQL-text plan cache are one per
+// server. When a connection drops, its session is closed — the in-flight
+// query is cancelled (its scans and parallel workers stop via the
+// engine's Close/cancellation protocol) and any open transaction rolls
+// back.
 //
 // Supported operations:
 //
-//	{"op":"exec","sql":"..."}     -> run a statement, return rows
+//	{"op":"exec","sql":"..."}     -> run a statement/script, return rows
 //	{"op":"schema","table":"t"}   -> column names and types of a table
 //	{"op":"tables"}               -> list table names
 //	{"op":"ping"}                 -> liveness check
+//	{"op":"stats"}                -> server counters (conns, plan cache)
+//
+// Admission discipline: MaxConns bounds concurrent connections; beyond
+// it, a connection is answered with one error response and closed rather
+// than left to queue invisibly.
 package wire
 
 import (
@@ -35,6 +50,17 @@ type ColumnDesc struct {
 	NotNull bool   `json:"notNull,omitempty"`
 }
 
+// Stats is the server-side counter snapshot returned by the stats op.
+type Stats struct {
+	ActiveConns    int   `json:"activeConns"`
+	TotalConns     int64 `json:"totalConns"`
+	RejectedConns  int64 `json:"rejectedConns"`
+	PlanCacheSize  int   `json:"planCacheSize"`
+	PlanCacheHits  int64 `json:"planCacheHits"`
+	PlanCacheMiss  int64 `json:"planCacheMiss"`
+	PreparedMarked int   `json:"preparedMarked"`
+}
+
 // Response is one server->client message.
 type Response struct {
 	Error        string             `json:"error,omitempty"`
@@ -43,21 +69,29 @@ type Response struct {
 	RowsAffected int                `json:"rowsAffected,omitempty"`
 	Schema       []ColumnDesc       `json:"schema,omitempty"`
 	Tables       []string           `json:"tables,omitempty"`
+	Stats        *Stats             `json:"stats,omitempty"`
 }
 
-// Server serves an engine instance over TCP.
+// Server serves an engine instance over TCP, one session per connection.
 type Server struct {
 	DB *engine.DB
 
+	// MaxConns bounds concurrent connections (0 = unlimited). Set before
+	// Listen.
+	MaxConns int
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*engine.Session
 	closed   bool
+
+	totalConns    int64
+	rejectedConns int64
 }
 
 // NewServer wraps db.
 func NewServer(db *engine.DB) *Server {
-	return &Server{DB: db, conns: map[net.Conn]struct{}{}}
+	return &Server{DB: db, conns: map[net.Conn]*engine.Session{}}
 }
 
 // Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
@@ -86,17 +120,31 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.rejectedConns++
+			s.mu.Unlock()
+			// Reject loudly: one error response, then close. A silently
+			// dropped connection looks like a network fault to the client.
+			json.NewEncoder(conn).Encode(&Response{Error: "wire: server connection limit reached"})
+			conn.Close()
+			continue
+		}
+		sess := s.DB.NewSession()
+		s.conns[conn] = sess
+		s.totalConns++
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		go s.serveConn(conn, sess)
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		// Session teardown: cancel the in-flight query (stops its morsel
+		// workers) and roll back an open transaction.
+		sess.Close()
 		conn.Close()
 	}()
 	dec := json.NewDecoder(conn)
@@ -106,19 +154,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := s.handle(&req)
+		resp := s.handle(sess, &req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req *Request) *Response {
+func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	switch req.Op {
 	case "ping":
 		return &Response{}
 	case "exec":
-		res, err := s.DB.ExecScript(req.SQL)
+		res, err := sess.ExecScript(req.SQL)
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}
@@ -139,11 +187,26 @@ func (s *Server) handle(req *Request) *Response {
 		return resp
 	case "tables":
 		return &Response{Tables: s.DB.Catalog().TableNames()}
+	case "stats":
+		cs := s.DB.StmtCacheStats()
+		s.mu.Lock()
+		st := &Stats{
+			ActiveConns:    len(s.conns),
+			TotalConns:     s.totalConns,
+			RejectedConns:  s.rejectedConns,
+			PlanCacheSize:  cs.Entries,
+			PlanCacheHits:  cs.Hits,
+			PlanCacheMiss:  cs.Misses,
+			PreparedMarked: s.DB.PreparedCount(),
+		}
+		s.mu.Unlock()
+		return &Response{Stats: st}
 	}
 	return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
 }
 
-// Close stops the server and closes open connections.
+// Close stops the server and closes open connections (each connection's
+// session is closed by its serve goroutine's teardown).
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,7 +214,10 @@ func (s *Server) Close() {
 	if s.listener != nil {
 		s.listener.Close()
 	}
-	for c := range s.conns {
+	for c, sess := range s.conns {
+		// Cancel first so a query blocked in a long scan observes the
+		// cancellation even before its connection read fails.
+		sess.Cancel()
 		c.Close()
 	}
 }
@@ -198,7 +264,7 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Exec runs a SQL script remotely.
+// Exec runs a SQL script remotely on this connection's session.
 func (c *Client) Exec(sql string) (*Response, error) {
 	return c.roundTrip(&Request{Op: "exec", SQL: sql})
 }
@@ -219,4 +285,13 @@ func (c *Client) Tables() ([]string, error) {
 		return nil, err
 	}
 	return resp.Tables, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
 }
