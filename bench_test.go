@@ -476,9 +476,103 @@ func BenchmarkE8_AutoStrategy(b *testing.B) {
 	}
 }
 
+// startWireBig serves one preloaded engine with a wide 100k-row table
+// for the streaming-transport benchmarks.
+func startWireBig(b *testing.B, rows int) string {
+	b.Helper()
+	db := engine.Open("bench", engine.DialectDuckDB)
+	mustExecB(b, db, "PRAGMA workers = 1") // cross-machine determinism
+	mustExecB(b, db, "CREATE TABLE big (id INTEGER, val INTEGER, tag VARCHAR)")
+	var sb []byte
+	const chunk = 2000
+	for lo := 0; lo < rows; lo += chunk {
+		sb = append(sb[:0], "INSERT INTO big VALUES "...)
+		for i := lo; i < lo+chunk && i < rows; i++ {
+			if i > lo {
+				sb = append(sb, ',')
+			}
+			sb = fmt.Appendf(sb, "(%d, %d, 'tag%d')", i, i*7%1000, i%37)
+		}
+		mustExecB(b, db, string(sb))
+	}
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return addr
+}
+
+// BenchmarkWire_Stream compares result transport across the two protocol
+// generations on a 100k-row result. v1 materializes the whole result
+// server-side, marshals it into one JSON object and parses it back
+// client-side; v2 streams binary row-batch frames straight off the live
+// operator tree and the consumer visits each batch as it lands — no
+// materialization on either end. allocs/op is the headline number.
+func BenchmarkWire_Stream(b *testing.B) {
+	const rows = 100_000
+	const q = "SELECT id, val, tag FROM big"
+	b.Run("v1", func(b *testing.B) {
+		addr := startWireBig(b, rows)
+		cl, err := wire.DialV1(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		if _, err := cl.Exec(q); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := cl.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Rows) != rows {
+				b.Fatalf("rows = %d", len(resp.Rows))
+			}
+		}
+	})
+	b.Run("v2", func(b *testing.B) {
+		addr := startWireBig(b, rows)
+		cl, err := wire.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		if _, err := cl.Exec(q); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rs, err := cl.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for {
+				batch, err := rs.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch == nil {
+					break
+				}
+				got += len(batch)
+			}
+			if got != rows {
+				b.Fatalf("rows = %d", got)
+			}
+		}
+	})
+}
+
 // BenchmarkWire_Concurrent measures the multi-client wire server end to
 // end: c concurrent connections — one engine.Session each — run the same
-// aggregation against one preloaded engine, exercising JSON transport,
+// aggregation against one preloaded engine, exercising the framed v2 transport,
 // per-session dispatch and the shared SQL-text plan cache under
 // contention. Workers stay pinned at 1 (loadGroups) so ns/op is
 // comparable across machines; scaling with c measures session/server

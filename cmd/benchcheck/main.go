@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_Concurrent' -benchmem -count 3 . | \
+//	go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_' -benchmem -count 3 . | \
 //	    go run ./cmd/benchcheck -baseline BENCH_BASELINE.json
 //
 // Refresh the baseline after an intentional performance change:
@@ -108,7 +108,7 @@ func main() {
 	}
 
 	if *update {
-		base := baseline{Note: "Regenerate with: go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_Concurrent' -benchmem -count 3 . | go run ./cmd/benchcheck -update"}
+		base := baseline{Note: "Regenerate with: go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_' -benchmem -count 3 . | go run ./cmd/benchcheck -update"}
 		base.Benchmarks = got
 		buf, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {

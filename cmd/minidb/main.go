@@ -4,31 +4,83 @@
 // run DML against base tables, inspect the compiled scripts and watch
 // the incremental maintenance happen.
 //
+// Modes:
+//
+//	minidb                      embedded REPL (default)
+//	minidb -listen :5433        serve the engine over the wire protocol
+//	minidb -connect host:5433   REPL against a remote server; results
+//	                            stream in and print batch by batch
+//
+// With -connect, -cancel-after=2s arms an out-of-band cancellation for
+// every statement: a second connection holds the session's token and
+// interrupts any statement still running after the duration — the
+// session survives and the shell keeps going.
+//
 // Meta-commands:
 //
 //	\q                quit
 //	\tables           list tables
 //	\views            list materialized views with their query class
 //	\scripts <view>   print the stored setup + propagation SQL
-//	\stats            extension counters (captures, refreshes)
+//	\stats            extension counters (captures, refreshes); with
+//	                  -connect, the server's wire counters instead
+//	\timing           toggle per-statement elapsed time
 //	\load demo        load the paper's Listing 1 schema with sample data
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"openivm/internal/engine"
 	"openivm/internal/ivmext"
+	"openivm/internal/wire"
+)
+
+var (
+	listenAddr  = flag.String("listen", "", "serve the engine over TCP on this address instead of running a REPL")
+	connectAddr = flag.String("connect", "", "connect the REPL to a remote wire server (streamed results)")
+	cancelAfter = flag.Duration("cancel-after", 0, "with -connect: cancel any statement still running after this duration")
 )
 
 func main() {
-	db := engine.Open("minidb", engine.DialectDuckDB)
-	ext := ivmext.Install(db)
-	fmt.Println("minidb — embedded analytical engine with OpenIVM (type \\q to quit, \\load demo for sample data)")
+	flag.Parse()
+	switch {
+	case *listenAddr != "":
+		serve(*listenAddr)
+	case *connectAddr != "":
+		remoteREPL(*connectAddr, *cancelAfter)
+	default:
+		localREPL()
+	}
+}
 
+// serve hosts the engine behind the wire protocol until interrupted.
+func serve(addr string) {
+	db := engine.Open("minidb", engine.DialectDuckDB)
+	ivmext.Install(db)
+	srv := wire.NewServer(db)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("minidb serving on", bound, "(ctrl-c to stop)")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}
+
+// repl drives the shared line-reading loop. onSQL runs a complete
+// statement; onMeta handles a backslash command and returns false to
+// quit.
+func repl(onSQL func(sql string), onMeta func(cmd string) bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -42,7 +94,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, ext, trimmed) {
+			if !onMeta(trimmed) {
 				return
 			}
 			continue
@@ -56,10 +108,22 @@ func main() {
 		sql := buf.String()
 		buf.Reset()
 		prompt = "minidb> "
+		onSQL(sql)
+	}
+}
+
+func localREPL() {
+	db := engine.Open("minidb", engine.DialectDuckDB)
+	ext := ivmext.Install(db)
+	fmt.Println("minidb — embedded analytical engine with OpenIVM (type \\q to quit, \\load demo for sample data)")
+	timing := false
+	repl(func(sql string) {
+		start := time.Now()
 		res, err := db.ExecScript(sql)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Println("error:", err)
-			continue
+			return
 		}
 		if res != nil && len(res.Columns) > 0 {
 			fmt.Print(res.Format())
@@ -69,10 +133,131 @@ func main() {
 		} else {
 			fmt.Println("OK")
 		}
-	}
+		if timing {
+			fmt.Printf("Time: %v\n", elapsed)
+		}
+	}, func(cmd string) bool {
+		if strings.Fields(cmd)[0] == "\\timing" {
+			timing = !timing
+			fmt.Println("timing:", onOff(timing))
+			return true
+		}
+		return meta(db, ext, cmd)
+	})
 }
 
-// meta handles backslash commands; returns false to quit.
+// remoteREPL speaks the streamed wire protocol: rows print as their
+// batches arrive, so a long result renders incrementally instead of
+// after full materialization. cancelAfter > 0 arms the out-of-band
+// cancellation example: a second connection interrupts any statement
+// still in flight after that duration.
+func remoteREPL(addr string, cancelAfter time.Duration) {
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	var canceller *wire.Client
+	var token string
+	if cancelAfter > 0 {
+		if token, err = cl.Token(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if canceller, err = wire.Dial(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer canceller.Close()
+	}
+	fmt.Println("minidb — connected to", addr, "(type \\q to quit)")
+	timing := false
+	repl(func(sql string) {
+		start := time.Now()
+		if canceller != nil {
+			timer := time.AfterFunc(cancelAfter, func() { canceller.Cancel(token) })
+			defer timer.Stop()
+		}
+		rows, err := cl.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printed := 0
+		if len(rows.Columns) > 0 {
+			fmt.Println(strings.Join(rows.Columns, " | "))
+		}
+		for {
+			batch, err := rows.Next()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if batch == nil {
+				break
+			}
+			for _, r := range batch {
+				cells := make([]string, len(r))
+				for i, v := range r {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+				printed++
+			}
+		}
+		if len(rows.Columns) > 0 {
+			fmt.Printf("(%d rows)\n", printed)
+		} else if rows.RowsAffected() > 0 {
+			fmt.Printf("OK, %d rows affected\n", rows.RowsAffected())
+		} else if rows.Err() == nil {
+			fmt.Println("OK")
+		}
+		if timing {
+			fmt.Printf("Time: %v\n", time.Since(start))
+		}
+	}, func(cmd string) bool {
+		switch strings.Fields(cmd)[0] {
+		case "\\q", "\\quit", "\\exit":
+			return false
+		case "\\tables":
+			tables, err := cl.Tables()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+		case "\\stats":
+			st, err := cl.Stats()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("connections:       %d active / %d total / %d rejected\n", st.ActiveConns, st.TotalConns, st.RejectedConns)
+			fmt.Printf("plan cache:        %d entries, %d hits / %d misses, %d prepared\n", st.PlanCacheSize, st.PlanCacheHits, st.PlanCacheMiss, st.PreparedMarked)
+			fmt.Printf("streamed:          %d batches / %d rows\n", st.StreamedBatches, st.StreamedRows)
+			fmt.Printf("kills:             %d governor / %d timeout / %d cancel\n", st.GovernorKills, st.TimeoutKills, st.Cancels)
+		case "\\timing":
+			timing = !timing
+			fmt.Println("timing:", onOff(timing))
+		default:
+			fmt.Println("unknown command", strings.Fields(cmd)[0])
+		}
+		return true
+	})
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// meta handles backslash commands in embedded mode; returns false to
+// quit.
 func meta(db *engine.DB, ext *ivmext.Extension, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {

@@ -136,6 +136,13 @@ type DB struct {
 	// share a Hint. Only plans safe for concurrent re-execution enter it —
 	// see planShareable.
 	stmts *stmtCache
+
+	// sessMu guards sessions, the token registry of live sessions. The
+	// wire protocol's out-of-band cancel op resolves its token here to
+	// interrupt another connection's in-flight statement; entries are
+	// removed on Session.Close.
+	sessMu   sync.Mutex
+	sessions map[string]*Session
 }
 
 // cachedPlan is one plan-cache entry, valid while the schema epoch holds
@@ -169,6 +176,7 @@ func Open(name string, dialect Dialect) *DB {
 		prepared:     map[*sqlparser.SelectStmt]bool{},
 		planCache:    map[*sqlparser.SelectStmt]cachedPlan{},
 		stmts:        newStmtCache(stmtCacheSize),
+		sessions:     map[string]*Session{},
 	}
 	db.def = db.NewSession()
 	return db
@@ -226,6 +234,30 @@ func (db *DB) PreparedCount() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return len(db.prepared)
+}
+
+// registerSession enters a session into the token registry.
+func (db *DB) registerSession(s *Session) {
+	db.sessMu.Lock()
+	db.sessions[s.token] = s
+	db.sessMu.Unlock()
+}
+
+// dropSession removes a session from the token registry (idempotent).
+func (db *DB) dropSession(s *Session) {
+	db.sessMu.Lock()
+	delete(db.sessions, s.token)
+	db.sessMu.Unlock()
+}
+
+// SessionByToken resolves a session token to its live session — the
+// lookup behind the wire protocol's out-of-band cancel op. Returns false
+// for unknown (or already closed) tokens.
+func (db *DB) SessionByToken(token string) (*Session, bool) {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	s, ok := db.sessions[token]
+	return s, ok
 }
 
 // Catalog exposes the catalog (used by the IVM compiler and tests).
@@ -575,10 +607,13 @@ func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Resu
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }
 
-// newBinder builds a binder with scalar-subquery support wired to this
-// session (subqueries execute with the session's options and context).
+// newBinder builds a binder with scalar-subquery support and the $N
+// parameter binding wired to this session (subqueries execute with the
+// session's options and context; Param nodes read the session's values at
+// Eval time, so prepared plans re-execute against freshly bound params).
 func (s *Session) newBinder() *plan.Binder {
 	b := plan.NewBinder(s.db.cat)
+	b.Params = &s.params
 	b.SubqueryFn = func(sel *sqlparser.SelectStmt) (expr.Expr, error) {
 		return newLazySubquery(s, sel), nil
 	}

@@ -2,16 +2,20 @@ package engine
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"openivm/internal/exec"
 	"openivm/internal/expr"
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
 )
 
 // Session is one connection's execution context over a shared DB. All
@@ -53,19 +57,107 @@ type Session struct {
 	// legacy default session is shared by concurrent callers of db.Exec
 	// (see the txn comment for the limits of that sharing).
 	trigOff atomic.Int32
+
+	// token identifies this session in the DB's session registry, so an
+	// out-of-band actor (another wire connection's cancel op) can find it
+	// without holding a *Session.
+	token string
+
+	// stmtMu guards stmtCancel, the cancel func of the statement currently
+	// running under StartStatement. Interrupt — callable from any
+	// goroutine, like Cancel — cancels just that statement; the session
+	// survives and serves the next one.
+	stmtMu     sync.Mutex
+	stmtCancel context.CancelFunc
+
+	// params is the session's $N parameter binding: plans bound by this
+	// session resolve Param nodes against it, and BindParams swaps the
+	// values in before each prepared execution. Session-private mutable
+	// state, which is why parameterized plans are never admitted to the
+	// cross-session shared statement cache (see expr.ParallelSafe).
+	params expr.ParamBinding
 }
 
 // NewSession creates an independent execution context over the database.
 // Sessions share the catalog, triggers, materialized views and the plan
 // caches; they do not share transactions, trigger suppression or
-// execution pragmas.
+// execution pragmas. Every session is entered into the DB's token
+// registry until Close, so out-of-band cancellation can address it.
 func (db *DB) NewSession() *Session {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Session{db: db, pragmas: map[string]string{}, ctx: ctx, cancel: cancel}
+	s := &Session{db: db, pragmas: map[string]string{}, ctx: ctx, cancel: cancel, token: newSessionToken()}
+	db.registerSession(s)
+	return s
 }
 
 // DB returns the underlying database.
 func (s *Session) DB() *DB { return s.db }
+
+// Token returns the session's registry token — the handle a SECOND
+// connection presents to cancel this session's in-flight statement (the
+// wire protocol's out-of-band cancel op). Tokens are unguessable random
+// identifiers, not small integers, so one client cannot sweep-cancel
+// another's queries.
+func (s *Session) Token() string { return s.token }
+
+// newSessionToken returns an unguessable session identifier.
+func newSessionToken() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; fall back to
+		// a process-unique counter rather than panic in a constructor.
+		return fmt.Sprintf("s-%d", sessionSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var sessionSeq atomic.Int64
+
+// StartStatement begins one interruptible statement: it returns a context
+// derived from the session's lifetime context — additionally bounded by
+// timeout when positive (the wire server's query governor) — and a finish
+// func the driving goroutine must call when the statement completes.
+// While the statement runs, Interrupt (from any goroutine) cancels it
+// without killing the session, which is what distinguishes a wire-level
+// "cancel" from connection teardown.
+func (s *Session) StartStatement(timeout time.Duration) (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.ctx)
+	}
+	s.stmtMu.Lock()
+	s.stmtCancel = cancel
+	s.stmtMu.Unlock()
+	finish := func() {
+		s.stmtMu.Lock()
+		s.stmtCancel = nil
+		s.stmtMu.Unlock()
+		cancel()
+	}
+	return ctx, finish
+}
+
+// Interrupt cancels the statement currently running under StartStatement
+// (a no-op when none is). Unlike Cancel it leaves the session usable: the
+// interrupted statement returns context.Canceled and the session serves
+// the next statement normally. Safe to call from any goroutine.
+func (s *Session) Interrupt() {
+	s.stmtMu.Lock()
+	c := s.stmtCancel
+	s.stmtMu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
+// BindParams sets the session's $N parameter values for subsequent
+// executions. The wire server binds parameters per prepared execution;
+// values stay bound until the next call, mirroring how the binding is
+// read lazily at Eval time.
+func (s *Session) BindParams(vals []sqltypes.Value) { s.params.Vals = vals }
 
 // Cancel interrupts the session's in-flight query (if any): scans and
 // parallel workers observe the cancelled context and the statement
@@ -85,6 +177,7 @@ func (s *Session) Cancel() { s.cancel() }
 // then observes the error and closes.
 func (s *Session) Close() error {
 	s.cancel()
+	s.db.dropSession(s)
 	if s.txn != nil {
 		_, err := s.execRollback()
 		return err
@@ -226,9 +319,15 @@ func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 // marked by PrepareScript), so a prepared script observes current table
 // contents like re-parsed SQL.
 func (s *Session) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
+	return s.execStmtsCtx(s.ctx, stmts)
+}
+
+// execStmtsCtx is ExecStmts with an explicit per-statement cancellation
+// context (the wire server's interruptible exec path).
+func (s *Session) execStmtsCtx(ctx context.Context, stmts []sqlparser.Statement) (*Result, error) {
 	var last *Result
 	for _, st := range stmts {
-		r, err := s.execStmt(s.ctx, st)
+		r, err := s.execStmt(ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -241,28 +340,34 @@ func (s *Session) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
 // statement's result. Single-statement scripts hit the shared statement
 // cache like Exec.
 func (s *Session) ExecScript(sql string) (*Result, error) {
+	return s.ExecScriptContext(s.ctx, sql)
+}
+
+// ExecScriptContext is ExecScript with an explicit per-statement
+// cancellation context (the wire server's interruptible exec path).
+func (s *Session) ExecScriptContext(ctx context.Context, sql string) (*Result, error) {
 	if ent, ok := s.lookupStmt(sql); ok {
-		return s.runCachedSelect(s.ctx, ent)
+		return s.runCachedSelect(ctx, ent)
 	}
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
 		// Retry statement-by-statement so fallback parsers get a chance.
-		return s.execScriptWithFallback(sql)
+		return s.execScriptWithFallback(ctx, sql)
 	}
 	if len(stmts) == 1 {
 		if sel, isSel := stmts[0].(*sqlparser.SelectStmt); isSel {
-			return s.execSelectText(s.ctx, sql, sel)
+			return s.execSelectText(ctx, sql, sel)
 		}
 	}
-	return s.ExecStmts(stmts)
+	return s.execStmtsCtx(ctx, stmts)
 }
 
 // execScriptWithFallback splits naively on top-level semicolons and runs
-// each piece through Exec (which consults fallback parsers).
-func (s *Session) execScriptWithFallback(sql string) (*Result, error) {
+// each piece through ExecContext (which consults fallback parsers).
+func (s *Session) execScriptWithFallback(ctx context.Context, sql string) (*Result, error) {
 	var last *Result
 	for _, piece := range SplitStatements(sql) {
-		r, err := s.Exec(piece)
+		r, err := s.ExecContext(ctx, piece)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"openivm/internal/sqltypes"
 )
 
 // TestStmtCacheHit: repeating an ad-hoc SELECT through a session must
@@ -116,8 +118,8 @@ func TestStmtCacheKnobSeparation(t *testing.T) {
 }
 
 // TestStmtCacheRefusesUnshareablePlans: plans with lazily cached subquery
-// results or per-node scratch (ScalarFunc) must never be shared across
-// sessions — replayed stale rows or racing scratch buffers.
+// results or statement parameters must never be shared across sessions —
+// replayed stale rows or racing value bindings.
 func TestStmtCacheRefusesUnshareablePlans(t *testing.T) {
 	db := Open("sc", DialectDuckDB)
 	mustExec(t, db, "CREATE TABLE a (k INTEGER)")
@@ -125,9 +127,11 @@ func TestStmtCacheRefusesUnshareablePlans(t *testing.T) {
 	mustExec(t, db, "INSERT INTO a VALUES (1), (2)")
 	mustExec(t, db, "INSERT INTO b VALUES (1)")
 	s := db.NewSession()
+	defer s.Close()
+	s.BindParams([]sqltypes.Value{sqltypes.NewInt(0)})
 	for _, q := range []string{
 		"SELECT k FROM a WHERE k IN (SELECT k FROM b)", // lazy subquery cache
-		"SELECT COALESCE(k, 0) FROM a",                 // ScalarFunc scratch
+		"SELECT k FROM a WHERE k > $1",                 // session-bound parameter
 	} {
 		if _, err := s.Query(q); err != nil {
 			t.Fatalf("%s: %v", q, err)
@@ -144,6 +148,38 @@ func TestStmtCacheRefusesUnshareablePlans(t *testing.T) {
 	}
 	if len(res.Rows) != 2 {
 		t.Fatalf("subquery replayed stale rows: %v", res.Rows)
+	}
+}
+
+// TestStmtCacheAdmitsScalarFuncPlans pins the plan-cache breadth fix:
+// COALESCE/ABS-shaped statements — historically the most common cache
+// refusal, because ScalarFunc carried a per-execution scratch buffer —
+// now pass planShareable (the scratch moves by atomic swap) and hit the
+// shared statement cache across sessions.
+func TestStmtCacheAdmitsScalarFuncPlans(t *testing.T) {
+	db := Open("sc", DialectDuckDB)
+	mustExec(t, db, "CREATE TABLE a (k INTEGER)")
+	mustExec(t, db, "INSERT INTO a VALUES (1), (NULL), (-3)")
+	s1, s2 := db.NewSession(), db.NewSession()
+	defer s1.Close()
+	defer s2.Close()
+	const q = "SELECT COALESCE(k, 0), ABS(COALESCE(k, -1)) FROM a"
+	if _, err := s1.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.StmtCacheStats(); st.Entries != 1 {
+		t.Fatalf("ScalarFunc plan refused from the cache: %+v", st)
+	}
+	hitsBefore := db.StmtCacheStats().Hits
+	res, err := s2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.StmtCacheStats().Hits != hitsBefore+1 {
+		t.Fatalf("second session missed the cached COALESCE plan: %+v", db.StmtCacheStats())
+	}
+	if len(res.Rows) != 3 || res.Rows[1][0].I != 0 || res.Rows[1][1].I != 1 || res.Rows[2][1].I != 3 {
+		t.Fatalf("cached-plan rows = %v", res.Rows)
 	}
 }
 

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+
+	"openivm/internal/exec"
+	"openivm/internal/plan"
+	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
+)
+
+// Stream is a running statement whose result is consumed batch by batch
+// instead of materialized — the engine half of the wire protocol's
+// streaming exec path. For a planned SELECT it wraps the live operator
+// tree: each Next pulls one batch, so a consumer that stops pulling (a
+// slow network peer) parks the whole pipeline — natural backpressure all
+// the way down to the parallel scan's bounded channels. Statements that
+// have no streaming shape (DML, scripts, hook-handled statements such as
+// lazily refreshed materialized-view reads) fall back to a materialized
+// result served as a single batch.
+//
+// A Stream must be closed exactly once, drained or not: Close releases
+// the operator tree (terminating parallel workers). Like the session that
+// produced it, a Stream belongs to one goroutine.
+type Stream struct {
+	// Columns names the result columns (empty for pure DML).
+	Columns []string
+
+	it           exec.BatchIterator // nil when materialized
+	rows         []sqltypes.Row     // materialized payload
+	rowsAffected int
+	served       bool
+	closed       bool
+}
+
+// Next returns the next batch of rows, or nil at end of stream. The
+// returned slice is owned by the stream and only valid until the next
+// Next or Close call; the rows it references are durable.
+func (st *Stream) Next() ([]sqltypes.Row, error) {
+	if st.it != nil {
+		b, err := st.it.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		return b.RowView(), nil
+	}
+	if st.served || len(st.rows) == 0 {
+		return nil, nil
+	}
+	st.served = true
+	return st.rows, nil
+}
+
+// RowsAffected returns the DML row count (0 for streamed SELECTs).
+func (st *Stream) RowsAffected() int { return st.rowsAffected }
+
+// Close releases the stream's operator tree. Idempotent.
+func (st *Stream) Close() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.it != nil {
+		st.it.Close()
+	}
+}
+
+// materializedStream wraps an already computed result.
+func materializedStream(res *Result) *Stream {
+	if res == nil {
+		return &Stream{}
+	}
+	return &Stream{Columns: res.Columns, rows: res.Rows, rowsAffected: res.RowsAffected}
+}
+
+// ExecStream executes a statement or script with a streamed result: a
+// single SELECT (the wire server's hot path) opens the operator tree and
+// returns before pulling a single batch, never materializing the result
+// set; everything else executes eagerly and the stream serves the
+// materialized rows. ctx cancels execution per batch (nil = session
+// context); the statement-cache and hook passes run exactly as in
+// ExecContext.
+func (s *Session) ExecStream(ctx context.Context, sql string) (*Stream, error) {
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	if ent, ok := s.lookupStmt(sql); ok {
+		return s.streamCachedSelect(ctx, ent)
+	}
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		res, ferr := s.execScriptWithFallback(ctx, sql)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return materializedStream(res), nil
+	}
+	if len(stmts) == 1 {
+		if sel, isSel := stmts[0].(*sqlparser.SelectStmt); isSel {
+			return s.streamSelectText(ctx, sql, sel)
+		}
+	}
+	res, err := s.execStmtsCtx(ctx, stmts)
+	if err != nil {
+		return nil, err
+	}
+	return materializedStream(res), nil
+}
+
+// ExecPreparedStream executes a previously prepared statement list (see
+// PrepareScript) with a streamed result. A single prepared SELECT hits
+// the prepared-plan cache and streams; multi-statement scripts execute
+// eagerly. Parameters are whatever the session's binding currently holds
+// (BindParams).
+func (s *Session) ExecPreparedStream(ctx context.Context, stmts []sqlparser.Statement) (*Stream, error) {
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	if len(stmts) == 1 {
+		if sel, isSel := stmts[0].(*sqlparser.SelectStmt); isSel {
+			return s.streamSelect(ctx, sel)
+		}
+	}
+	res, err := s.execStmtsCtx(ctx, stmts)
+	if err != nil {
+		return nil, err
+	}
+	return materializedStream(res), nil
+}
+
+// streamCachedSelect is runCachedSelect's streaming twin: the hook pass
+// still runs (lazy IVM refresh must observe the read), and a schema-epoch
+// mismatch replans.
+func (s *Session) streamCachedSelect(ctx context.Context, ent *stmtEntry) (*Stream, error) {
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, ent.sel)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return materializedStream(res), nil
+		}
+	}
+	if s.db.epoch() != ent.epoch {
+		return s.streamSelect(ctx, ent.sel)
+	}
+	return s.openStream(ctx, ent.node)
+}
+
+// streamSelectText mirrors execSelectText: hook pass, plan, publish in
+// the shared statement cache when shareable, then open the tree.
+func (s *Session) streamSelectText(ctx context.Context, sql string, sel *sqlparser.SelectStmt) (*Stream, error) {
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, sel)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return materializedStream(res), nil
+		}
+	}
+	epoch := s.db.epoch()
+	n, err := s.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if planShareable(n) && selectShaped(sql) && s.db.epoch() == epoch {
+		s.db.stmts.put(s.textKey(sql), &stmtEntry{sel: sel, node: n, epoch: epoch})
+	}
+	return s.openStream(ctx, n)
+}
+
+// streamSelect runs the hook pass, plans (hitting the prepared-plan cache
+// for marked statements) and opens the tree.
+func (s *Session) streamSelect(ctx context.Context, sel *sqlparser.SelectStmt) (*Stream, error) {
+	for _, h := range s.db.hooks {
+		handled, res, err := h(s.db, sel)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return materializedStream(res), nil
+		}
+	}
+	n, err := s.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return s.openStream(ctx, n)
+}
+
+// openStream opens the operator tree for a planned SELECT without pulling
+// any batches.
+func (s *Session) openStream(ctx context.Context, n plan.Node) (*Stream, error) {
+	it, err := exec.OpenBatch(n, s.execOpts(ctx))
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{it: it}
+	for _, c := range n.Schema() {
+		st.Columns = append(st.Columns, c.Name)
+	}
+	return st, nil
+}

@@ -49,8 +49,10 @@ import (
 // own all their mutable state) or, for expressions the kernel compiler
 // rejects, evaluate shared expr.Expr trees concurrently — allowed only
 // when every expression involved is expr.ParallelSafe. Expressions with
-// per-node scratch (ScalarFunc) or lazy caches (IN (SELECT …)) keep the
-// whole pipeline serial.
+// shared mutable state — lazy subquery caches (IN (SELECT …)), statement
+// parameters — keep the whole pipeline serial. (ScalarFunc's argument
+// scratch moves between evaluators by atomic swap, so COALESCE/ABS
+// pipelines parallelize like any other.)
 
 const (
 	// minParallelRows is the snapshot size that must be exceeded before a

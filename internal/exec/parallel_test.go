@@ -285,15 +285,31 @@ func TestParallelSafeRefusesStatefulExprs(t *testing.T) {
 	if !expr.ParallelSafe(&expr.Binary{Op: "+", Left: &expr.Column{Idx: 0}, Right: &expr.Literal{Val: sqltypes.NewInt(1)}}) {
 		t.Fatal("pure arithmetic reported unsafe")
 	}
+	// ScalarFunc hands its argument scratch between evaluators by atomic
+	// swap, so COALESCE/ABS trees are admitted (the plan-cache breadth
+	// fix); the scratch inside must not taint the tree.
 	sf := &expr.ScalarFunc{Name: "COALESCE", Args: []expr.Expr{&expr.Column{Idx: 0}}}
-	if expr.ParallelSafe(sf) {
-		t.Fatal("ScalarFunc (mutable scratch) reported parallel-safe")
+	if !expr.ParallelSafe(sf) {
+		t.Fatal("ScalarFunc (atomic scratch hand-off) reported unsafe")
 	}
-	if expr.ParallelSafe(&expr.Binary{Op: "AND", Left: sf, Right: &expr.Column{Idx: 1}}) {
-		t.Fatal("tree containing ScalarFunc reported parallel-safe")
+	if !expr.ParallelSafe(&expr.Binary{Op: "AND", Left: sf, Right: &expr.Column{Idx: 1}}) {
+		t.Fatal("tree containing ScalarFunc reported unsafe")
 	}
+	// A ScalarFunc whose ARGUMENT is stateful still refuses.
 	inq := &expr.InQuery{Operand: &expr.Column{Idx: 0}}
+	if expr.ParallelSafe(&expr.ScalarFunc{Name: "ABS", Args: []expr.Expr{inq}}) {
+		t.Fatal("ScalarFunc over InQuery reported parallel-safe")
+	}
 	if expr.ParallelSafe(inq) {
 		t.Fatal("InQuery (lazy cache) reported parallel-safe")
+	}
+	// Statement parameters read a session-mutable binding: reusable across
+	// sequential executions, never shareable across goroutines.
+	p := &expr.Param{Index: 1, Binding: &expr.ParamBinding{}}
+	if expr.ParallelSafe(p) {
+		t.Fatal("Param (session value binding) reported parallel-safe")
+	}
+	if !expr.Reusable(p) {
+		t.Fatal("Param must stay reusable (prepared-statement contract)")
 	}
 }

@@ -8,7 +8,9 @@ package expr
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"openivm/internal/sqltypes"
 )
@@ -527,14 +529,25 @@ type ScalarFunc struct {
 	Fn   func(args []sqltypes.Value) (sqltypes.Value, error)
 	Typ  sqltypes.Type
 
-	scratch []sqltypes.Value // reusable argument buffer
+	// scratch holds the reusable argument buffer behind an atomic swap so a
+	// compiled plan containing this node stays both Reusable and
+	// ParallelSafe (the shared statement cache re-executes one plan from
+	// many sessions at once): each Eval takes exclusive ownership of the
+	// buffer via Swap(nil) and returns it when done. Concurrent evaluators
+	// that lose the swap allocate a private buffer — correctness never
+	// depends on winning, only the steady-state alloc count does.
+	scratch atomic.Pointer[[]sqltypes.Value]
 }
 
-// Eval implements Expr. The argument buffer is reused across calls (plans
-// are evaluated by one goroutine at a time, like every Expr here), so a
-// registered Fn must not retain its args slice past the call.
+// Eval implements Expr. A registered Fn must not retain its args slice
+// past the call — the buffer is recycled across evaluations.
 func (e *ScalarFunc) Eval(row sqltypes.Row) (sqltypes.Value, error) {
-	args := e.scratch[:0]
+	p := e.scratch.Swap(nil)
+	if p == nil {
+		p = new([]sqltypes.Value)
+		*p = make([]sqltypes.Value, 0, len(e.Args))
+	}
+	args := (*p)[:0]
 	for _, a := range e.Args {
 		v, err := a.Eval(row)
 		if err != nil {
@@ -542,8 +555,10 @@ func (e *ScalarFunc) Eval(row sqltypes.Row) (sqltypes.Value, error) {
 		}
 		args = append(args, v)
 	}
-	e.scratch = args
-	return e.Fn(args)
+	*p = args
+	v, err := e.Fn(args)
+	e.scratch.Store(p)
+	return v, err
 }
 
 // Type implements Expr.
@@ -562,6 +577,45 @@ func (e *ScalarFunc) String() string {
 	sb.WriteString(")")
 	return sb.String()
 }
+
+// ParamBinding holds the current values of a statement's $N parameters.
+// One binding belongs to one execution context (an engine session): the
+// driver sets Vals before executing a plan whose Param nodes point here.
+// Because the binding is shared mutable state, plans containing Param
+// nodes are Reusable (re-executed sequentially by their owning session —
+// the wire prepared-statement model) but never ParallelSafe, so they stay
+// out of the cross-session shared statement cache.
+type ParamBinding struct {
+	Vals []sqltypes.Value
+}
+
+// Param is a positional statement parameter ($1, $2, ...) bound per
+// execution through its session's ParamBinding.
+type Param struct {
+	Index   int // 1-based
+	Binding *ParamBinding
+}
+
+// Eval implements Expr.
+func (e *Param) Eval(sqltypes.Row) (sqltypes.Value, error) {
+	if e.Binding == nil || e.Index < 1 || e.Index > len(e.Binding.Vals) {
+		return sqltypes.Null, fmt.Errorf("expr: parameter $%d not bound (%d values supplied)", e.Index, e.boundCount())
+	}
+	return e.Binding.Vals[e.Index-1], nil
+}
+
+func (e *Param) boundCount() int {
+	if e.Binding == nil {
+		return 0
+	}
+	return len(e.Binding.Vals)
+}
+
+// Type implements Expr. Parameter types are unknown until execution.
+func (e *Param) Type() sqltypes.Type { return sqltypes.TypeAny }
+
+// String implements Expr.
+func (e *Param) String() string { return "$" + strconv.Itoa(e.Index) }
 
 // ScalarFuncs is the registry of built-in scalar functions. Each entry
 // returns the implementation and static result type for an arg count.

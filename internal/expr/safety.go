@@ -2,11 +2,15 @@ package expr
 
 // ParallelSafe reports whether e may be evaluated concurrently from
 // multiple goroutines. Almost every bound expression is read-only at Eval
-// time; the exceptions carry per-node mutable state — ScalarFunc reuses an
-// argument scratch buffer across calls, and InQuery's Fetch closure
-// populates a lazy result cache — so a tree containing one must stay on a
-// single goroutine. Unknown node kinds refuse, keeping the default
-// conservative if new Expr types appear.
+// time; the exceptions carry shared mutable state — InQuery's Fetch
+// closure populates a lazy result cache, and Param reads a per-session
+// value binding that the driver mutates between executions — so a tree
+// containing one must stay on a single goroutine. (ScalarFunc used to be
+// in this set for its argument scratch buffer; the buffer now moves
+// between evaluators by atomic swap, so COALESCE/ABS-shaped plans are
+// admitted to the shared statement cache and to parallel scans.) Unknown
+// node kinds refuse, keeping the default conservative if new Expr types
+// appear.
 //
 // A nil expression (absent filter, COUNT(*) argument) is trivially safe.
 func ParallelSafe(e Expr) bool {
@@ -15,11 +19,12 @@ func ParallelSafe(e Expr) bool {
 
 // Reusable reports whether e may be evaluated again on a later execution
 // of the same plan — the gate for the engine's prepared-statement plan
-// cache. It is weaker than ParallelSafe: per-node scratch buffers
-// (ScalarFunc) are fine across sequential executions, but expressions
-// that cache query RESULTS lazily (InQuery's subquery rows, the engine's
-// scalar subqueries, which arrive here as unknown node kinds) would
-// replay stale data and must force a re-plan.
+// cache. It is weaker than ParallelSafe: statement parameters (Param) are
+// fine across sequential executions — re-binding values between runs is
+// exactly the prepared-statement contract — but expressions that cache
+// query RESULTS lazily (InQuery's subquery rows, the engine's scalar
+// subqueries, which arrive here as unknown node kinds) would replay stale
+// data and must force a re-plan.
 func Reusable(e Expr) bool {
 	return exprSafe(e, true)
 }
@@ -61,15 +66,20 @@ func exprSafe(e Expr, allowScratch bool) bool {
 	case *Cast:
 		return exprSafe(x.Operand, allowScratch)
 	case *ScalarFunc:
-		if !allowScratch {
-			return false // mutable argument scratch, single goroutine only
-		}
+		// The argument scratch is handed off by atomic swap (see
+		// ScalarFunc.Eval), so the node is safe both across executions and
+		// across goroutines; only the arguments can disqualify the tree.
 		for _, a := range x.Args {
 			if !exprSafe(a, allowScratch) {
 				return false
 			}
 		}
 		return true
+	case *Param:
+		// A parameter reads its session's mutable value binding: fine to
+		// re-execute sequentially after re-binding (the prepared-statement
+		// contract), never safe to share across sessions or goroutines.
+		return allowScratch
 	}
 	return false
 }

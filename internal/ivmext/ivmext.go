@@ -57,6 +57,15 @@ type Extension struct {
 	// lose deltas.
 	refreshMu sync.Mutex
 
+	// captureMu fences delta capture against delta consumption. Writers
+	// hold it shared while appending rows to delta tables; propagate holds
+	// it exclusive from the first propagation statement through the final
+	// delta truncation. Without the fence a row captured between a
+	// propagation body's read of ΔT and the trailing DELETE FROM ΔT is
+	// discarded unapplied — a permanently stale view (seen as a rare
+	// wire-stress failure under -race).
+	captureMu sync.RWMutex
+
 	// refreshGID guards against re-entrant lazy refresh during propagation
 	// (the propagation script's own SELECTs pass through the statement
 	// hook): it holds the goroutine id of the goroutine currently running
@@ -327,22 +336,26 @@ func (ext *Extension) capture(deltaTable string, ev engine.TriggerEvent, oldRows
 		}
 		return nil
 	}
-	switch ev {
-	case engine.TrigInsert:
-		if err := add(newRows, true); err != nil {
-			return err
+	// The shared fence must drop before the eager refresh below: propagate
+	// re-acquires it exclusive.
+	err = func() error {
+		ext.captureMu.RLock()
+		defer ext.captureMu.RUnlock()
+		switch ev {
+		case engine.TrigInsert:
+			return add(newRows, true)
+		case engine.TrigDelete:
+			return add(oldRows, false)
+		case engine.TrigUpdate:
+			if err := add(oldRows, false); err != nil {
+				return err
+			}
+			return add(newRows, true)
 		}
-	case engine.TrigDelete:
-		if err := add(oldRows, false); err != nil {
-			return err
-		}
-	case engine.TrigUpdate:
-		if err := add(oldRows, false); err != nil {
-			return err
-		}
-		if err := add(newRows, true); err != nil {
-			return err
-		}
+		return nil
+	}()
+	if err != nil {
+		return err
 	}
 	if ext.eager() {
 		ext.bumpStat(&ext.Stats.EagerRefreshes)
@@ -522,6 +535,14 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 	}
 	sort.Strings(names)
 	ext.mu.Unlock()
+
+	// Exclusive capture fence: no writer may append delta rows between the
+	// propagation bodies (which consume ΔT) and the truncation pass (which
+	// empties it) — a delta landing in that window would be dropped
+	// unapplied. Writers block for at most one propagation; refreshMu is
+	// always acquired first, so the order is total.
+	ext.captureMu.Lock()
+	defer ext.captureMu.Unlock()
 
 	ext.refreshGID.Store(gid())
 	defer ext.refreshGID.Store(0)

@@ -21,6 +21,9 @@ type Binder struct {
 	// SubqueryRowsFn turns an uncorrelated subquery into a lazy fetch of
 	// its first-column values, used for IN (SELECT ...). nil disables.
 	SubqueryRowsFn func(sel *sqlparser.SelectStmt) (func() ([]sqltypes.Value, error), error)
+	// Params is the value binding $N parameters resolve against (the
+	// engine wires each session's binding in). nil rejects parameters.
+	Params *expr.ParamBinding
 
 	ctes map[string]Node // CTEs currently in scope
 }
@@ -947,6 +950,11 @@ func (b *Binder) bindExpr(e sqlparser.Expr, schema []ColumnInfo, allowAgg bool) 
 			return nil, fmt.Errorf("plan: scalar subqueries not supported in this context")
 		}
 		return b.SubqueryFn(x.Select)
+	case *sqlparser.ParamExpr:
+		if b.Params == nil {
+			return nil, fmt.Errorf("plan: statement parameters ($%d) not supported in this context", x.Index)
+		}
+		return &expr.Param{Index: x.Index, Binding: b.Params}, nil
 	}
 	return nil, fmt.Errorf("plan: unsupported expression %T", e)
 }

@@ -1,6 +1,7 @@
 package sqlparser
 
 import (
+	"strconv"
 	"strings"
 
 	"openivm/internal/sqltypes"
@@ -87,6 +88,10 @@ type CastExpr struct {
 // SubqueryExpr is a scalar subquery (SELECT ...) used as an expression.
 type SubqueryExpr struct{ Select *SelectStmt }
 
+// ParamExpr is a positional statement parameter ($1, $2, ...) bound with a
+// value per execution (wire prepared statements). Index is 1-based.
+type ParamExpr struct{ Index int }
+
 func (*ColumnRef) expr()    {}
 func (*Literal) expr()      {}
 func (*BinaryExpr) expr()   {}
@@ -98,6 +103,7 @@ func (*CaseExpr) expr()     {}
 func (*FuncExpr) expr()     {}
 func (*CastExpr) expr()     {}
 func (*SubqueryExpr) expr() {}
+func (*ParamExpr) expr()    {}
 
 // ---------------------------------------------------------------------------
 // SELECT
@@ -522,6 +528,9 @@ func writeExpr(sb *strings.Builder, e Expr) {
 		sb.WriteByte(')')
 	case *SubqueryExpr:
 		sb.WriteString("(<subquery>)")
+	case *ParamExpr:
+		sb.WriteByte('$')
+		sb.WriteString(strconv.Itoa(x.Index))
 	default:
 		sb.WriteString("<expr>")
 	}

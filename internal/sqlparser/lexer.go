@@ -22,6 +22,7 @@ const (
 	TokNumber
 	TokString // 'single quoted'
 	TokOp     // operators and punctuation
+	TokParam  // $1, $2, ... positional statement parameter (Text = digits)
 )
 
 // Token is a lexical token with its source position (for error messages).
@@ -148,6 +149,16 @@ func (l *Lexer) Next() (Token, error) {
 			break
 		}
 		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		// Positional parameter ($1, $2, ...), bound per execution by
+		// prepared statements. A bare '$' stays an error (it only appears
+		// mid-identifier otherwise, handled by isIdentPart).
+		l.pos++
+		numStart := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokParam, Text: l.src[numStart:l.pos], Pos: start}, nil
 	default:
 		// multi-char operators first
 		for _, op := range []string{"<>", "!=", "<=", ">=", "||", "::"} {

@@ -1332,6 +1332,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case TokString:
 		p.pos++
 		return &Literal{Value: sqltypes.NewString(t.Text)}, nil
+	case TokParam:
+		p.pos++
+		idx, err := strconv.Atoi(t.Text)
+		if err != nil || idx < 1 {
+			return nil, p.errorf("bad parameter $%s (parameters are $1, $2, ...)", t.Text)
+		}
+		return &ParamExpr{Index: idx}, nil
 	case TokOp:
 		if t.Text == "(" {
 			p.pos++

@@ -1,0 +1,370 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"openivm/internal/sqltypes"
+)
+
+// Client is a connection to a wire server. Dial speaks protocol v2
+// (framed, streamed results); DialV1 speaks the legacy JSON protocol.
+// A Client is safe for concurrent use, but a streaming Query pins the
+// connection until its Rows is drained or closed.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	v1   bool
+
+	// v1 codec.
+	enc *json.Encoder
+	dec *json.Decoder
+
+	// v2 codec.
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte
+}
+
+// Dial connects to a wire server with protocol v2.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte(magicV2)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}, nil
+}
+
+// DialV1 connects with the legacy newline-delimited JSON protocol.
+func DialV1(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, v1: true, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// sendRequest frames and flushes one request (v2, mu held).
+func (c *Client) sendRequest(req *Request) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(c.bw, frameRequest, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// readResponse reads one non-streaming response (v2, mu held).
+func (c *Client) readResponse() (*Response, error) {
+	typ, payload, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = payload
+	if typ != frameResponse {
+		return nil, fmt.Errorf("wire: unexpected frame 0x%02x, want response", typ)
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp *Response
+	var err error
+	if c.v1 {
+		if err = c.enc.Encode(req); err != nil {
+			return nil, err
+		}
+		resp = &Response{}
+		err = c.dec.Decode(resp)
+	} else {
+		if err = c.sendRequest(req); err != nil {
+			return nil, err
+		}
+		resp, err = c.readResponse()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: "ping"})
+	return err
+}
+
+// Exec runs a SQL script remotely on this connection's session and
+// materializes the whole result client-side. Over v2 the transfer still
+// streams; use Query to consume batches incrementally instead.
+func (c *Client) Exec(sql string) (*Response, error) {
+	if c.v1 {
+		return c.roundTrip(&Request{Op: "exec", SQL: sql})
+	}
+	return c.collect(&Request{Op: "exec", SQL: sql})
+}
+
+// Query runs a SQL script remotely and returns its result as a stream of
+// row batches. The connection is pinned to this query until the Rows is
+// drained or closed. Over a v1 connection the result is materialized and
+// served as a single batch.
+func (c *Client) Query(sql string) (*Rows, error) {
+	return c.startStream(&Request{Op: "exec", SQL: sql})
+}
+
+// Prepare parses and marks a script server-side under name: its SELECT
+// plans enter the server's prepared-plan cache, and later ExecPrepared
+// calls skip parsing entirely. Names are connection-scoped. Statements
+// may reference $1..$N, bound per execution.
+func (c *Client) Prepare(name, sql string) error {
+	_, err := c.roundTrip(&Request{Op: "prepare", Name: name, SQL: sql})
+	return err
+}
+
+// Deallocate drops a prepared statement.
+func (c *Client) Deallocate(name string) error {
+	_, err := c.roundTrip(&Request{Op: "deallocate", Name: name})
+	return err
+}
+
+// QueryPrepared executes a prepared statement with params bound to
+// $1..$N, streaming the result.
+func (c *Client) QueryPrepared(name string, params ...sqltypes.Value) (*Rows, error) {
+	return c.startStream(&Request{Op: "execPrepared", Name: name, Params: params})
+}
+
+// ExecPrepared is QueryPrepared with the result materialized.
+func (c *Client) ExecPrepared(name string, params ...sqltypes.Value) (*Response, error) {
+	return c.collect(&Request{Op: "execPrepared", Name: name, Params: params})
+}
+
+// Token fetches this connection's session token — the capability a
+// second connection needs to cancel this one's in-flight statement.
+func (c *Client) Token() (string, error) {
+	resp, err := c.roundTrip(&Request{Op: "token"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Token, nil
+}
+
+// Cancel interrupts the statement currently executing in the session
+// identified by token (obtained via Token on that session's own
+// connection). The target session survives and serves its next request.
+func (c *Client) Cancel(token string) error {
+	_, err := c.roundTrip(&Request{Op: "cancel", Token: token})
+	return err
+}
+
+// Schema fetches a remote table's columns.
+func (c *Client) Schema(table string) ([]ColumnDesc, error) {
+	resp, err := c.roundTrip(&Request{Op: "schema", Table: table})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Schema, nil
+}
+
+// Tables lists remote tables.
+func (c *Client) Tables() ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: "tables"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// collect drains a streamed exec into a materialized Response.
+func (c *Client) collect(req *Request) (*Response, error) {
+	rows, err := c.startStream(req)
+	if err != nil {
+		return nil, err
+	}
+	out := &Response{Columns: rows.Columns}
+	for {
+		batch, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		out.Rows = append(out.Rows, batch...)
+	}
+	out.RowsAffected = rows.RowsAffected()
+	return out, nil
+}
+
+// startStream sends a streaming exec and positions the client at the
+// first result frame. On the v2 path the client mutex stays held until
+// the stream finishes (trailer read, read error, or Close).
+func (c *Client) startStream(req *Request) (*Rows, error) {
+	if c.v1 {
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{Columns: resp.Columns, v1rows: resp.Rows, rowsAffected: resp.RowsAffected}, nil
+	}
+	c.mu.Lock()
+	if err := c.sendRequest(req); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	typ, payload, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.rbuf = payload
+	switch typ {
+	case frameResponse:
+		var resp Response
+		jerr := json.Unmarshal(payload, &resp)
+		c.mu.Unlock()
+		if jerr != nil {
+			return nil, jerr
+		}
+		if resp.Error != "" {
+			return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
+		}
+		return nil, fmt.Errorf("wire: server answered a stream request without a stream")
+	case frameSchema:
+		var sf schemaFrame
+		if jerr := json.Unmarshal(payload, &sf); jerr != nil {
+			c.mu.Unlock()
+			return nil, jerr
+		}
+		return &Rows{c: c, Columns: sf.Columns}, nil
+	default:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: unexpected frame 0x%02x, want schema", typ)
+	}
+}
+
+// Rows is a streamed query result, consumed batch by batch. It pins its
+// client connection until drained or closed.
+type Rows struct {
+	// Columns names the result columns.
+	Columns []string
+
+	c            *Client            // nil for a materialized (v1) result
+	v1rows       [][]sqltypes.Value // materialized payload
+	served       bool
+	done         bool
+	err          error
+	rowsAffected int
+}
+
+// Next returns the next batch of rows, or nil at end of stream. A remote
+// execution error (including a governor kill or cancellation) surfaces
+// here, after any rows that were already streamed.
+func (r *Rows) Next() ([][]sqltypes.Value, error) {
+	if r.done {
+		return nil, r.err
+	}
+	if r.c == nil {
+		if r.served || len(r.v1rows) == 0 {
+			r.finish(nil)
+			return nil, nil
+		}
+		r.served = true
+		return r.v1rows, nil
+	}
+	typ, payload, err := readFrame(r.c.br, r.c.rbuf)
+	if err != nil {
+		r.finish(err)
+		return nil, err
+	}
+	r.c.rbuf = payload
+	switch typ {
+	case frameRows:
+		batch, derr := decodeRowBatch(payload)
+		if derr != nil {
+			r.finish(derr)
+			return nil, derr
+		}
+		return batch, nil
+	case frameTrailer:
+		var tf trailerFrame
+		if jerr := json.Unmarshal(payload, &tf); jerr != nil {
+			r.finish(jerr)
+			return nil, jerr
+		}
+		r.rowsAffected = tf.RowsAffected
+		var terr error
+		if tf.Error != "" {
+			terr = fmt.Errorf("wire: remote error: %s", tf.Error)
+		}
+		r.finish(terr)
+		return nil, terr
+	default:
+		ferr := fmt.Errorf("wire: unexpected frame 0x%02x in stream", typ)
+		r.finish(ferr)
+		return nil, ferr
+	}
+}
+
+// finish ends the stream and releases the pinned connection.
+func (r *Rows) finish(err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.err = err
+	if r.c != nil {
+		r.c.mu.Unlock()
+	}
+}
+
+// RowsAffected returns the DML row count from the trailer (0 for
+// streamed SELECTs). Valid after the stream ends.
+func (r *Rows) RowsAffected() int { return r.rowsAffected }
+
+// Err returns the error the stream ended with, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close drains any remaining frames so the connection is usable for the
+// next request, then returns the stream's final error.
+func (r *Rows) Close() error {
+	for !r.done {
+		if _, err := r.Next(); err != nil {
+			return err
+		}
+	}
+	return r.err
+}

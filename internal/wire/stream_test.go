@@ -1,0 +1,504 @@
+package wire
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"openivm/internal/engine"
+	"openivm/internal/sqltypes"
+)
+
+// loadBig fills table big with n rows (id INTEGER, pad TEXT) where pad is
+// padBytes of filler — enough volume to keep a stream from fitting into
+// the socket and bufio buffers between server and client.
+func loadBig(t testing.TB, db *engine.DB, n, padBytes int) {
+	t.Helper()
+	if _, err := db.Exec("CREATE TABLE big (id INTEGER, pad TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", padBytes)
+	const chunk = 2000
+	var sb strings.Builder
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sb.Reset()
+		sb.WriteString("INSERT INTO big VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, '%s')", i, pad)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func startServerOpts(t *testing.T, tune func(*Server)) (*Server, string) {
+	t.Helper()
+	db := engine.Open("srv", engine.DialectDuckDB)
+	srv := NewServer(db)
+	if tune != nil {
+		tune(srv)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+// TestFrameRowBatchRoundtrip pins the binary value encoding.
+func TestFrameRowBatchRoundtrip(t *testing.T) {
+	in := []sqltypes.Row{
+		{sqltypes.NewInt(0), sqltypes.NewInt(-1), sqltypes.NewInt(1 << 40)},
+		{sqltypes.NewFloat(1.5), sqltypes.NewFloat(-0.0), sqltypes.Null},
+		{sqltypes.NewBool(true), sqltypes.NewBool(false), sqltypes.NewString("")},
+		{sqltypes.NewString("héllo, wörld"), sqltypes.NewString(strings.Repeat("y", 300))},
+	}
+	payload := appendRowBatch(nil, in)
+	out, err := decodeRowBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows = %d, want %d", len(out), len(in))
+	}
+	for i, r := range in {
+		if len(out[i]) != len(r) {
+			t.Fatalf("row %d: cols = %d, want %d", i, len(out[i]), len(r))
+		}
+		for j, v := range r {
+			if got := out[i][j]; got.T != v.T || got.I != v.I || got.F != v.F || got.B != v.B || got.S != v.S {
+				t.Fatalf("row %d col %d: %v != %v", i, j, got, v)
+			}
+		}
+	}
+	if _, err := decodeRowBatch(payload[:len(payload)-3]); err == nil {
+		t.Fatal("truncated batch decoded without error")
+	}
+}
+
+// TestStreamedQuery consumes a large result batch by batch and checks
+// that the server actually framed it as multiple row batches.
+func TestStreamedQuery(t *testing.T) {
+	srv, addr := startServerOpts(t, nil)
+	loadBig(t, srv.DB, 5000, 10)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rows, err := cl.Query("SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 2 || rows.Columns[0] != "id" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+	total, batches := 0, 0
+	for {
+		batch, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		batches++
+		total += len(batch)
+	}
+	if total != 5000 {
+		t.Fatalf("streamed %d rows, want 5000", total)
+	}
+	if batches < 2 {
+		t.Fatalf("result arrived in %d batch(es); streaming should chunk it", batches)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StreamedRows < 5000 || st.StreamedBatches < int64(batches) {
+		t.Fatalf("streaming counters missing: %+v", st)
+	}
+}
+
+// TestV1Compat: a legacy JSON client against the same port still gets
+// materialized responses, and errors still arrive as one JSON object.
+func TestV1Compat(t *testing.T) {
+	_, addr := startServerOpts(t, nil)
+	cl, err := DialV1(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2); SELECT a FROM t ORDER BY a"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Exec("SELECT a FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 || resp.Rows[1][0].I != 2 {
+		t.Fatalf("rows = %v", resp.Rows)
+	}
+	if _, err := cl.Exec("SELECT nope FROM t"); err == nil {
+		t.Fatal("v1 error must surface")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxConnsRejectV1: the over-limit answer for a legacy client is a
+// JSON object, not a v2 frame (the old bug wrote JSON to everyone).
+func TestMaxConnsRejectV1(t *testing.T) {
+	_, addr := startServerOpts(t, func(s *Server) { s.MaxConns = 1 })
+	keep, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keep.Close()
+	if err := keep.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	over, err := DialV1(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	if err := over.Ping(); err == nil || !strings.Contains(err.Error(), "connection limit") {
+		t.Fatalf("v1 over-limit ping error = %v, want connection limit", err)
+	}
+}
+
+// TestWirePreparedStatements: prepare once, execute many times with
+// different $1 bindings, deallocate.
+func TestWirePreparedStatements(t *testing.T) {
+	srv, addr := startServerOpts(t, nil)
+	if _, err := srv.DB.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.DB.Exec("INSERT INTO t VALUES (1), (2), (3), (4)"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Prepare("above", "SELECT a FROM t WHERE a > $1 ORDER BY a"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.ExecPrepared("above", sqltypes.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 || resp.Rows[0][0].I != 3 {
+		t.Fatalf("$1=2 rows = %v", resp.Rows)
+	}
+	resp, err = cl.ExecPrepared("above", sqltypes.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 4 {
+		t.Fatalf("$1=0 rows = %v", resp.Rows)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PreparedMarked < 1 {
+		t.Fatalf("prepared statement not marked for the plan cache: %+v", st)
+	}
+	if err := cl.Deallocate("above"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ExecPrepared("above", sqltypes.NewInt(2)); err == nil {
+		t.Fatal("deallocated statement still executable")
+	}
+	if _, err := cl.ExecPrepared("never"); err == nil {
+		t.Fatal("unknown prepared statement must error")
+	}
+}
+
+// drainUntilError reads a stream to its end and returns the terminal
+// error (nil if the stream completed cleanly).
+func drainUntilError(t *testing.T, rows *Rows) error {
+	t.Helper()
+	for {
+		batch, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return nil
+		}
+	}
+}
+
+// TestCancelRace: while connection A streams a big result, connection B
+// cancels A's statement by token. A's stream ends in a cancellation
+// error — and A's session survives to serve the next query. The cancel
+// lands deterministically: A holds after the first batch, so the server
+// is parked mid-stream (the result far exceeds the transport buffers)
+// and must observe the cancelled context before the trailer.
+func TestCancelRace(t *testing.T) {
+	srv, addr := startServerOpts(t, nil)
+	loadBig(t, srv.DB, 20000, 512)
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	token, err := a.Token()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := a.Query("SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cancel(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := drainUntilError(t, rows); err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("cancelled stream ended with %v, want a cancellation error", err)
+	}
+	// The session must survive a statement interrupt.
+	resp, err := a.Exec("SELECT COUNT(id) FROM big")
+	if err != nil {
+		t.Fatalf("session did not survive cancel: %v", err)
+	}
+	if resp.Rows[0][0].I != 20000 {
+		t.Fatalf("post-cancel count = %v", resp.Rows)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cancels != 1 {
+		t.Fatalf("cancels = %d, want 1", st.Cancels)
+	}
+	if err := b.Cancel("no-such-token"); err == nil {
+		t.Fatal("cancel with a bogus token must error")
+	}
+}
+
+// TestQueryTimeoutKill: a statement that outlives QueryTimeout is killed
+// mid-stream; the kill is classified in stats and the session survives.
+// Deterministic like TestCancelRace: the client parks the stream past
+// the deadline before draining.
+func TestQueryTimeoutKill(t *testing.T) {
+	// The budget must outlast first-batch latency even under -race, yet
+	// expire while the client parks the stream below.
+	srv, addr := startServerOpts(t, func(s *Server) { s.QueryTimeout = 400 * time.Millisecond })
+	loadBig(t, srv.DB, 20000, 512)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rows, err := cl.Query("SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if err := drainUntilError(t, rows); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("overtime stream ended with %v, want deadline exceeded", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TimeoutKills != 1 {
+		t.Fatalf("timeoutKills = %d, want 1", st.TimeoutKills)
+	}
+	// Fast statements still fit inside the budget.
+	if _, err := cl.Exec("SELECT COUNT(id) FROM big"); err != nil {
+		t.Fatalf("session did not survive timeout kill: %v", err)
+	}
+}
+
+// TestGovernorBudgets: per-query row and byte budgets kill a runaway
+// result mid-stream; the session survives and the kill is counted.
+func TestGovernorBudgets(t *testing.T) {
+	srv, addr := startServerOpts(t, func(s *Server) { s.MaxRowsPerQuery = 1500 })
+	loadBig(t, srv.DB, 5000, 10)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec("SELECT id FROM big"); err == nil || !strings.Contains(err.Error(), "row budget") {
+		t.Fatalf("over-budget query returned %v, want row-budget kill", err)
+	}
+	// Under budget passes untouched.
+	resp, err := cl.Exec("SELECT id FROM big WHERE id < 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1000 {
+		t.Fatalf("under-budget rows = %d", len(resp.Rows))
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GovernorKills != 1 {
+		t.Fatalf("governorKills = %d, want 1", st.GovernorKills)
+	}
+
+	// Byte budget, separately tuned server.
+	srv2, addr2 := startServerOpts(t, func(s *Server) { s.MaxBytesPerQuery = 64 << 10 })
+	loadBig(t, srv2.DB, 5000, 128)
+	cl2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Exec("SELECT id, pad FROM big"); err == nil || !strings.Contains(err.Error(), "byte budget") {
+		t.Fatalf("over-byte-budget query returned %v, want byte-budget kill", err)
+	}
+}
+
+// TestDisconnectMidStreamNoLeak: a client that vanishes mid-stream must
+// not strand server goroutines — the write path fails, the serve
+// goroutine tears down, the session closes and its workers stop.
+func TestDisconnectMidStreamNoLeak(t *testing.T) {
+	srv, addr := startServerOpts(t, nil)
+	loadBig(t, srv.DB, 20000, 512)
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 4; i++ {
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := cl.Query("SELECT id, pad FROM big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rows.Next(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Close() // vanish with the stream parked mid-flight
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: server leaked after mid-stream disconnects",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSlowReaderBackpressure pins the bounded-buffering property: when
+// the client stops reading, the server stops producing — the streamed
+// counters freeze well short of the full result instead of the server
+// buffering it all. Draining releases the pipeline and the full result
+// arrives intact.
+func TestSlowReaderBackpressure(t *testing.T) {
+	const nrows = 20000
+	srv, addr := startServerOpts(t, nil)
+	loadBig(t, srv.DB, nrows, 512) // ~10 MB result, far past any buffer
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mon, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	rows, err := cl.Query("SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the server run into the full transport buffers, then sample.
+	time.Sleep(150 * time.Millisecond)
+	st1, err := mon.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	st2, err := mon.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.StreamedRows != st1.StreamedRows {
+		t.Fatalf("server kept streaming into a stalled reader: %d -> %d rows",
+			st1.StreamedRows, st2.StreamedRows)
+	}
+	if st1.StreamedRows >= nrows {
+		t.Fatalf("server buffered the whole %d-row result (%d streamed) with no reader",
+			nrows, st1.StreamedRows)
+	}
+	total := 0
+	for {
+		batch, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		total += len(batch)
+	}
+	if total != nrows {
+		t.Fatalf("drained %d rows, want %d", total, nrows)
+	}
+}
+
+// TestStreamErrorBeforeRows: an exec that fails at plan time arrives as
+// a plain error with no stream, and the connection stays usable.
+func TestStreamErrorBeforeRows(t *testing.T) {
+	_, addr := startServerOpts(t, nil)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SELECT x FROM missing"); err == nil {
+		t.Fatal("plan-time error must surface from Query")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

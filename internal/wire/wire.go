@@ -1,7 +1,18 @@
 // Package wire implements a minimal SQL-over-TCP protocol — the stand-in
 // for the PostgreSQL client protocol / DuckDB postgres_scanner bridge in
 // the paper's Figure 3, grown into a multi-client server front end.
-// Requests and responses are newline-delimited JSON.
+//
+// Two protocol generations share one port. A legacy v1 client speaks
+// newline-delimited JSON: one Request object in, one materialized
+// Response object out. A v2 client opens with the 4-byte magic "OWP2"
+// and speaks length-prefixed frames (see frame.go): requests and
+// non-streaming responses stay JSON payloads, but an exec result streams
+// back as a schema frame, binary row-batch frames and a trailer — the
+// server pulls one batch from the live operator tree, writes and flushes
+// it, then pulls the next, so the result is never materialized and a
+// slow reader parks the whole pipeline (backpressure down to the
+// parallel scan's bounded channels). The server detects the generation
+// by peeking the first byte: '{' is a v1 JSON request.
 //
 // Every accepted connection gets its own engine.Session, so N clients run
 // interleaved DML, transactions and queries concurrently against one
@@ -13,34 +24,55 @@
 // engine's Close/cancellation protocol) and any open transaction rolls
 // back.
 //
-// Supported operations:
+// Supported operations (v2 adds the last five):
 //
-//	{"op":"exec","sql":"..."}     -> run a statement/script, return rows
+//	{"op":"exec","sql":"..."}     -> run a statement/script, stream rows
 //	{"op":"schema","table":"t"}   -> column names and types of a table
 //	{"op":"tables"}               -> list table names
 //	{"op":"ping"}                 -> liveness check
-//	{"op":"stats"}                -> server counters (conns, plan cache)
+//	{"op":"stats"}                -> server counters (conns, plan cache,
+//	                                 governor kills, streamed batches)
+//	{"op":"token"}                -> this session's cancellation token
+//	{"op":"cancel","token":"..."} -> interrupt that session's statement
+//	{"op":"prepare","name":"p","sql":"..."}          -> parse + mark once
+//	{"op":"execPrepared","name":"p","params":[...]}  -> bind + stream
+//	{"op":"deallocate","name":"p"}                   -> drop prepared
 //
-// Admission discipline: MaxConns bounds concurrent connections; beyond
-// it, a connection is answered with one error response and closed rather
-// than left to queue invisibly.
+// Cancellation is out of band: a session's token (crypto-random, only
+// disclosed over its own connection) lets a second connection interrupt
+// the statement in flight; the target session survives and serves its
+// next request. Admission discipline: MaxConns bounds concurrent
+// connections — beyond it, a connection is answered with one error in
+// its own protocol and closed rather than left to queue invisibly — and
+// the per-query governor (MaxRowsPerQuery, MaxBytesPerQuery,
+// QueryTimeout) kills runaway statements mid-stream, surfacing each kill
+// in the stats op.
 package wire
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"openivm/internal/engine"
+	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
 )
 
 // Request is one client->server message.
 type Request struct {
-	Op    string `json:"op"`
-	SQL   string `json:"sql,omitempty"`
-	Table string `json:"table,omitempty"`
+	Op     string           `json:"op"`
+	SQL    string           `json:"sql,omitempty"`
+	Table  string           `json:"table,omitempty"`
+	Name   string           `json:"name,omitempty"`   // prepared-statement name
+	Params []sqltypes.Value `json:"params,omitempty"` // execPrepared bindings ($1 = Params[0])
+	Token  string           `json:"token,omitempty"`  // cancel target
 }
 
 // ColumnDesc describes one column in a schema response.
@@ -59,6 +91,13 @@ type Stats struct {
 	PlanCacheHits  int64 `json:"planCacheHits"`
 	PlanCacheMiss  int64 `json:"planCacheMiss"`
 	PreparedMarked int   `json:"preparedMarked"`
+
+	// Governor and streaming counters (v2).
+	GovernorKills   int64 `json:"governorKills"`   // row/byte budget kills
+	TimeoutKills    int64 `json:"timeoutKills"`    // QueryTimeout kills
+	Cancels         int64 `json:"cancels"`         // honored cancel ops
+	StreamedBatches int64 `json:"streamedBatches"` // row-batch frames written
+	StreamedRows    int64 `json:"streamedRows"`    // rows inside those frames
 }
 
 // Response is one server->client message.
@@ -70,7 +109,10 @@ type Response struct {
 	Schema       []ColumnDesc       `json:"schema,omitempty"`
 	Tables       []string           `json:"tables,omitempty"`
 	Stats        *Stats             `json:"stats,omitempty"`
+	Token        string             `json:"token,omitempty"`
 }
+
+const errConnLimit = "wire: server connection limit reached"
 
 // Server serves an engine instance over TCP, one session per connection.
 type Server struct {
@@ -80,6 +122,15 @@ type Server struct {
 	// Listen.
 	MaxConns int
 
+	// Per-query admission governor (0 = unlimited). MaxRowsPerQuery and
+	// MaxBytesPerQuery bound one statement's streamed result; QueryTimeout
+	// bounds its wall clock. A breached budget kills the statement via the
+	// engine's cancellation protocol — the session survives. Set before
+	// Listen.
+	MaxRowsPerQuery  int64
+	MaxBytesPerQuery int64
+	QueryTimeout     time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]*engine.Session
@@ -87,6 +138,12 @@ type Server struct {
 
 	totalConns    int64
 	rejectedConns int64
+
+	governorKills   atomic.Int64
+	timeoutKills    atomic.Int64
+	cancels         atomic.Int64
+	streamedBatches atomic.Int64
+	streamedRows    atomic.Int64
 }
 
 // NewServer wraps db.
@@ -123,10 +180,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
 			s.rejectedConns++
 			s.mu.Unlock()
-			// Reject loudly: one error response, then close. A silently
-			// dropped connection looks like a network fault to the client.
-			json.NewEncoder(conn).Encode(&Response{Error: "wire: server connection limit reached"})
-			conn.Close()
+			// Reject loudly: one error response in the client's own
+			// protocol, then close. A silently dropped connection looks
+			// like a network fault to the client. Runs aside so a client
+			// that never speaks cannot stall the accept loop.
+			go rejectConn(conn)
 			continue
 		}
 		sess := s.DB.NewSession()
@@ -135,6 +193,26 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Unlock()
 		go s.serveConn(conn, sess)
 	}
+}
+
+// rejectConn answers an over-limit connection with one error message in
+// whatever protocol the client speaks, then closes it.
+func rejectConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	br := bufio.NewReaderSize(conn, 64)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // never spoke; nothing to answer in
+	}
+	if first[0] == '{' {
+		json.NewEncoder(conn).Encode(&Response{Error: errConnLimit})
+		return
+	}
+	// v2: the magic is on the wire; answer with a proper error frame.
+	io.CopyN(io.Discard, br, int64(len(magicV2)))
+	payload, _ := json.Marshal(&Response{Error: errConnLimit})
+	writeFrame(conn, frameResponse, payload)
 }
 
 func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
@@ -147,7 +225,29 @@ func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
 		sess.Close()
 		conn.Close()
 	}()
-	dec := json.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == '{' {
+		s.serveV1(conn, br, sess)
+		return
+	}
+	var magic [len(magicV2)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != magicV2 {
+		payload, _ := json.Marshal(&Response{Error: "wire: bad protocol magic"})
+		writeFrame(conn, frameResponse, payload)
+		return
+	}
+	s.serveV2(conn, br, sess)
+}
+
+// serveV1 is the legacy loop: newline-delimited JSON, materialized
+// responses. Statements still run under StartStatement, so the governor
+// timeout and out-of-band cancel reach v1 clients too.
+func (s *Server) serveV1(conn net.Conn, br *bufio.Reader, sess *engine.Session) {
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
 	for {
 		var req Request
@@ -161,15 +261,20 @@ func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
 	}
 }
 
+// handle serves the materialized (v1-compatible) operations.
 func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	switch req.Op {
 	case "ping":
 		return &Response{}
 	case "exec":
-		res, err := sess.ExecScript(req.SQL)
+		ctx, finish := sess.StartStatement(s.QueryTimeout)
+		res, err := sess.ExecScriptContext(ctx, req.SQL)
 		if err != nil {
+			s.classifyKill(ctx)
+			finish()
 			return &Response{Error: err.Error()}
 		}
+		finish()
 		out := &Response{RowsAffected: res.RowsAffected, Columns: res.Columns}
 		for _, r := range res.Rows {
 			out.Rows = append(out.Rows, r)
@@ -188,21 +293,220 @@ func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	case "tables":
 		return &Response{Tables: s.DB.Catalog().TableNames()}
 	case "stats":
-		cs := s.DB.StmtCacheStats()
-		s.mu.Lock()
-		st := &Stats{
-			ActiveConns:    len(s.conns),
-			TotalConns:     s.totalConns,
-			RejectedConns:  s.rejectedConns,
-			PlanCacheSize:  cs.Entries,
-			PlanCacheHits:  cs.Hits,
-			PlanCacheMiss:  cs.Misses,
-			PreparedMarked: s.DB.PreparedCount(),
+		return &Response{Stats: s.snapshotStats()}
+	case "token":
+		return &Response{Token: sess.Token()}
+	case "cancel":
+		target, ok := s.DB.SessionByToken(req.Token)
+		if !ok {
+			return &Response{Error: "wire: no session with that token"}
 		}
-		s.mu.Unlock()
-		return &Response{Stats: st}
+		target.Interrupt()
+		s.cancels.Add(1)
+		return &Response{}
 	}
 	return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
+}
+
+func (s *Server) snapshotStats() *Stats {
+	cs := s.DB.StmtCacheStats()
+	s.mu.Lock()
+	st := &Stats{
+		ActiveConns:    len(s.conns),
+		TotalConns:     s.totalConns,
+		RejectedConns:  s.rejectedConns,
+		PlanCacheSize:  cs.Entries,
+		PlanCacheHits:  cs.Hits,
+		PlanCacheMiss:  cs.Misses,
+		PreparedMarked: s.DB.PreparedCount(),
+	}
+	s.mu.Unlock()
+	st.GovernorKills = s.governorKills.Load()
+	st.TimeoutKills = s.timeoutKills.Load()
+	st.Cancels = s.cancels.Load()
+	st.StreamedBatches = s.streamedBatches.Load()
+	st.StreamedRows = s.streamedRows.Load()
+	return st
+}
+
+// classifyKill records why a statement context died, if it did.
+func (s *Server) classifyKill(ctx context.Context) {
+	if ctx.Err() == context.DeadlineExceeded {
+		s.timeoutKills.Add(1)
+	}
+}
+
+// v2conn is the per-connection state of a framed-protocol session.
+type v2conn struct {
+	srv      *Server
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	sess     *engine.Session
+	prepared map[string][]sqlparser.Statement
+	rbuf     []byte // frame read buffer, reused across requests
+	wbuf     []byte // row-batch encode buffer, reused across batches
+}
+
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, sess *engine.Session) {
+	c := &v2conn{
+		srv:  s,
+		conn: conn,
+		br:   br,
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+		sess: sess,
+	}
+	defer func() {
+		// Connection-scoped prepared statements die with the connection;
+		// unmark them so the prepared-plan cache does not pin their plans.
+		for _, stmts := range c.prepared {
+			s.DB.Unprepare(stmts)
+		}
+	}()
+	for {
+		typ, payload, err := readFrame(c.br, c.rbuf)
+		if err != nil {
+			return
+		}
+		c.rbuf = payload
+		if typ != frameRequest {
+			c.writeResponse(&Response{Error: fmt.Sprintf("wire: unexpected frame 0x%02x, want request", typ)})
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			if c.writeResponse(&Response{Error: "wire: malformed request: " + err.Error()}) != nil {
+				return
+			}
+			continue
+		}
+		if err := c.dispatch(&req); err != nil {
+			return // connection-level failure (peer gone)
+		}
+	}
+}
+
+func (c *v2conn) writeResponse(resp *Response) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(c.bw, frameResponse, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *v2conn) dispatch(req *Request) error {
+	switch req.Op {
+	case "exec", "execPrepared":
+		return c.streamExec(req)
+	case "prepare":
+		stmts, err := c.sess.PrepareScript(req.SQL)
+		if err != nil {
+			return c.writeResponse(&Response{Error: err.Error()})
+		}
+		if c.prepared == nil {
+			c.prepared = map[string][]sqlparser.Statement{}
+		}
+		if old, ok := c.prepared[req.Name]; ok {
+			c.srv.DB.Unprepare(old)
+		}
+		c.prepared[req.Name] = stmts
+		return c.writeResponse(&Response{})
+	case "deallocate":
+		stmts, ok := c.prepared[req.Name]
+		if !ok {
+			return c.writeResponse(&Response{Error: fmt.Sprintf("wire: unknown prepared statement %q", req.Name)})
+		}
+		c.srv.DB.Unprepare(stmts)
+		delete(c.prepared, req.Name)
+		return c.writeResponse(&Response{})
+	default:
+		return c.writeResponse(c.srv.handle(c.sess, req))
+	}
+}
+
+// streamExec runs one statement with a streamed result: schema frame,
+// row-batch frames (each flushed before the next batch is pulled from
+// the engine — the write path is the backpressure), then a trailer. An
+// error before any frame goes out is a plain error response; an error
+// after streaming began rides in the trailer.
+func (c *v2conn) streamExec(req *Request) error {
+	s := c.srv
+	ctx, finish := c.sess.StartStatement(s.QueryTimeout)
+	defer finish()
+
+	var st *engine.Stream
+	var err error
+	if req.Op == "execPrepared" {
+		stmts, ok := c.prepared[req.Name]
+		if !ok {
+			return c.writeResponse(&Response{Error: fmt.Sprintf("wire: unknown prepared statement %q", req.Name)})
+		}
+		c.sess.BindParams(req.Params)
+		st, err = c.sess.ExecPreparedStream(ctx, stmts)
+	} else {
+		st, err = c.sess.ExecStream(ctx, req.SQL)
+	}
+	if err != nil {
+		s.classifyKill(ctx)
+		return c.writeResponse(&Response{Error: err.Error()})
+	}
+	defer st.Close()
+
+	payload, merr := json.Marshal(&schemaFrame{Columns: st.Columns})
+	if merr != nil {
+		return merr
+	}
+	if err := writeFrame(c.bw, frameSchema, payload); err != nil {
+		return err
+	}
+
+	var tr trailerFrame
+	var sentBytes int64
+	for {
+		batch, berr := st.Next()
+		if berr != nil {
+			s.classifyKill(ctx)
+			tr.Error = berr.Error()
+			break
+		}
+		if batch == nil {
+			break
+		}
+		enc := appendRowBatch(c.wbuf[:0], batch)
+		c.wbuf = enc[:0]
+		if s.MaxRowsPerQuery > 0 && int64(tr.Rows+len(batch)) > s.MaxRowsPerQuery {
+			s.governorKills.Add(1)
+			tr.Error = fmt.Sprintf("wire: query killed by admission governor: row budget %d exceeded", s.MaxRowsPerQuery)
+			break
+		}
+		sentBytes += int64(len(enc))
+		if s.MaxBytesPerQuery > 0 && sentBytes > s.MaxBytesPerQuery {
+			s.governorKills.Add(1)
+			tr.Error = fmt.Sprintf("wire: query killed by admission governor: byte budget %d exceeded", s.MaxBytesPerQuery)
+			break
+		}
+		if err := writeFrame(c.bw, frameRows, enc); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		tr.Rows += len(batch)
+		s.streamedBatches.Add(1)
+		s.streamedRows.Add(int64(len(batch)))
+	}
+	tr.RowsAffected = st.RowsAffected()
+	payload, merr = json.Marshal(&tr)
+	if merr != nil {
+		return merr
+	}
+	if err := writeFrame(c.bw, frameTrailer, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // Close stops the server and closes open connections (each connection's
@@ -220,78 +524,4 @@ func (s *Server) Close() {
 		sess.Cancel()
 		c.Close()
 	}
-}
-
-// Client is a connection to a wire server.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
-}
-
-// Dial connects to a wire server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
-	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
-	}
-	return &resp, nil
-}
-
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(&Request{Op: "ping"})
-	return err
-}
-
-// Exec runs a SQL script remotely on this connection's session.
-func (c *Client) Exec(sql string) (*Response, error) {
-	return c.roundTrip(&Request{Op: "exec", SQL: sql})
-}
-
-// Schema fetches a remote table's columns.
-func (c *Client) Schema(table string) ([]ColumnDesc, error) {
-	resp, err := c.roundTrip(&Request{Op: "schema", Table: table})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Schema, nil
-}
-
-// Tables lists remote tables.
-func (c *Client) Tables() ([]string, error) {
-	resp, err := c.roundTrip(&Request{Op: "tables"})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Tables, nil
-}
-
-// Stats fetches the server's counter snapshot.
-func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.roundTrip(&Request{Op: "stats"})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Stats, nil
 }
