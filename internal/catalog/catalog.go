@@ -2,6 +2,15 @@
 // engines: table definitions, row storage, secondary indexes, plain views
 // and the IVM metadata the paper stores alongside materialized views
 // (query plan, SQL string, query type).
+//
+// Row storage is multi-versioned: every row slot carries begin/end stamps
+// (see internal/mvcc) so concurrent transactions read consistent snapshots
+// while writers append new versions instead of mutating shared state.
+// Version chains are linked newest-to-oldest through per-slot prev
+// pointers; the primary-key index always maps a key to its newest slot.
+// Legacy (nil-transaction) writes stamp themselves with the latest
+// committed timestamp, making them immediately visible everywhere — the
+// pre-MVCC semantics the IVM delta-capture path relies on.
 package catalog
 
 import (
@@ -11,6 +20,7 @@ import (
 	"sync"
 
 	"openivm/internal/index/art"
+	"openivm/internal/mvcc"
 	"openivm/internal/sqltypes"
 )
 
@@ -23,18 +33,39 @@ type Column struct {
 	HasDef  bool
 }
 
-// Table is an in-memory heap table with optional primary key (backed by an
-// ART index) and secondary ART indexes. All methods are goroutine-safe for
-// a single writer / many readers.
+// verMeta is the version metadata for one row slot: begin/end stamps (see
+// mvcc for the stamp encoding) and the slot of the previous version of the
+// same primary key (-1 when none). Stamps are only read or written under
+// the table mutex; the write lock is required to change them.
+type verMeta struct {
+	begin uint64
+	end   uint64 // 0 = live (not deleted)
+	prev  int32
+}
+
+// Table is an in-memory multi-versioned heap table with optional primary
+// key (backed by an ART index) and secondary ART indexes. All methods are
+// goroutine-safe; writers serialize on the table lock while readers run
+// concurrently under the shared lock.
 type Table struct {
 	Name    string
 	Columns []Column
 
 	mu   sync.RWMutex
-	rows []sqltypes.Row // nil slots are deleted rows (tombstones)
-	live int            // number of non-tombstone rows
+	rows []sqltypes.Row // nil slots are reclaimed/aborted versions
+	vers []verMeta      // parallel to rows
+	live int            // live-version count (includes uncommitted inserts)
 
-	// Primary key: column positions and index mapping encoded key -> row slot.
+	// pinned counts in-flight transactions holding write-log references to
+	// slots of this table. While nonzero, GC must not compact (renumber
+	// slots) and TRUNCATE must not physically reset the arrays.
+	pinned int
+
+	// mv is the catalog-wide transaction manager; set at CreateTable.
+	mv *mvcc.Manager
+
+	// Primary key: column positions and index mapping encoded key -> slot
+	// of the newest version for that key.
 	pkCols  []int
 	pkIndex *art.Tree
 
@@ -49,13 +80,15 @@ type Table struct {
 }
 
 // Index is a secondary index over one or more columns, backed by an ART.
-// Non-unique indexes store a set of row slots per key.
+// Non-unique indexes store a set of row slots per key. Index entries are
+// not removed on delete — versions stay indexed until GC reclaims them —
+// so lookups filter by snapshot visibility.
 type Index struct {
 	Name    string
 	Table   string
 	Columns []int // column positions
 	Unique  bool
-	tree    *art.Tree // key -> []int (row slots) or int for unique
+	tree    *art.Tree // key -> []int (row slots)
 }
 
 // View is a non-materialized view: a stored SELECT.
@@ -87,15 +120,40 @@ type Catalog struct {
 	tables map[string]*Table
 	views  map[string]*View
 	ivm    map[string]*IVMMetadata
+
+	mv *mvcc.Manager
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog with a fresh transaction manager wired to
+// sweep the catalog's tables.
 func New() *Catalog {
-	return &Catalog{
+	c := &Catalog{
 		tables: make(map[string]*Table),
 		views:  make(map[string]*View),
 		ivm:    make(map[string]*IVMMetadata),
+		mv:     mvcc.NewManager(),
 	}
+	c.mv.SetSweeper(c.sweep)
+	return c
+}
+
+// MVCC returns the catalog's transaction manager.
+func (c *Catalog) MVCC() *mvcc.Manager { return c.mv }
+
+// sweep is the storage half of GC: reclaim versions dead at or before the
+// watermark in every table. Installed as the manager's sweeper.
+func (c *Catalog) sweep(watermark uint64) int {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	n := 0
+	for _, t := range tables {
+		n += t.gc(watermark)
+	}
+	return n
 }
 
 func norm(name string) string { return strings.ToLower(name) }
@@ -114,7 +172,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, pk []string, ifNotExis
 	if _, ok := c.views[key]; ok {
 		return nil, fmt.Errorf("catalog: %q already exists as a view", name)
 	}
-	t := &Table{Name: name, Columns: cols, indexes: make(map[string]*Index)}
+	t := &Table{Name: name, Columns: cols, indexes: make(map[string]*Index), mv: c.mv}
 	seen := map[string]bool{}
 	for _, col := range cols {
 		lc := norm(col.Name)
@@ -307,7 +365,9 @@ func (t *Table) HasPrimaryKey() bool { return len(t.pkCols) > 0 }
 // PrimaryKeyColumns returns the PK column positions.
 func (t *Table) PrimaryKeyColumns() []int { return t.pkCols }
 
-// RowCount returns the number of live rows.
+// RowCount returns the number of live row versions. Under concurrent
+// transactions this counts uncommitted inserts and excludes uncommitted
+// deletes — an estimate, which is all its callers (planning, stats) need.
 func (t *Table) RowCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -355,33 +415,128 @@ func (t *Table) validate(row sqltypes.Row) (sqltypes.Row, error) {
 	return out, nil
 }
 
+// readSnapLocked resolves the snapshot a write path validates against:
+// the transaction's snapshot, or latest-committed for legacy writes.
+func (t *Table) readSnapLocked(tx *mvcc.Txn) mvcc.Snapshot {
+	if tx != nil {
+		return tx.Snapshot()
+	}
+	return t.mv.Current()
+}
+
+// beginStamp is the begin stamp a new version gets: the writer's tagged
+// txn id, or — for legacy writes — the latest committed timestamp, which
+// makes the version immediately visible to every current snapshot.
+func (t *Table) beginStamp(tx *mvcc.Txn) uint64 {
+	if tx != nil {
+		return tx.StampID()
+	}
+	return t.mv.LatestTS()
+}
+
+// logLocked records a write-log entry and pins the table on the
+// transaction's first op against it.
+func (t *Table) logLocked(tx *mvcc.Txn, op mvcc.Op) {
+	if tx == nil {
+		return
+	}
+	if tx.Log(t, op) {
+		t.pinned++
+	}
+}
+
+// dupVisibleLocked walks the version chain rooted at slot and reports
+// whether any version is visible to sn — the duplicate-key test.
+func (t *Table) dupVisibleLocked(sn mvcc.Snapshot, slot int32) bool {
+	for s := slot; s >= 0; s = t.vers[s].prev {
+		if t.rows[s] != nil && sn.Visible(t.vers[s].begin, t.vers[s].end) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendVersionLocked appends a new version of r begin-stamped by tx with
+// the given chain predecessor, updates the pk mapping (key may be nil when
+// the table has no primary key) and secondary indexes, and logs the op.
+func (t *Table) appendVersionLocked(tx *mvcc.Txn, r sqltypes.Row, key []byte, prev int32) int {
+	slot := len(t.rows)
+	t.rows = append(t.rows, r)
+	t.vers = append(t.vers, verMeta{begin: t.beginStamp(tx), prev: prev})
+	if t.pkIndex != nil {
+		t.pkIndex.Put(key, slot)
+	}
+	t.insertIndexedLocked(r, slot)
+	t.live++
+	t.logLocked(tx, mvcc.Op{Kind: mvcc.OpInsert, Slot: int32(slot), Prev: prev})
+	return slot
+}
+
+// insertOneLocked inserts a validated row as a new version, enforcing
+// primary-key uniqueness against the caller's snapshot and detecting
+// write-write conflicts with concurrent transactions.
+func (t *Table) insertOneLocked(tx *mvcc.Txn, r sqltypes.Row) error {
+	prev := int32(-1)
+	var key []byte
+	if t.pkIndex != nil {
+		key = t.pkKey(r)
+		if v, ok := t.pkIndex.Get(key); ok {
+			slot := int32(v.(int))
+			sn := t.readSnapLocked(tx)
+			if t.dupVisibleLocked(sn, slot) {
+				return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+			}
+			if t.rows[slot] != nil {
+				vm := t.vers[slot]
+				if vm.end == 0 {
+					// Live but invisible: a concurrent uncommitted insert
+					// holds this key.
+					if tx == nil {
+						return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+					}
+					tx.Doom()
+					return fmt.Errorf("%w: primary key inserted by concurrent transaction on table %s", mvcc.ErrSerialization, t.Name)
+				}
+				if tx != nil {
+					if err := t.mv.CheckWritable(tx, vm.end); err != nil {
+						tx.Doom()
+						return err
+					}
+				}
+			}
+			prev = slot
+		}
+	}
+	t.appendVersionLocked(tx, r, key, prev)
+	return nil
+}
+
 // Insert appends a row. With a primary key, a duplicate key is an error.
-func (t *Table) Insert(row sqltypes.Row) error {
+func (t *Table) Insert(row sqltypes.Row) error { return t.InsertTxn(nil, row) }
+
+// InsertTxn is Insert within a transaction: the new version stays invisible
+// to other snapshots until tx commits.
+func (t *Table) InsertTxn(tx *mvcc.Txn, row sqltypes.Row) error {
 	r, err := t.validate(row)
 	if err != nil {
 		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.pkIndex != nil {
-		key := t.pkKey(r)
-		if _, ok := t.pkIndex.Get(key); ok {
-			return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
-		}
-		t.pkIndex.Put(key, len(t.rows))
-	}
-	t.insertIndexedLocked(r, len(t.rows))
-	t.rows = append(t.rows, r)
-	t.live++
-	return nil
+	return t.insertOneLocked(tx, r)
 }
 
 // InsertBatch appends rows under a single lock acquisition — the batched
 // DML path. Semantics match calling Insert per row: on the first failing
 // row it stops and returns the error, leaving earlier rows inserted. The
-// returned count says how many rows landed, so callers can undo-log the
-// prefix even on failure.
+// returned count says how many rows landed, so callers can compensate for
+// the prefix even on failure.
 func (t *Table) InsertBatch(rows []sqltypes.Row) (int, error) {
+	return t.InsertBatchTxn(nil, rows)
+}
+
+// InsertBatchTxn is InsertBatch within a transaction.
+func (t *Table) InsertBatchTxn(tx *mvcc.Txn, rows []sqltypes.Row) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i, row := range rows {
@@ -389,16 +544,9 @@ func (t *Table) InsertBatch(rows []sqltypes.Row) (int, error) {
 		if err != nil {
 			return i, err
 		}
-		if t.pkIndex != nil {
-			key := t.pkKey(r)
-			if _, ok := t.pkIndex.Get(key); ok {
-				return i, fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
-			}
-			t.pkIndex.Put(key, len(t.rows))
+		if err := t.insertOneLocked(tx, r); err != nil {
+			return i, err
 		}
-		t.insertIndexedLocked(r, len(t.rows))
-		t.rows = append(t.rows, r)
-		t.live++
 	}
 	return len(rows), nil
 }
@@ -412,8 +560,13 @@ func (t *Table) InsertBatch(rows []sqltypes.Row) (int, error) {
 // bitmap. Semantics match InsertBatch row for row: the first failing row
 // stops the insert, earlier rows stay, and the returned count says how
 // many landed. The built rows are returned (durable slab rows) so callers
-// can fire triggers and undo-log the inserted prefix without rebuilding.
+// can fire triggers and compensate the inserted prefix without rebuilding.
 func (t *Table) InsertVecs(cols []*sqltypes.Vector, n int) ([]sqltypes.Row, int, error) {
+	return t.InsertVecsTxn(nil, cols, n)
+}
+
+// InsertVecsTxn is InsertVecs within a transaction.
+func (t *Table) InsertVecsTxn(tx *mvcc.Txn, cols []*sqltypes.Vector, n int) ([]sqltypes.Row, int, error) {
 	if len(cols) != len(t.Columns) {
 		return nil, 0, fmt.Errorf("table %s: batch has %d columns, want %d", t.Name, len(cols), len(t.Columns))
 	}
@@ -464,17 +617,9 @@ func (t *Table) InsertVecs(cols []*sqltypes.Vector, n int) ([]sqltypes.Row, int,
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i := 0; i < n; i++ {
-		r := rows[i]
-		if t.pkIndex != nil {
-			key := t.pkKey(r)
-			if _, ok := t.pkIndex.Get(key); ok {
-				return rows[:i], i, fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
-			}
-			t.pkIndex.Put(key, len(t.rows))
+		if err := t.insertOneLocked(tx, rows[i]); err != nil {
+			return rows[:i], i, err
 		}
-		t.insertIndexedLocked(r, len(t.rows))
-		t.rows = append(t.rows, r)
-		t.live++
 	}
 	if badErr != nil {
 		return rows[:n], n, badErr
@@ -484,7 +629,12 @@ func (t *Table) InsertVecs(cols []*sqltypes.Vector, n int) ([]sqltypes.Row, int,
 
 // Upsert inserts, or replaces the existing row with the same primary key
 // (DuckDB INSERT OR REPLACE). The table must have a primary key.
-func (t *Table) Upsert(row sqltypes.Row) error {
+func (t *Table) Upsert(row sqltypes.Row) error { return t.UpsertTxn(nil, row) }
+
+// UpsertTxn is Upsert within a transaction: the replaced version is
+// end-stamped and a new version appended, so concurrent snapshots keep
+// seeing the old row until commit.
+func (t *Table) UpsertTxn(tx *mvcc.Txn, row sqltypes.Row) error {
 	r, err := t.validate(row)
 	if err != nil {
 		return err
@@ -494,25 +644,18 @@ func (t *Table) Upsert(row sqltypes.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	key := t.pkKey(r)
-	if slot, ok := t.pkIndex.Get(key); ok {
-		old := t.rows[slot.(int)]
-		t.removeIndexedLocked(old, slot.(int))
-		t.rows[slot.(int)] = r
-		t.insertIndexedLocked(r, slot.(int))
-		return nil
-	}
-	t.pkIndex.Put(key, len(t.rows))
-	t.insertIndexedLocked(r, len(t.rows))
-	t.rows = append(t.rows, r)
-	t.live++
-	return nil
+	return t.upsertLocked(tx, r, nil)
 }
 
 // UpsertMerge inserts or, on conflict, replaces only the given column
 // positions with values computed by merge(old, new) — used by the
 // PostgreSQL-dialect ON CONFLICT DO UPDATE path.
 func (t *Table) UpsertMerge(row sqltypes.Row, merge func(old, new sqltypes.Row) (sqltypes.Row, error)) error {
+	return t.UpsertMergeTxn(nil, row, merge)
+}
+
+// UpsertMergeTxn is UpsertMerge within a transaction.
+func (t *Table) UpsertMergeTxn(tx *mvcc.Txn, row sqltypes.Row, merge func(old, new sqltypes.Row) (sqltypes.Row, error)) error {
 	r, err := t.validate(row)
 	if err != nil {
 		return err
@@ -522,72 +665,252 @@ func (t *Table) UpsertMerge(row sqltypes.Row, merge func(old, new sqltypes.Row) 
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.upsertLocked(tx, r, merge)
+}
+
+// UpsertBatchTxn applies INSERT OR REPLACE to a batch of rows under one
+// lock acquisition — the IVM combine step's hot path. Per-row semantics
+// match UpsertTxn, with one addition: when tx is an autocommit statement
+// transaction and the sole observer (no other transaction, no registered
+// snapshot — the same quiescence test TruncateQuiescent uses), replaced
+// rows are updated in place and fresh keys are appended already stamped
+// committed, instead of version-churning every group on every refresh.
+// The batch stays atomic for later-arriving readers because the table
+// lock is held throughout, and the displaced rows ride the write log
+// (OpReplace) so the rare doom-abort — only reachable through the
+// fallback path below — still reverts cleanly. The sub-statement window
+// in which a snapshot taken mid-batch observes the statement's
+// uncommitted (but commit-bound) writes is the one TruncateQuiescent
+// already accepts. Returns the inserted rows and the replaced old/new
+// pairs for trigger delivery; on error the applied prefix stays, like
+// InsertBatch.
+func (t *Table) UpsertBatchTxn(tx *mvcc.Txn, rows []sqltypes.Row) (inserted, replacedOld, replacedNew []sqltypes.Row, err error) {
+	if t.pkIndex == nil {
+		return nil, nil, nil, fmt.Errorf("table %s: INSERT OR REPLACE requires a primary key or unique index", t.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	quiescent := tx != nil && tx.AutoCommit() && !tx.Doomed() && t.mv.OnlyActive(tx)
+	for _, row := range rows {
+		r, verr := t.validate(row)
+		if verr != nil {
+			return inserted, replacedOld, replacedNew, verr
+		}
+		if quiescent {
+			key := t.pkKey(r)
+			v, ok := t.pkIndex.Get(key)
+			if !ok {
+				// Fresh key: append stamped committed at tx's read
+				// timestamp (not LatestTS, so the row stays visible to
+				// tx's own snapshot even if unrelated commits land
+				// mid-batch), logged so an abort still removes it.
+				slot := len(t.rows)
+				t.rows = append(t.rows, r)
+				t.vers = append(t.vers, verMeta{begin: tx.ReadTS, prev: -1})
+				t.pkIndex.Put(key, slot)
+				t.insertIndexedLocked(r, slot)
+				t.live++
+				t.logLocked(tx, mvcc.Op{Kind: mvcc.OpInsert, Slot: int32(slot), Prev: -1})
+				inserted = append(inserted, r)
+				continue
+			}
+			newest := int32(v.(int))
+			vm := t.vers[newest]
+			if old := t.rows[newest]; old != nil && vm.begin&mvcc.TxnBit == 0 && vm.begin <= tx.ReadTS && vm.end == 0 {
+				t.removeIndexedLocked(old, int(newest))
+				t.rows[newest] = r
+				t.insertIndexedLocked(r, int(newest))
+				t.logLocked(tx, mvcc.Op{Kind: mvcc.OpReplace, Slot: newest, Old: old})
+				replacedOld = append(replacedOld, old)
+				replacedNew = append(replacedNew, r)
+				continue
+			}
+		}
+		// Non-quiescent, or an odd chain state (a key claimed by a
+		// version committed after tx's snapshot, uncommitted stamps):
+		// the general versioned path, which detects conflicts and dooms
+		// tx as usual.
+		old, existed := t.lookupPKLocked(t.readSnapLocked(tx), t.pkKey(r))
+		if uerr := t.upsertLocked(tx, r, nil); uerr != nil {
+			return inserted, replacedOld, replacedNew, uerr
+		}
+		if existed {
+			replacedOld = append(replacedOld, old)
+			replacedNew = append(replacedNew, r)
+		} else {
+			inserted = append(inserted, r)
+		}
+	}
+	return inserted, replacedOld, replacedNew, nil
+}
+
+// upsertLocked implements both upsert flavors: replace (merge == nil) or
+// merge-on-conflict. The caller validated r and holds the write lock.
+func (t *Table) upsertLocked(tx *mvcc.Txn, r sqltypes.Row, merge func(old, new sqltypes.Row) (sqltypes.Row, error)) error {
 	key := t.pkKey(r)
-	if slot, ok := t.pkIndex.Get(key); ok {
-		old := t.rows[slot.(int)]
+	v, ok := t.pkIndex.Get(key)
+	if !ok {
+		t.appendVersionLocked(tx, r, key, -1)
+		return nil
+	}
+	newest := int32(v.(int))
+	sn := t.readSnapLocked(tx)
+
+	// Find the version visible to this snapshot, if any.
+	vis := int32(-1)
+	for s := newest; s >= 0; s = t.vers[s].prev {
+		if t.rows[s] != nil && sn.Visible(t.vers[s].begin, t.vers[s].end) {
+			vis = s
+			break
+		}
+	}
+
+	if vis < 0 {
+		// No visible version: behaves as an insert, but the key may be
+		// claimed by a concurrent writer.
+		if t.rows[newest] != nil {
+			vm := t.vers[newest]
+			if vm.end == 0 {
+				if tx != nil {
+					tx.Doom()
+				}
+				return fmt.Errorf("%w: primary key inserted by concurrent transaction on table %s", mvcc.ErrSerialization, t.Name)
+			}
+			if tx != nil {
+				if err := t.mv.CheckWritable(tx, vm.end); err != nil {
+					tx.Doom()
+					return err
+				}
+			}
+		}
+		t.appendVersionLocked(tx, r, key, newest)
+		return nil
+	}
+
+	old := t.rows[vis]
+	nr := r
+	if merge != nil {
 		merged, err := merge(old, r)
 		if err != nil {
 			return err
 		}
-		merged2, err := t.validate(merged)
-		if err != nil {
+		if nr, err = t.validate(merged); err != nil {
 			return err
 		}
-		t.removeIndexedLocked(old, slot.(int))
-		t.rows[slot.(int)] = merged2
-		t.insertIndexedLocked(merged2, slot.(int))
+	}
+
+	if tx == nil {
+		// Legacy instant write. When the visible version is a committed
+		// live row we replace it in place — the pre-MVCC fast path the IVM
+		// combine step depends on (no version churn in upsert loops).
+		vm := t.vers[vis]
+		if vis == newest && vm.begin&mvcc.TxnBit == 0 && vm.end == 0 {
+			t.removeIndexedLocked(old, int(vis))
+			t.rows[vis] = nr
+			t.insertIndexedLocked(nr, int(vis))
+			return nil
+		}
+		// Visible through an uncommitted delete, or shadowed: append.
+		t.vers[vis].end = t.mv.LatestTS()
+		t.live--
+		t.mv.NoteDead(1)
+		t.appendVersionLocked(nil, nr, key, newest)
 		return nil
 	}
-	t.pkIndex.Put(key, len(t.rows))
-	t.insertIndexedLocked(r, len(t.rows))
-	t.rows = append(t.rows, r)
-	t.live++
+
+	if err := t.mv.CheckWritable(tx, t.vers[vis].end); err != nil {
+		tx.Doom()
+		return err
+	}
+	if t.vers[vis].end == 0 {
+		t.vers[vis].end = tx.StampID()
+		t.live--
+		t.logLocked(tx, mvcc.Op{Kind: mvcc.OpDelete, Slot: vis})
+	}
+	t.appendVersionLocked(tx, nr, key, newest)
 	return nil
 }
 
 // Delete removes all rows matching pred, returning them.
 func (t *Table) Delete(pred func(sqltypes.Row) (bool, error)) ([]sqltypes.Row, error) {
+	return t.DeleteTxn(nil, pred)
+}
+
+// DeleteTxn is Delete within a transaction; a nil pred matches every row
+// (the unfiltered DELETE FROM path). Deleted versions are end-stamped, not
+// removed: concurrent snapshots keep seeing them, and GC reclaims them
+// once no snapshot can.
+func (t *Table) DeleteTxn(tx *mvcc.Txn, pred func(sqltypes.Row) (bool, error)) ([]sqltypes.Row, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sn := t.readSnapLocked(tx)
 	var deleted []sqltypes.Row
-	for i, r := range t.rows {
+	dead := 0
+	for i := 0; i < len(t.rows); i++ {
+		r := t.rows[i]
 		if r == nil {
 			continue
 		}
-		ok, err := pred(r)
-		if err != nil {
-			return deleted, err
-		}
-		if !ok {
+		vm := t.vers[i]
+		if !sn.Visible(vm.begin, vm.end) {
 			continue
 		}
-		if t.pkIndex != nil {
-			t.pkIndex.Delete(t.pkKey(r))
+		if pred != nil {
+			ok, err := pred(r)
+			if err != nil {
+				t.mv.NoteDead(dead)
+				return deleted, err
+			}
+			if !ok {
+				continue
+			}
 		}
-		t.removeIndexedLocked(r, i)
+		if tx != nil {
+			if err := t.mv.CheckWritable(tx, vm.end); err != nil {
+				tx.Doom()
+				t.mv.NoteDead(dead)
+				return deleted, err
+			}
+			if t.vers[i].end == 0 {
+				t.vers[i].end = tx.StampID()
+				t.logLocked(tx, mvcc.Op{Kind: mvcc.OpDelete, Slot: int32(i)})
+			}
+		} else {
+			if vm.end != 0 {
+				// Visible only through another transaction's uncommitted
+				// delete; clobbering its stamp would resurrect the row if
+				// it aborts. Leave it to that transaction.
+				continue
+			}
+			t.vers[i].end = t.mv.LatestTS()
+			dead++
+		}
 		deleted = append(deleted, r)
-		t.rows[i] = nil
 		t.live--
 	}
+	t.mv.NoteDead(dead)
 	return deleted, nil
 }
 
 // DeleteOne removes at most one row equal to the given row (used by Z-set
 // semantics: one deletion cancels one multiplicity unit, so duplicates
-// delete one copy at a time). Returns true if a row was removed.
+// delete one copy at a time). Returns true if a row was removed. Legacy
+// instant write: the deletion is immediately visible everywhere.
 func (t *Table) DeleteOne(row sqltypes.Row) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sn := t.mv.Current()
 	for i, r := range t.rows {
 		if r == nil || !r.Equal(row) {
 			continue
 		}
-		if t.pkIndex != nil {
-			t.pkIndex.Delete(t.pkKey(r))
+		vm := t.vers[i]
+		if !sn.Visible(vm.begin, vm.end) || vm.end != 0 {
+			continue
 		}
-		t.removeIndexedLocked(r, i)
-		t.rows[i] = nil
+		t.vers[i].end = t.mv.LatestTS()
 		t.live--
+		t.mv.NoteDead(1)
 		return true
 	}
 	return false
@@ -595,10 +918,26 @@ func (t *Table) DeleteOne(row sqltypes.Row) bool {
 
 // Update applies set to all rows matching pred, returning (old, new) pairs.
 func (t *Table) Update(pred func(sqltypes.Row) (bool, error), set func(sqltypes.Row) (sqltypes.Row, error)) (old, new []sqltypes.Row, err error) {
+	return t.UpdateTxn(nil, pred, set)
+}
+
+// UpdateTxn is Update within a transaction: each matching row's current
+// version is end-stamped and a new version appended, so the update is
+// invisible to other snapshots until commit. Legacy (nil-transaction)
+// updates mutate committed rows in place, preserving the pre-MVCC
+// zero-allocation behavior.
+func (t *Table) UpdateTxn(tx *mvcc.Txn, pred func(sqltypes.Row) (bool, error), set func(sqltypes.Row) (sqltypes.Row, error)) (old, new []sqltypes.Row, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, r := range t.rows {
+	sn := t.readSnapLocked(tx)
+	n0 := len(t.rows) // fixed bound: versions appended below must not be revisited
+	for i := 0; i < n0; i++ {
+		r := t.rows[i]
 		if r == nil {
+			continue
+		}
+		vm := t.vers[i]
+		if !sn.Visible(vm.begin, vm.end) {
 			continue
 		}
 		ok, perr := pred(r)
@@ -616,35 +955,140 @@ func (t *Table) Update(pred func(sqltypes.Row) (bool, error), set func(sqltypes.
 		if serr != nil {
 			return old, new, serr
 		}
-		if t.pkIndex != nil {
-			// pkKey reuses one scratch buffer; copy the old key before
-			// encoding the new one so the comparison sees both.
-			oldKey := append([]byte(nil), t.pkKey(r)...)
-			newKey := t.pkKey(nr)
-			if string(oldKey) != string(newKey) {
-				if _, exists := t.pkIndex.Get(newKey); exists {
-					return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+
+		if tx == nil {
+			if vm.end != 0 || vm.begin&mvcc.TxnBit != 0 {
+				// Row involved in an in-flight transaction; in-place
+				// mutation would corrupt its view. Skip (legacy writes
+				// never raced real transactions before MVCC either).
+				continue
+			}
+			if t.pkIndex != nil {
+				// pkKey reuses one scratch buffer; copy the old key before
+				// encoding the new one so the comparison sees both.
+				oldKey := append([]byte(nil), t.pkKey(r)...)
+				newKey := t.pkKey(nr)
+				if string(oldKey) != string(newKey) {
+					if slot, exists := t.pkIndex.Get(newKey); exists && t.dupVisibleLocked(sn, int32(slot.(int))) {
+						return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+					}
+					t.pkIndex.Delete(oldKey)
+					t.pkIndex.Put(newKey, i)
 				}
-				t.pkIndex.Delete(oldKey)
-				t.pkIndex.Put(newKey, i)
+			}
+			t.removeIndexedLocked(r, i)
+			t.rows[i] = nr
+			t.insertIndexedLocked(nr, i)
+			old = append(old, r)
+			new = append(new, nr)
+			continue
+		}
+
+		if cerr := t.mv.CheckWritable(tx, vm.end); cerr != nil {
+			tx.Doom()
+			return old, new, cerr
+		}
+
+		// Resolve the pk mapping for the new version before stamping.
+		var newKey []byte
+		prev := int32(i)
+		if t.pkIndex != nil {
+			oldKey := append([]byte(nil), t.pkKey(r)...)
+			newKey = t.pkKey(nr)
+			if string(oldKey) != string(newKey) {
+				if v, exists := t.pkIndex.Get(newKey); exists {
+					ns := int32(v.(int))
+					if t.dupVisibleLocked(sn, ns) {
+						return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+					}
+					if t.rows[ns] != nil {
+						nvm := t.vers[ns]
+						if nvm.end == 0 {
+							tx.Doom()
+							return old, new, fmt.Errorf("%w: primary key inserted by concurrent transaction on table %s", mvcc.ErrSerialization, t.Name)
+						}
+						if cerr := t.mv.CheckWritable(tx, nvm.end); cerr != nil {
+							tx.Doom()
+							return old, new, cerr
+						}
+					}
+					prev = ns
+				} else {
+					prev = -1
+				}
+				// The old key's mapping keeps pointing at the end-stamped
+				// version — correct for its chain; GC removes it when the
+				// version dies.
 			}
 		}
-		t.removeIndexedLocked(r, i)
-		t.rows[i] = nr
-		t.insertIndexedLocked(nr, i)
+
+		if t.vers[i].end == 0 {
+			t.vers[i].end = tx.StampID()
+			t.live--
+			t.logLocked(tx, mvcc.Op{Kind: mvcc.OpDelete, Slot: int32(i)})
+		}
+		t.appendVersionLocked(tx, nr, newKey, prev)
 		old = append(old, r)
 		new = append(new, nr)
 	}
 	return old, new, nil
 }
 
-// Truncate removes all rows. The backing array is released rather than
-// reused so snapshots handed out earlier never observe post-truncate
-// writes.
+// Truncate removes all rows. When no transaction or snapshot could observe
+// the difference, the backing arrays are released (physical reset);
+// otherwise every live version is end-stamped at the latest timestamp so
+// concurrent snapshots keep a consistent view.
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.pinned == 0 && t.mv.OnlyActive(nil) {
+		t.resetLocked()
+		return
+	}
+	end := t.mv.LatestTS()
+	dead := 0
+	for i := range t.vers {
+		if t.rows[i] != nil && t.vers[i].end == 0 && t.vers[i].begin&mvcc.TxnBit == 0 {
+			t.vers[i].end = end
+			t.live--
+			dead++
+		}
+	}
+	t.mv.NoteDead(dead)
+}
+
+// TruncateQuiescent is the O(1) physical-truncate fast path: it succeeds
+// only when tx (which may be nil) is the sole active transaction with no
+// ops on this table and no registered snapshots exist — i.e. nobody can
+// tell physical reset apart from stamping. Returns the rows it removed
+// (when wantRows), the live-row count, and whether the fast path
+// applied; on false the caller must fall back to DeleteTxn.
+func (t *Table) TruncateQuiescent(tx *mvcc.Txn, wantRows bool) ([]sqltypes.Row, int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pinned != 0 || !t.mv.OnlyActive(tx) {
+		return nil, 0, false
+	}
+	n := t.live
+	var rows []sqltypes.Row
+	if wantRows {
+		rows = make([]sqltypes.Row, 0, t.live)
+		for i, r := range t.rows {
+			if r != nil && t.vers[i].end == 0 {
+				rows = append(rows, r)
+			}
+		}
+	}
+	t.resetLocked()
+	return rows, n, true
+}
+
+// resetLocked releases the row arrays and rebuilds empty index trees. The
+// backing array is released rather than reused so row copies handed out
+// earlier never observe post-truncate writes.
+func (t *Table) resetLocked() {
 	t.rows = nil
+	t.vers = nil
 	t.live = 0
 	if t.pkIndex != nil {
 		t.pkIndex = art.New()
@@ -654,18 +1098,10 @@ func (t *Table) Truncate() {
 	}
 }
 
-// Scan calls fn for every live row. fn must not retain the row without
-// cloning. Returning an error stops the scan.
+// Scan calls fn for every row visible to the latest snapshot. fn must not
+// retain the row without cloning. Returning an error stops the scan.
 func (t *Table) Scan(fn func(sqltypes.Row) error) error {
-	t.mu.RLock()
-	// Copy the slice header so concurrent appends don't race; slots already
-	// present are immutable rows or tombstones.
-	rows := t.rows
-	t.mu.RUnlock()
-	for _, r := range rows {
-		if r == nil {
-			continue
-		}
+	for _, r := range t.Rows() {
 		if err := fn(r); err != nil {
 			return err
 		}
@@ -673,20 +1109,52 @@ func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 	return nil
 }
 
-// Rows returns a snapshot copy of all live rows.
+// Rows returns a copy of the rows visible to the latest snapshot.
 func (t *Table) Rows() []sqltypes.Row {
+	return t.RowsSnap(mvcc.Snapshot{})
+}
+
+// RowsSnap returns a copy of the rows visible to sn. The zero snapshot
+// means latest-committed (resolved under the lock).
+func (t *Table) RowsSnap(sn mvcc.Snapshot) []sqltypes.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if sn.M == nil {
+		sn = t.mv.Current()
+	}
 	out := make([]sqltypes.Row, 0, t.live)
-	for _, r := range t.rows {
-		if r != nil {
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		vm := t.vers[i]
+		// Fast path: committed at-or-before the snapshot and not deleted.
+		if vm.begin&mvcc.TxnBit == 0 && vm.begin <= sn.ReadTS && vm.end == 0 {
+			out = append(out, r)
+		} else if sn.Visible(vm.begin, vm.end) {
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
-// LookupPK returns the row with the given primary-key values, if present.
+// lookupPKLocked resolves a pk key to the version visible to sn, walking
+// the chain newest-to-oldest.
+func (t *Table) lookupPKLocked(sn mvcc.Snapshot, key []byte) (sqltypes.Row, bool) {
+	v, ok := t.pkIndex.Get(key)
+	if !ok {
+		return nil, false
+	}
+	for s := int32(v.(int)); s >= 0; s = t.vers[s].prev {
+		if r := t.rows[s]; r != nil && sn.Visible(t.vers[s].begin, t.vers[s].end) {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// LookupPK returns the row with the given primary-key values, if present
+// under the latest snapshot.
 func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	if t.pkIndex == nil {
 		return nil, false
@@ -696,11 +1164,7 @@ func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 	var buf [64]byte
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(buf[:0], vals...))
-	if !ok {
-		return nil, false
-	}
-	return t.rows[slot.(int)], true
+	return t.lookupPKLocked(t.mv.Current(), sqltypes.EncodeKey(buf[:0], vals...))
 }
 
 // LookupPKRow is LookupPK with the key values taken from a full-width
@@ -708,6 +1172,12 @@ func (t *Table) LookupPK(vals ...sqltypes.Value) (sqltypes.Row, bool) {
 // buffers keep the probe allocation-free (the INSERT OR REPLACE loop the
 // IVM combine step runs calls this once per source row).
 func (t *Table) LookupPKRow(row sqltypes.Row) (sqltypes.Row, bool) {
+	return t.LookupPKRowSnap(mvcc.Snapshot{}, row)
+}
+
+// LookupPKRowSnap is LookupPKRow against an explicit snapshot (the zero
+// snapshot means latest-committed).
+func (t *Table) LookupPKRowSnap(sn mvcc.Snapshot, row sqltypes.Row) (sqltypes.Row, bool) {
 	if t.pkIndex == nil {
 		return nil, false
 	}
@@ -722,11 +1192,226 @@ func (t *Table) LookupPKRow(row sqltypes.Row) (sqltypes.Row, bool) {
 	var buf [64]byte
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	slot, ok := t.pkIndex.Get(sqltypes.EncodeKey(buf[:0], vals...))
-	if !ok {
-		return nil, false
+	if sn.M == nil {
+		sn = t.mv.Current()
 	}
-	return t.rows[slot.(int)], true
+	return t.lookupPKLocked(sn, sqltypes.EncodeKey(buf[:0], vals...))
+}
+
+// ---------------------------------------------------------------------------
+// mvcc.Store: commit/abort application
+// ---------------------------------------------------------------------------
+
+// ApplyCommit restamps the transaction's ops with its commit timestamp.
+// Called by the transaction manager with the commit mutex held; takes the
+// table's write lock so no reader observes a half-restamped transaction on
+// this table.
+func (t *Table) ApplyCommit(ops []mvcc.Op, commitTS uint64) {
+	t.mu.Lock()
+	dead := 0
+	for _, op := range ops {
+		s := int(op.Slot)
+		if s < 0 || s >= len(t.vers) {
+			continue // defensive: compaction cannot run while pinned
+		}
+		switch op.Kind {
+		case mvcc.OpInsert:
+			if t.vers[s].begin&mvcc.TxnBit != 0 {
+				t.vers[s].begin = commitTS
+			}
+		case mvcc.OpDelete:
+			if t.vers[s].end&mvcc.TxnBit != 0 {
+				t.vers[s].end = commitTS
+				dead++
+			}
+		case mvcc.OpReplace:
+			// In-place replacement: the slot already carries the new
+			// value under its old committed begin stamp — nothing to
+			// restamp, no version died.
+		}
+	}
+	if t.pinned > 0 {
+		t.pinned--
+	}
+	t.mu.Unlock()
+	t.mv.NoteDead(dead)
+}
+
+// ApplyAbort reverts the transaction's ops in reverse order: inserted
+// versions are unlinked (pk mapping restored to the logged predecessor)
+// and delete stamps cleared.
+func (t *Table) ApplyAbort(ops []mvcc.Op) {
+	t.mu.Lock()
+	dead := 0
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		s := int(op.Slot)
+		if s < 0 || s >= len(t.vers) {
+			continue
+		}
+		switch op.Kind {
+		case mvcc.OpInsert:
+			r := t.rows[s]
+			if r == nil {
+				continue
+			}
+			if t.pkIndex != nil {
+				key := t.pkKey(r)
+				if v, ok := t.pkIndex.Get(key); ok && v.(int) == s {
+					if op.Prev >= 0 {
+						t.pkIndex.Put(key, int(op.Prev))
+					} else {
+						t.pkIndex.Delete(key)
+					}
+				}
+			}
+			t.removeIndexedLocked(r, s)
+			t.rows[s] = nil
+			t.live--
+			dead++
+		case mvcc.OpDelete:
+			if t.vers[s].end&mvcc.TxnBit != 0 {
+				t.vers[s].end = 0
+				t.live++
+			}
+		case mvcc.OpReplace:
+			// Restore the pre-replace value — unless a later transaction
+			// has since stamped the slot: it already read the replaced
+			// value, and rewriting the row underneath its chain would
+			// corrupt what it based its write on.
+			if op.Old != nil && t.vers[s].end == 0 {
+				if r := t.rows[s]; r != nil {
+					t.removeIndexedLocked(r, s)
+				}
+				t.rows[s] = op.Old
+				t.insertIndexedLocked(op.Old, s)
+			}
+		}
+	}
+	if t.pinned > 0 {
+		t.pinned--
+	}
+	t.mu.Unlock()
+	t.mv.NoteDead(dead)
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+// gc reclaims versions dead at or before the watermark. With no pinned
+// transactions it compacts the arrays (renumbering slots and rebuilding
+// indexes) so hot upsert/truncate churn cannot grow the slot array without
+// bound; otherwise it nils reclaimable slots in place.
+func (t *Table) gc(watermark uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pinned == 0 {
+		return t.compactLocked(watermark)
+	}
+	n := 0
+	for i := range t.vers {
+		r := t.rows[i]
+		if r == nil {
+			continue
+		}
+		e := t.vers[i].end
+		if e == 0 || e&mvcc.TxnBit != 0 || e > watermark {
+			continue
+		}
+		if t.pkIndex != nil {
+			key := t.pkKey(r)
+			if v, ok := t.pkIndex.Get(key); ok && v.(int) == i {
+				t.pkIndex.Delete(key)
+			}
+		}
+		t.removeIndexedLocked(r, i)
+		t.rows[i] = nil
+		n++
+	}
+	if n > 0 {
+		// Path-compress prev pointers through reclaimed (and aborted)
+		// slots so chain walks stay short.
+		for i := range t.vers {
+			p := t.vers[i].prev
+			for p >= 0 && t.rows[p] == nil {
+				p = t.vers[p].prev
+			}
+			t.vers[i].prev = p
+		}
+	}
+	return n
+}
+
+// compactLocked rebuilds the row/version arrays keeping only versions
+// still reachable by some snapshot, remapping slots and rebuilding all
+// indexes. Only legal with no pinned transactions (their write logs hold
+// slot numbers).
+func (t *Table) compactLocked(watermark uint64) int {
+	reclaimed, holes, keep := 0, 0, 0
+	newSlot := make([]int32, len(t.rows))
+	for i, r := range t.rows {
+		if r == nil {
+			newSlot[i] = -1
+			holes++
+			continue
+		}
+		e := t.vers[i].end
+		if e != 0 && e&mvcc.TxnBit == 0 && e <= watermark {
+			newSlot[i] = -1
+			reclaimed++
+			continue
+		}
+		newSlot[i] = int32(keep)
+		keep++
+	}
+	if reclaimed == 0 && holes == 0 {
+		return 0
+	}
+	rows := make([]sqltypes.Row, keep)
+	vers := make([]verMeta, keep)
+	for i, r := range t.rows {
+		ns := newSlot[i]
+		if ns < 0 {
+			continue
+		}
+		rows[ns] = r
+		vm := t.vers[i]
+		p := vm.prev
+		for p >= 0 && newSlot[p] < 0 {
+			p = t.vers[p].prev
+		}
+		if p >= 0 {
+			vm.prev = newSlot[p]
+		} else {
+			vm.prev = -1
+		}
+		vers[ns] = vm
+	}
+	if t.pkIndex != nil {
+		newPK := art.New()
+		for i, r := range t.rows {
+			if newSlot[i] < 0 {
+				continue
+			}
+			key := t.pkKey(r)
+			if v, ok := t.pkIndex.Get(key); ok && v.(int) == i {
+				newPK.Put(key, int(newSlot[i]))
+			}
+		}
+		t.pkIndex = newPK
+	}
+	t.rows = rows
+	t.vers = vers
+	for _, idx := range t.indexes {
+		idx.tree = art.New()
+	}
+	if len(t.indexes) > 0 {
+		for i, r := range rows {
+			t.insertIndexedLocked(r, i)
+		}
+	}
+	return reclaimed + holes
 }
 
 // ---------------------------------------------------------------------------
@@ -755,7 +1440,8 @@ func (t *Table) CreateIndex(name string, cols []string, unique bool, ifNotExists
 		idx.Columns = append(idx.Columns, pos)
 	}
 	// Chunked bulk build (paper: "more efficient to build small indexes for
-	// each chunk and merge them").
+	// each chunk and merge them"). Uniqueness is checked over live versions
+	// only; dead versions are indexed but never conflict.
 	const chunk = 2048
 	for lo := 0; lo < len(t.rows); lo += chunk {
 		hi := lo + chunk
@@ -765,7 +1451,7 @@ func (t *Table) CreateIndex(name string, cols []string, unique bool, ifNotExists
 		var pairs []art.KV
 		for slot := lo; slot < hi; slot++ {
 			r := t.rows[slot]
-			if r == nil {
+			if r == nil || t.vers[slot].end != 0 {
 				continue
 			}
 			pairs = append(pairs, art.KV{Key: idx.keyFor(r), Val: slot})
@@ -858,7 +1544,9 @@ func (t *Table) removeIndexedLocked(r sqltypes.Row, slot int) {
 	}
 }
 
-// LookupIndex returns the rows whose indexed columns equal vals.
+// LookupIndex returns the rows whose indexed columns equal vals, filtered
+// to the latest snapshot (index entries may reference dead versions until
+// GC removes them).
 func (t *Table) LookupIndex(idx *Index, vals ...sqltypes.Value) []sqltypes.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -866,10 +1554,14 @@ func (t *Table) LookupIndex(idx *Index, vals ...sqltypes.Value) []sqltypes.Row {
 	if !ok {
 		return nil
 	}
+	sn := t.mv.Current()
 	slots := v.([]int)
 	out := make([]sqltypes.Row, 0, len(slots))
 	for _, s := range slots {
-		if r := t.rows[s]; r != nil {
+		if s < 0 || s >= len(t.rows) {
+			continue
+		}
+		if r := t.rows[s]; r != nil && sn.Visible(t.vers[s].begin, t.vers[s].end) {
 			out = append(out, r)
 		}
 	}

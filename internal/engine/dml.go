@@ -8,6 +8,7 @@ import (
 	"openivm/internal/catalog"
 	"openivm/internal/exec"
 	"openivm/internal/expr"
+	"openivm/internal/mvcc"
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
@@ -92,92 +93,77 @@ func (s *Session) execInsert(ctx context.Context, st *sqlparser.InsertStmt) (*Re
 		return s.insertStream(ctx, n, tbl, st, colPos, identity, buildRow)
 	}
 
-	srcRows, err := exec.RunOpts(n, s.execOpts(ctx))
+	tx, done := s.beginWrite()
+	srcRows, err := exec.RunOpts(n, s.execOptsTxn(ctx, tx))
 	if err != nil {
-		return nil, err
+		return nil, done(err)
 	}
 	var inserted, replacedOld, replacedNew []sqltypes.Row
+	if st.OrReplace {
+		// One batched storage call: the whole REPLACE set lands under a
+		// single table-lock acquisition, which lets storage take its
+		// quiescent in-place path (no version churn in the IVM combine
+		// loop) while keeping the batch atomic for concurrent readers.
+		built := make([]sqltypes.Row, 0, len(srcRows))
+		for _, src := range srcRows {
+			row, err := buildRow(src)
+			if err != nil {
+				return nil, done(err)
+			}
+			built = append(built, row)
+		}
+		inserted, replacedOld, replacedNew, err = tbl.UpsertBatchTxn(tx, built)
+		if err != nil {
+			return nil, done(err)
+		}
+		if err := done(nil); err != nil {
+			return nil, err
+		}
+		if err := s.fireTxn(st.Table, TrigInsert, nil, inserted); err != nil {
+			return nil, err
+		}
+		if err := s.fireTxn(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: len(inserted) + len(replacedNew)}, nil
+	}
 	for _, src := range srcRows {
 		row, err := buildRow(src)
 		if err != nil {
-			return nil, err
+			return nil, done(err)
 		}
 		switch {
-		case st.OrReplace:
-			old, existed := lookupByPK(tbl, row)
-			if err := tbl.Upsert(row); err != nil {
-				return nil, err
-			}
-			if existed {
-				replacedOld = append(replacedOld, old)
-				replacedNew = append(replacedNew, row)
-				if s.txn != nil {
-					comp := s.undoFire(st.Table, TrigUpdate)
-					s.logUndo(func() error {
-						if err := tbl.Upsert(old); err != nil {
-							return err
-						}
-						return comp([]sqltypes.Row{row}, []sqltypes.Row{old})
-					})
-				}
-			} else {
-				inserted = append(inserted, row)
-				if s.txn != nil {
-					comp := s.undoFire(st.Table, TrigDelete)
-					s.logUndo(func() error {
-						if _, derr := tbl.Delete(matchPK(tbl, row)); derr != nil {
-							return derr
-						}
-						return comp([]sqltypes.Row{row}, nil)
-					})
-				}
-			}
 		case st.Conflict != nil:
-			old, existed := lookupByPK(tbl, row)
+			old, existed := lookupByPK(tbl, tx, row)
 			if existed && st.Conflict.DoNothing {
 				continue
 			}
 			if existed {
 				merged, err := s.applyConflictSet(tbl, st.Conflict, old, row)
 				if err != nil {
-					return nil, err
+					return nil, done(err)
 				}
-				if err := tbl.Upsert(merged); err != nil {
-					return nil, err
+				if err := tbl.UpsertTxn(tx, merged); err != nil {
+					return nil, done(err)
 				}
 				replacedOld = append(replacedOld, old)
 				replacedNew = append(replacedNew, merged)
-				if s.txn != nil {
-					comp := s.undoFire(st.Table, TrigUpdate)
-					s.logUndo(func() error {
-						if err := tbl.Upsert(old); err != nil {
-							return err
-						}
-						return comp([]sqltypes.Row{merged}, []sqltypes.Row{old})
-					})
-				}
 			} else {
-				if err := tbl.Insert(row); err != nil {
-					return nil, err
+				if err := tbl.InsertTxn(tx, row); err != nil {
+					return nil, done(err)
 				}
 				inserted = append(inserted, row)
-				if s.txn != nil {
-					comp := s.undoFire(st.Table, TrigDelete)
-					s.logUndo(func() error {
-						if _, derr := tbl.Delete(matchPK(tbl, row)); derr != nil {
-							return derr
-						}
-						return comp([]sqltypes.Row{row}, nil)
-					})
-				}
 			}
 		}
 	}
 
-	if err := s.fire(st.Table, TrigInsert, nil, inserted); err != nil {
+	if err := done(nil); err != nil {
 		return nil, err
 	}
-	if err := s.fire(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
+	if err := s.fireTxn(st.Table, TrigInsert, nil, inserted); err != nil {
+		return nil, err
+	}
+	if err := s.fireTxn(st.Table, TrigUpdate, replacedOld, replacedNew); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(inserted) + len(replacedNew)}, nil
@@ -188,14 +174,15 @@ func (s *Session) execInsert(ctx context.Context, st *sqlparser.InsertStmt) (*Re
 // through the vectorized InsertVecs path (typed column loops, hoisted
 // validation), anything else builds rows and uses InsertBatch. Error
 // semantics per batch match InsertBatch: the first failing row stops the
-// statement with every earlier row (including earlier batches) inserted
-// and undo-logged — identical to the historical all-rows-first path,
-// which also left the prefix in place on failure.
+// statement with every earlier row (including earlier batches) kept in
+// place — committed by the autocommit bracket, or carried by the open
+// transaction until COMMIT/ROLLBACK settles it.
 func (s *Session) insertStream(ctx context.Context, n plan.Node, tbl *catalog.Table, st *sqlparser.InsertStmt,
 	colPos []int, identity bool, buildRow func(sqltypes.Row) (sqltypes.Row, error)) (*Result, error) {
-	it, err := exec.OpenBatch(n, s.execOpts(ctx))
+	tx, done := s.beginWrite()
+	it, err := exec.OpenBatch(n, s.execOptsTxn(ctx, tx))
 	if err != nil {
-		return nil, err
+		return nil, done(err)
 	}
 	defer it.Close()
 	total := 0
@@ -204,7 +191,7 @@ func (s *Session) insertStream(ctx context.Context, n plan.Node, tbl *catalog.Ta
 	for {
 		b, err := it.NextBatch()
 		if err != nil {
-			return nil, err
+			return nil, done(err)
 		}
 		if b == nil {
 			break
@@ -213,77 +200,46 @@ func (s *Session) insertStream(ctx context.Context, n plan.Node, tbl *catalog.Ta
 		var landed int
 		var insErr error
 		if identity && b.Cols != nil && len(b.Cols) == len(colPos) {
-			rows, landed, insErr = tbl.InsertVecs(b.Cols, b.Len())
+			rows, landed, insErr = tbl.InsertVecsTxn(tx, b.Cols, b.Len())
 		} else if b.Cols != nil && len(b.Cols) != len(colPos) {
-			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(b.Cols), len(colPos))
+			return nil, done(fmt.Errorf("engine: INSERT has %d values for %d columns", len(b.Cols), len(colPos)))
 		} else {
 			src := b.RowView()
 			built := make([]sqltypes.Row, len(src))
 			for i, r := range src {
 				row, berr := buildRow(r)
 				if berr != nil {
-					return nil, berr
+					return nil, done(berr)
 				}
 				built[i] = row
 			}
-			landed, insErr = tbl.InsertBatch(built)
+			landed, insErr = tbl.InsertBatchTxn(tx, built)
 			rows = built
-		}
-		if s.txn != nil && landed > 0 {
-			// Undo-log the inserted prefix even when a later row failed, so
-			// ROLLBACK removes it (matching the old per-row Insert path).
-			prefix := rows[:landed]
-			// Compensating trigger, decided at DML time: IVM delta capture
-			// must observe the rollback iff it observed the insert.
-			comp := s.undoFire(st.Table, TrigDelete)
-			s.logUndo(func() error {
-				for _, r := range prefix {
-					if err := undoInsert(tbl, r); err != nil {
-						return err
-					}
-				}
-				return comp(prefix, nil)
-			})
-		}
-		if insErr != nil {
-			return nil, insErr
 		}
 		total += landed
 		if collect && landed > 0 {
 			all = append(all, rows[:landed]...)
 		}
+		if insErr != nil {
+			return nil, done(insErr)
+		}
 	}
-	if err := s.fire(st.Table, TrigInsert, nil, all); err != nil {
+	if err := done(nil); err != nil {
+		return nil, err
+	}
+	if err := s.fireTxn(st.Table, TrigInsert, nil, all); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: total}, nil
 }
 
-func undoInsert(tbl *catalog.Table, row sqltypes.Row) error {
-	if !tbl.DeleteOne(row) {
-		return fmt.Errorf("engine: rollback failed to remove inserted row")
-	}
-	return nil
-}
-
-// lookupByPK fetches the current row matching row's primary key.
-func lookupByPK(tbl *catalog.Table, row sqltypes.Row) (sqltypes.Row, bool) {
+// lookupByPK fetches the row matching row's primary key as seen by the
+// writing transaction's snapshot (own uncommitted writes included).
+func lookupByPK(tbl *catalog.Table, tx *mvcc.Txn, row sqltypes.Row) (sqltypes.Row, bool) {
 	if !tbl.HasPrimaryKey() {
 		return nil, false
 	}
-	return tbl.LookupPKRow(row)
-}
-
-func matchPK(tbl *catalog.Table, row sqltypes.Row) func(sqltypes.Row) (bool, error) {
-	pk := tbl.PrimaryKeyColumns()
-	return func(r sqltypes.Row) (bool, error) {
-		for _, p := range pk {
-			if !sqltypes.Equal(r[p], row[p]) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
+	return tbl.LookupPKRowSnap(tx.Snapshot(), row)
 }
 
 // applyConflictSet computes the merged row for ON CONFLICT DO UPDATE.
@@ -352,8 +308,9 @@ func (s *Session) execUpdate(ctx context.Context, st *sqlparser.UpdateStmt) (*Re
 		sets = append(sets, setOp{pos: p, e: e})
 	}
 
+	tx, done := s.beginWrite()
 	check := ctxChecker(ctx)
-	old, new_, err := tbl.Update(
+	old, new_, err := tbl.UpdateTxn(tx,
 		func(r sqltypes.Row) (bool, error) {
 			if err := check(); err != nil {
 				return false, err
@@ -379,28 +336,12 @@ func (s *Session) execUpdate(ctx context.Context, st *sqlparser.UpdateStmt) (*Re
 			return nr, nil
 		})
 	if err != nil {
+		return nil, done(err)
+	}
+	if err := done(nil); err != nil {
 		return nil, err
 	}
-	for i := range old {
-		if s.txn == nil {
-			break // undo closures are only needed inside a transaction
-		}
-		o, n := old[i], new_[i]
-		comp := s.undoFire(st.Table, TrigUpdate)
-		s.logUndo(func() error {
-			// Restore exactly one matching row (duplicates must each be
-			// reverted by their own undo entry).
-			done := false
-			_, _, uerr := tbl.Update(
-				func(r sqltypes.Row) (bool, error) { return !done && r.Equal(n), nil },
-				func(sqltypes.Row) (sqltypes.Row, error) { done = true; return o, nil })
-			if uerr != nil {
-				return uerr
-			}
-			return comp([]sqltypes.Row{n}, []sqltypes.Row{o})
-		})
-	}
-	if err := s.fire(st.Table, TrigUpdate, old, new_); err != nil {
+	if err := s.fireTxn(st.Table, TrigUpdate, old, new_); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(new_)}, nil
@@ -418,49 +359,45 @@ func (s *Session) execDelete(ctx context.Context, st *sqlparser.DeleteStmt) (*Re
 			return nil, err
 		}
 	}
+	tx, done := s.beginWrite()
 	var deleted []sqltypes.Row
 	affected := 0
-	if pred == nil {
-		// Unfiltered DELETE clears the whole table in one shot instead of
-		// tombstoning row by row (IVM truncates its delta tables on every
-		// refresh). The row snapshot is only taken when undo or a trigger
-		// will actually consume it — the IVM truncation path runs with
-		// triggers suppressed and no transaction, so it skips the copy.
-		affected = tbl.RowCount()
-		if s.txn != nil || s.wantsTriggerRows(st.Table, TrigDelete) {
-			deleted = tbl.Rows()
+	fast := false
+	if pred == nil && s.txn == nil {
+		// Unfiltered DELETE clears the whole table in one shot when nobody
+		// could observe the difference (IVM truncates its delta tables on
+		// every refresh; the IVM path runs with triggers suppressed, so it
+		// also skips the row copy). Concurrent snapshots force the stamped
+		// per-version path below instead.
+		if rows, n, ok := tbl.TruncateQuiescent(tx, s.wantsTriggerRows(st.Table, TrigDelete)); ok {
+			deleted, affected, fast = rows, n, true
 		}
-		tbl.Truncate()
-	} else {
-		check := ctxChecker(ctx)
-		deleted, err = tbl.Delete(func(r sqltypes.Row) (bool, error) {
-			if err := check(); err != nil {
-				return false, err
+	}
+	if !fast {
+		var dpred func(sqltypes.Row) (bool, error)
+		if pred != nil {
+			check := ctxChecker(ctx)
+			dpred = func(r sqltypes.Row) (bool, error) {
+				if err := check(); err != nil {
+					return false, err
+				}
+				v, err := pred.Eval(r)
+				if err != nil {
+					return false, err
+				}
+				return v.IsTrue(), nil
 			}
-			v, err := pred.Eval(r)
-			if err != nil {
-				return false, err
-			}
-			return v.IsTrue(), nil
-		})
+		}
+		deleted, err = tbl.DeleteTxn(tx, dpred)
 		if err != nil {
-			return nil, err
+			return nil, done(err)
 		}
 		affected = len(deleted)
 	}
-	if s.txn != nil {
-		rows := deleted
-		comp := s.undoFire(st.Table, TrigInsert)
-		s.logUndo(func() error {
-			for _, r := range rows {
-				if err := tbl.Insert(r); err != nil {
-					return err
-				}
-			}
-			return comp(nil, rows)
-		})
+	if err := done(nil); err != nil {
+		return nil, err
 	}
-	if err := s.fire(st.Table, TrigDelete, deleted, nil); err != nil {
+	if err := s.fireTxn(st.Table, TrigDelete, deleted, nil); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: affected}, nil
@@ -471,21 +408,30 @@ func (s *Session) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := tbl.Rows()
-	tbl.Truncate()
-	comp := s.undoFire(st.Table, TrigInsert)
-	s.logUndo(func() error {
-		for _, r := range rows {
-			if err := tbl.Insert(r); err != nil {
-				return err
-			}
+	tx, done := s.beginWrite()
+	want := s.wantsTriggerRows(st.Table, TrigDelete)
+	var rows []sqltypes.Row
+	affected := 0
+	fast := false
+	if s.txn == nil {
+		if r, n, ok := tbl.TruncateQuiescent(tx, want); ok {
+			rows, affected, fast = r, n, true
 		}
-		return comp(nil, rows)
-	})
-	if err := s.fire(st.Table, TrigDelete, rows, nil); err != nil {
+	}
+	if !fast {
+		rows, err = tbl.DeleteTxn(tx, nil)
+		if err != nil {
+			return nil, done(err)
+		}
+		affected = len(rows)
+	}
+	if err := done(nil); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: len(rows)}, nil
+	if err := s.fireTxn(st.Table, TrigDelete, rows, nil); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected}, nil
 }
 
 func tableSchema(tbl *catalog.Table) []plan.ColumnInfo {
@@ -538,24 +484,74 @@ func ctxChecker(ctx context.Context) func() error {
 
 // --- transactions ---
 
-// txnState is a simple undo-log transaction: single writer, no isolation
-// levels (the engine holds a global lock per statement anyway); ROLLBACK
-// replays the undo log in reverse.
-type txnState struct {
-	undo []func() error
+// pendingFire is a trigger event queued inside an explicit transaction
+// and delivered after COMMIT publishes the writes: IVM delta capture and
+// eager propagation must read committed state, and a ROLLBACK must leave
+// no trace in the captured deltas.
+type pendingFire struct {
+	table    string
+	ev       TriggerEvent
+	old, new []sqltypes.Row
 }
 
-func (s *Session) logUndo(fn func() error) {
+// txnState is an open explicit transaction: the MVCC transaction that
+// carries the write set and consistent read snapshot, plus the deferred
+// trigger events. ROLLBACK aborts the MVCC transaction (storage restamps
+// the logged versions) and drops the queued events — nothing was
+// captured, so nothing needs compensating.
+type txnState struct {
+	mtx   *mvcc.Txn
+	fires []pendingFire
+}
+
+// beginWrite returns the transaction a DML statement writes under and a
+// completion func. Inside an explicit transaction the statement joins it
+// and completion defers to COMMIT. In autocommit the statement runs as
+// its own transaction, committed by the completion func BEFORE triggers
+// fire so propagation reads the published state. Autocommit commits even
+// when the statement failed partway: the landed prefix stays in place,
+// matching the historical no-transaction semantics (a doomed conflicting
+// statement aborts inside Commit instead and keeps nothing).
+func (s *Session) beginWrite() (*mvcc.Txn, func(error) error) {
 	if s.txn != nil {
-		s.txn.undo = append(s.txn.undo, fn)
+		return s.txn.mtx, func(err error) error { return err }
 	}
+	mgr := s.db.cat.MVCC()
+	tx := mgr.Begin()
+	tx.SetAutoCommit()
+	settled := false
+	return tx, func(err error) error {
+		if settled {
+			return err
+		}
+		settled = true
+		if cerr := mgr.Commit(tx); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}
+}
+
+// fireTxn delivers a DML trigger event: immediately in autocommit (the
+// statement's own transaction has already committed), queued until COMMIT
+// inside an explicit transaction. The suppression decision is taken now,
+// at DML time, so it matches the rows the statement collected.
+func (s *Session) fireTxn(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
+	if len(oldRows)+len(newRows) == 0 || s.trigOff.Load() > 0 {
+		return nil
+	}
+	if s.txn != nil {
+		s.txn.fires = append(s.txn.fires, pendingFire{table: table, ev: ev, old: oldRows, new: newRows})
+		return nil
+	}
+	return s.fireForce(table, ev, oldRows, newRows)
 }
 
 func (s *Session) execBegin() (*Result, error) {
 	if s.txn != nil {
 		return nil, fmt.Errorf("engine: transaction already in progress")
 	}
-	s.txn = &txnState{}
+	s.txn = &txnState{mtx: s.db.cat.MVCC().Begin()}
 	return &Result{}, nil
 }
 
@@ -563,7 +559,18 @@ func (s *Session) execCommit() (*Result, error) {
 	if s.txn == nil {
 		return nil, fmt.Errorf("engine: no transaction in progress")
 	}
-	s.txn = nil
+	tx := s.txn
+	s.txn = nil // deferred fires below run in autocommit, not re-queued
+	if err := s.db.cat.MVCC().Commit(tx.mtx); err != nil {
+		// First-committer-wins conflict: the manager has already aborted
+		// and restamped the write set; surface the serialization failure.
+		return nil, err
+	}
+	for _, f := range tx.fires {
+		if err := s.fireForce(f.table, f.ev, f.old, f.new); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{}, nil
 }
 
@@ -571,15 +578,10 @@ func (s *Session) execRollback() (*Result, error) {
 	if s.txn == nil {
 		return nil, fmt.Errorf("engine: no transaction in progress")
 	}
-	undo := s.txn.undo
-	s.txn = nil // undo actions must not re-log
-	var firstErr error
-	for i := len(undo) - 1; i >= 0; i-- {
-		if err := undo[i](); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return &Result{}, firstErr
+	tx := s.txn
+	s.txn = nil
+	s.db.cat.MVCC().Abort(tx.mtx)
+	return &Result{}, nil
 }
 
 // --- lazy scalar subquery ---
@@ -610,7 +612,7 @@ func (l *lazySubquery) Eval(sqltypes.Row) (sqltypes.Value, error) {
 	if err != nil {
 		return sqltypes.Null, err
 	}
-	rows, err := exec.RunOpts(n, l.s.execOpts(l.s.ctx))
+	rows, err := exec.RunOpts(n, l.s.execOptsTxn(l.s.ctx, l.s.currentTxn()))
 	if err != nil {
 		return sqltypes.Null, err
 	}

@@ -22,6 +22,7 @@ import (
 	"openivm/internal/catalog"
 	"openivm/internal/exec"
 	"openivm/internal/expr"
+	"openivm/internal/mvcc"
 	"openivm/internal/optimizer"
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
@@ -263,6 +264,21 @@ func (db *DB) SessionByToken(token string) (*Session, bool) {
 // Catalog exposes the catalog (used by the IVM compiler and tests).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
+// TxnStats returns the MVCC transaction-layer counters: active
+// transactions, commit/conflict totals, reclaimed versions and the age of
+// the oldest pinned snapshot.
+func (db *DB) TxnStats() mvcc.Stats { return db.cat.MVCC().Stats() }
+
+// Vacuum synchronously reclaims row versions dead behind the oldest
+// active snapshot, returning how many were removed (maintenance and
+// test hook; the background sweeper does this incrementally).
+func (db *DB) Vacuum() int { return db.cat.MVCC().Vacuum() }
+
+// IsSerializationError reports whether err is an MVCC write-write
+// conflict (first-committer-wins). The losing transaction has been
+// rolled back; clients should retry it from BEGIN.
+func IsSerializationError(err error) bool { return mvcc.IsSerialization(err) }
+
 // Dialect returns the database's SQL dialect.
 func (db *DB) Dialect() Dialect { return db.dialect }
 
@@ -377,9 +393,9 @@ func (s *Session) fire(table string, ev TriggerEvent, oldRows, newRows []sqltype
 	return s.fireForce(table, ev, oldRows, newRows)
 }
 
-// fireForce is fire without the suppression check — undo compensations
-// use it so a rollback mirrors the original capture even when the
-// suppression state has changed since (see undoFire).
+// fireForce is fire without the suppression check — COMMIT-deferred
+// events use it so delivery mirrors the suppression state captured at
+// DML time even when it has changed since (see fireTxn).
 func (s *Session) fireForce(table string, ev TriggerEvent, oldRows, newRows []sqltypes.Row) error {
 	if len(oldRows)+len(newRows) == 0 {
 		return nil
@@ -392,22 +408,6 @@ func (s *Session) fireForce(table string, ev TriggerEvent, oldRows, newRows []sq
 		}
 	}
 	return nil
-}
-
-// undoFire returns the compensating-trigger function an undo closure
-// should call on rollback. The decision is captured NOW, at DML time: a
-// compensation fires if and only if the original statement's triggers
-// fired, regardless of the suppression state when ROLLBACK later runs —
-// otherwise a suppressed insert could emit a spurious deletion delta (or
-// a captured insert lose its retraction) and the IVM Z-set would no
-// longer cancel to zero.
-func (s *Session) undoFire(table string, ev TriggerEvent) func(oldRows, newRows []sqltypes.Row) error {
-	if s.trigOff.Load() > 0 {
-		return func([]sqltypes.Row, []sqltypes.Row) error { return nil }
-	}
-	return func(oldRows, newRows []sqltypes.Row) error {
-		return s.fireForce(table, ev, oldRows, newRows)
-	}
 }
 
 // Parse parses one statement, consulting fallback parsers on failure.
@@ -628,7 +628,7 @@ func (s *Session) newBinder() *plan.Binder {
 			if err != nil {
 				return nil, err
 			}
-			rows, err := exec.RunOpts(n, s.execOpts(s.ctx))
+			rows, err := exec.RunOpts(n, s.execOptsTxn(s.ctx, s.currentTxn()))
 			if err != nil {
 				return nil, err
 			}
@@ -744,9 +744,14 @@ func (s *Session) execSelect(ctx context.Context, sel *sqlparser.SelectStmt) (*R
 }
 
 // runPlan executes a planned SELECT with the session's options and builds
-// the result.
+// the result. The statement reads under the session's transaction
+// snapshot, or a statement snapshot registered for the duration of the
+// run in autocommit.
 func (s *Session) runPlan(ctx context.Context, n plan.Node) (*Result, error) {
-	rows, err := exec.RunOpts(n, s.execOpts(ctx))
+	opts := s.execOpts(ctx)
+	release := s.bindSnap(&opts)
+	rows, err := exec.RunOpts(n, opts)
+	release()
 	if err != nil {
 		return nil, err
 	}

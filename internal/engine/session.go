@@ -13,6 +13,7 @@ import (
 
 	"openivm/internal/exec"
 	"openivm/internal/expr"
+	"openivm/internal/mvcc"
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
@@ -262,6 +263,41 @@ func (s *Session) workers() int { return s.intPragma("workers") }
 // session's knobs plus the cancellation context.
 func (s *Session) execOpts(ctx context.Context) exec.Options {
 	return exec.Options{BatchSize: s.batchSize(), Workers: s.workers(), Ctx: ctx}
+}
+
+// execOptsTxn is execOpts with a transaction's read snapshot attached,
+// so scans observe the transaction's consistent view (own uncommitted
+// writes included). A nil tx means latest-committed reads.
+func (s *Session) execOptsTxn(ctx context.Context, tx *mvcc.Txn) exec.Options {
+	o := s.execOpts(ctx)
+	if tx != nil {
+		o.Snap = tx.Snapshot()
+	}
+	return o
+}
+
+// currentTxn returns the session's open explicit transaction, nil in
+// autocommit.
+func (s *Session) currentTxn() *mvcc.Txn {
+	if s.txn != nil {
+		return s.txn.mtx
+	}
+	return nil
+}
+
+// bindSnap attaches a statement's read snapshot to opts: the open
+// transaction's snapshot (repeatable reads within the transaction), or a
+// freshly registered statement snapshot in autocommit. The returned
+// release func unpins the autocommit snapshot from the GC watermark once
+// the statement is done; it must be called exactly once.
+func (s *Session) bindSnap(opts *exec.Options) func() {
+	if s.txn != nil {
+		opts.Snap = s.txn.mtx.Snapshot()
+		return func() {}
+	}
+	sn, release := s.db.cat.MVCC().AcquireSnapshot()
+	opts.Snap = sn
+	return release
 }
 
 // --- triggers ---

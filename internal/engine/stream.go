@@ -31,6 +31,7 @@ type Stream struct {
 	rowsAffected int
 	served       bool
 	closed       bool
+	release      func() // statement-snapshot unpin (nil when none)
 }
 
 // Next returns the next batch of rows, or nil at end of stream. The
@@ -54,7 +55,8 @@ func (st *Stream) Next() ([]sqltypes.Row, error) {
 // RowsAffected returns the DML row count (0 for streamed SELECTs).
 func (st *Stream) RowsAffected() int { return st.rowsAffected }
 
-// Close releases the stream's operator tree. Idempotent.
+// Close releases the stream's operator tree and unpins its read
+// snapshot from the MVCC GC watermark. Idempotent.
 func (st *Stream) Close() {
 	if st.closed {
 		return
@@ -62,6 +64,9 @@ func (st *Stream) Close() {
 	st.closed = true
 	if st.it != nil {
 		st.it.Close()
+	}
+	if st.release != nil {
+		st.release()
 	}
 }
 
@@ -190,13 +195,17 @@ func (s *Session) streamSelect(ctx context.Context, sel *sqlparser.SelectStmt) (
 }
 
 // openStream opens the operator tree for a planned SELECT without pulling
-// any batches.
+// any batches. The read snapshot stays pinned until Close — a slow
+// consumer must not have its visible versions reclaimed mid-stream.
 func (s *Session) openStream(ctx context.Context, n plan.Node) (*Stream, error) {
-	it, err := exec.OpenBatch(n, s.execOpts(ctx))
+	opts := s.execOpts(ctx)
+	release := s.bindSnap(&opts)
+	it, err := exec.OpenBatch(n, opts)
 	if err != nil {
+		release()
 		return nil, err
 	}
-	st := &Stream{it: it}
+	st := &Stream{it: it, release: release}
 	for _, c := range n.Schema() {
 		st.Columns = append(st.Columns, c.Name)
 	}

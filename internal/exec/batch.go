@@ -62,10 +62,10 @@ type batchScan struct {
 }
 
 func newBatchScan(s *plan.Scan, opts Options) *batchScan {
-	// Rows copies the slice header under the table lock; concurrent
+	// RowsSnap copies the visible rows under the table lock; concurrent
 	// writers replace slots in the underlying storage, so iterating it
 	// directly would race (stored Row values themselves are immutable).
-	return newBatchScanRows(s, s.Table.Rows(), opts)
+	return newBatchScanRows(s, s.Table.RowsSnap(opts.Snap), opts)
 }
 
 // newBatchScanRows is newBatchScan over an explicit row snapshot — the

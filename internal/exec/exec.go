@@ -80,6 +80,7 @@ import (
 	"context"
 	"fmt"
 
+	"openivm/internal/mvcc"
 	"openivm/internal/plan"
 	"openivm/internal/sqltypes"
 )
@@ -183,6 +184,10 @@ type Options struct {
 	// workers between morsels, surfacing ctx.Err(). nil means no
 	// cancellation (context.Background()).
 	Ctx context.Context
+	// Snap is the MVCC read snapshot scans filter rows by. The zero
+	// snapshot means latest-committed state, which is resolved per scan
+	// under the table lock.
+	Snap mvcc.Snapshot
 }
 
 // ctxErr returns the context's error, tolerating a nil context.

@@ -111,8 +111,8 @@ func newFusedScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, opts
 	if !ok {
 		return nil, false
 	}
-	// Rows copies the slice header under the table lock (see batchScan).
-	it.rows = scan.Table.Rows()
+	// RowsSnap copies the visible rows under the table lock (see batchScan).
+	it.rows = scan.Table.RowsSnap(opts.Snap)
 	return it, true
 }
 

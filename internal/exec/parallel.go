@@ -285,7 +285,7 @@ func newParallelScan(scan *plan.Scan, filters []expr.Expr, proj *plan.Project, o
 	if !ok {
 		return nil, false
 	}
-	rows := scan.Table.Rows()
+	rows := scan.Table.RowsSnap(opts.Snap)
 	if len(rows) <= minParallelRows {
 		return nil, false
 	}
@@ -572,7 +572,7 @@ func newParallelAgg(node *plan.Aggregate, opts Options) (BatchIterator, bool) {
 	if !ok {
 		return nil, false
 	}
-	rows := scan.Table.Rows()
+	rows := scan.Table.RowsSnap(opts.Snap)
 	if len(rows) <= minParallelRows {
 		return nil, false
 	}

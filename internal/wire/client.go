@@ -3,12 +3,34 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"openivm/internal/sqltypes"
 )
+
+// RemoteError is a server-reported execution error. Code carries the
+// SQLSTATE-style class when the server assigned one ("40001" for
+// serialization failures); it is empty for ordinary statement errors.
+type RemoteError struct {
+	Msg  string
+	Code string
+}
+
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// IsSerializationError reports whether err is a remote serialization
+// failure (SQLSTATE 40001) — the client should retry the transaction.
+func IsSerializationError(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeSerialization
+}
+
+func remoteError(msg, code string) error {
+	return &RemoteError{Msg: msg, Code: code}
+}
 
 // Client is a connection to a wire server. Dial speaks protocol v2
 // (framed, streamed results); DialV1 speaks the legacy JSON protocol.
@@ -108,7 +130,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, err
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
+		return nil, remoteError(resp.Error, resp.Code)
 	}
 	return resp, nil
 }
@@ -260,7 +282,7 @@ func (c *Client) startStream(req *Request) (*Rows, error) {
 			return nil, jerr
 		}
 		if resp.Error != "" {
-			return nil, fmt.Errorf("wire: remote error: %s", resp.Error)
+			return nil, remoteError(resp.Error, resp.Code)
 		}
 		return nil, fmt.Errorf("wire: server answered a stream request without a stream")
 	case frameSchema:
@@ -328,7 +350,7 @@ func (r *Rows) Next() ([][]sqltypes.Value, error) {
 		r.rowsAffected = tf.RowsAffected
 		var terr error
 		if tf.Error != "" {
-			terr = fmt.Errorf("wire: remote error: %s", tf.Error)
+			terr = remoteError(tf.Error, tf.Code)
 		}
 		r.finish(terr)
 		return nil, terr

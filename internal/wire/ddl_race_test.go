@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"openivm/internal/engine"
+	"openivm/internal/sqltypes"
+)
+
+// TestDDLQueryRace races schema changes against cached-plan and
+// prepared-statement executions through the wire server: one connection
+// churns CREATE/DROP on scratch tables (each bumping the schema epoch
+// and invalidating cached plans), while other connections hammer a
+// stable table through the shared statement cache and through a
+// prepared statement. Queries against the stable table must never fail
+// or return wrong results — an epoch-check race would surface as a
+// stale plan reading a dropped table's storage, a panic, or a protocol
+// desync. A third client queries the churned tables themselves, where
+// "no such table" is legal but crashes are not.
+func TestDDLQueryRace(t *testing.T) {
+	db := engine.Open("ddl-race", engine.DialectDuckDB)
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	seed, errDial := Dial(addr)
+	if errDial != nil {
+		t.Fatal(errDial)
+	}
+	if _, err := seed.Exec("CREATE TABLE stable (a INTEGER PRIMARY KEY, b INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := seed.Exec(fmt.Sprintf("INSERT INTO stable VALUES (%d, %d)", i, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Close()
+
+	const iters = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+
+	// DDL churn: CREATE/DROP bumps the schema epoch every iteration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("scratch_%d", i%4)
+			if _, err := c.Exec(fmt.Sprintf("CREATE TABLE %s (x INTEGER)", name)); err != nil {
+				errs <- fmt.Errorf("create %s: %w", name, err)
+				return
+			}
+			if _, err := c.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%d)", name, i)); err != nil {
+				errs <- fmt.Errorf("insert %s: %w", name, err)
+				return
+			}
+			if _, err := c.Exec("DROP TABLE " + name); err != nil {
+				errs <- fmt.Errorf("drop %s: %w", name, err)
+				return
+			}
+		}
+	}()
+
+	// Cached-plan reader: the identical SQL text hits the shared
+	// statement cache; every epoch bump forces a replan mid-stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < iters*2; i++ {
+			resp, err := c.Exec("SELECT a, b FROM stable WHERE b >= 0")
+			if err != nil {
+				errs <- fmt.Errorf("cached query: %w", err)
+				return
+			}
+			if len(resp.Rows) != 64 {
+				errs <- fmt.Errorf("cached query returned %d rows, want 64", len(resp.Rows))
+				return
+			}
+		}
+	}()
+
+	// Prepared-statement reader: server-side prepared plan with params,
+	// racing the same epoch bumps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		if err := c.Prepare("pick", "SELECT b FROM stable WHERE a = $1"); err != nil {
+			errs <- err
+			return
+		}
+		for i := 0; i < iters*2; i++ {
+			k := int64(i % 64)
+			resp, err := c.ExecPrepared("pick", sqltypes.NewInt(k))
+			if err != nil {
+				errs <- fmt.Errorf("prepared query: %w", err)
+				return
+			}
+			if len(resp.Rows) != 1 || resp.Rows[0][0].I != k*2 {
+				errs <- fmt.Errorf("prepared query for %d = %v, want [[%d]]", k, resp.Rows, k*2)
+				return
+			}
+		}
+	}()
+
+	// Chaos reader on the churned tables: errors are expected (the table
+	// comes and goes) but must be clean statement errors and the
+	// connection must survive them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("scratch_%d", i%4)
+			if _, err := c.Exec("SELECT x FROM " + name); err != nil {
+				msg := err.Error()
+				if !strings.Contains(msg, "remote error") {
+					errs <- fmt.Errorf("scratch query died non-remotely: %w", err)
+					return
+				}
+			}
+			if err := c.Ping(); err != nil {
+				errs <- fmt.Errorf("connection dead after scratch error: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,7 @@ type trailerFrame struct {
 	Rows         int    `json:"rows"`
 	RowsAffected int    `json:"rowsAffected,omitempty"`
 	Error        string `json:"error,omitempty"`
+	Code         string `json:"code,omitempty"` // SQLSTATE-style error class
 }
 
 // writeFrame emits one frame. The 5-byte header is stack-allocated; the
@@ -149,7 +150,17 @@ func decodeRowBatch(p []byte) ([][]sqltypes.Value, error) {
 		}
 		p = p[n:]
 		if uint64(len(slab)) < ncols {
-			slab = make([]sqltypes.Value, (nrows-i)*ncols)
+			// Each encoded value costs at least one byte, so the remaining
+			// payload bounds how many values can still appear — a hostile
+			// header must not be able to force an arbitrary allocation.
+			want := (nrows - i) * ncols
+			if lim := uint64(len(p)) + 1; want > lim {
+				want = lim
+			}
+			if want < ncols {
+				return nil, fmt.Errorf("wire: corrupt row header")
+			}
+			slab = make([]sqltypes.Value, want)
 		}
 		row := slab[:ncols:ncols]
 		slab = slab[ncols:]

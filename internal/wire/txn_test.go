@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestSerializationErrorCode: a write-write conflict over the wire
+// carries SQLSTATE 40001 so clients can distinguish "retry the
+// transaction" from ordinary statement errors, on both the statement
+// and the COMMIT path.
+func TestSerializationErrorCode(t *testing.T) {
+	_, c1 := startServer(t)
+	c2, err := Dial(c1.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	for _, sql := range []string{
+		"CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)",
+		"INSERT INTO acct VALUES (1, 100)",
+	} {
+		if _, err := c1.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c1.Exec("BEGIN; UPDATE acct SET bal = 150 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	_, stmtErr := c2.Exec("UPDATE acct SET bal = 50 WHERE id = 1")
+	if _, err := c1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	_, commitErr := c2.Exec("COMMIT")
+	confErr := stmtErr
+	if confErr == nil {
+		confErr = commitErr
+	}
+	if confErr == nil {
+		t.Fatal("conflicting writer committed on both connections")
+	}
+	if !IsSerializationError(confErr) {
+		t.Fatalf("conflict error not classified 40001: %v", confErr)
+	}
+	// An ordinary statement error carries no code.
+	_, synErr := c2.Exec("SELECT nope FROM missing_table")
+	if synErr == nil || IsSerializationError(synErr) {
+		t.Fatalf("plain error misclassified as serialization: %v", synErr)
+	}
+
+	// The stats op surfaces the transaction counters.
+	st, err := c1.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TxnCommits == 0 {
+		t.Fatalf("stats report no commits: %+v", st)
+	}
+	if st.ConflictAborts == 0 {
+		t.Fatalf("stats report no conflict aborts: %+v", st)
+	}
+	if st.ActiveTxns != 0 {
+		t.Fatalf("stats report %d active txns, want 0", st.ActiveTxns)
+	}
+}
+
+// TestStatsActiveTxn: an open transaction is visible in the stats
+// snapshot, with a snapshot age.
+func TestStatsActiveTxn(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("BEGIN; INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveTxns != 1 {
+		t.Fatalf("ActiveTxns = %d, want 1", st.ActiveTxns)
+	}
+	if st.OldestSnapshotMS < 0 {
+		t.Fatalf("OldestSnapshotMS = %d", st.OldestSnapshotMS)
+	}
+	if _, err := c.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+}

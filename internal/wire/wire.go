@@ -98,11 +98,24 @@ type Stats struct {
 	Cancels         int64 `json:"cancels"`         // honored cancel ops
 	StreamedBatches int64 `json:"streamedBatches"` // row-batch frames written
 	StreamedRows    int64 `json:"streamedRows"`    // rows inside those frames
+
+	// Transaction counters (MVCC).
+	ActiveTxns       int64 `json:"activeTxns"`       // open transactions right now
+	OldestSnapshotMS int64 `json:"oldestSnapshotMS"` // age of the oldest pinned snapshot
+	TxnCommits       int64 `json:"txnCommits"`       // committed transactions
+	ConflictAborts   int64 `json:"conflictAborts"`   // write-write conflict aborts
+	GCVersions       int64 `json:"gcVersions"`       // dead row versions reclaimed
 }
+
+// CodeSerialization is the SQLSTATE class carried on serialization
+// failures (write-write conflicts under snapshot isolation). Clients
+// should retry the whole transaction when they see it.
+const CodeSerialization = "40001"
 
 // Response is one server->client message.
 type Response struct {
 	Error        string             `json:"error,omitempty"`
+	Code         string             `json:"code,omitempty"` // SQLSTATE-style error class
 	Columns      []string           `json:"columns,omitempty"`
 	Rows         [][]sqltypes.Value `json:"rows,omitempty"`
 	RowsAffected int                `json:"rowsAffected,omitempty"`
@@ -261,6 +274,16 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader, sess *engine.Session) 
 	}
 }
 
+// errResponse wraps an engine error, classifying serialization failures
+// so clients can tell "retry the transaction" from "fix the statement".
+func errResponse(err error) *Response {
+	resp := &Response{Error: err.Error()}
+	if engine.IsSerializationError(err) {
+		resp.Code = CodeSerialization
+	}
+	return resp
+}
+
 // handle serves the materialized (v1-compatible) operations.
 func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	switch req.Op {
@@ -272,7 +295,7 @@ func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 		if err != nil {
 			s.classifyKill(ctx)
 			finish()
-			return &Response{Error: err.Error()}
+			return errResponse(err)
 		}
 		finish()
 		out := &Response{RowsAffected: res.RowsAffected, Columns: res.Columns}
@@ -326,6 +349,12 @@ func (s *Server) snapshotStats() *Stats {
 	st.Cancels = s.cancels.Load()
 	st.StreamedBatches = s.streamedBatches.Load()
 	st.StreamedRows = s.streamedRows.Load()
+	ts := s.DB.TxnStats()
+	st.ActiveTxns = ts.ActiveTxns
+	st.OldestSnapshotMS = ts.OldestSnapshotMS
+	st.TxnCommits = int64(ts.Commits)
+	st.ConflictAborts = int64(ts.ConflictAborts)
+	st.GCVersions = int64(ts.GCVersions)
 	return st
 }
 
@@ -451,7 +480,7 @@ func (c *v2conn) streamExec(req *Request) error {
 	}
 	if err != nil {
 		s.classifyKill(ctx)
-		return c.writeResponse(&Response{Error: err.Error()})
+		return c.writeResponse(errResponse(err))
 	}
 	defer st.Close()
 
@@ -470,6 +499,9 @@ func (c *v2conn) streamExec(req *Request) error {
 		if berr != nil {
 			s.classifyKill(ctx)
 			tr.Error = berr.Error()
+			if engine.IsSerializationError(berr) {
+				tr.Code = CodeSerialization
+			}
 			break
 		}
 		if batch == nil {
