@@ -11,6 +11,11 @@
 //	minidb -connect host:5433   REPL against a remote server; results
 //	                            stream in and print batch by batch
 //
+// -data-dir <dir> (embedded and -listen modes) makes the database
+// durable: committed work goes to a write-ahead log in that directory,
+// checkpoints compact it, and reopening the same directory recovers
+// tables, indexes, and materialized views.
+//
 // With -connect, -cancel-after=2s arms an out-of-band cancellation for
 // every statement: a second connection holds the session's token and
 // interrupts any statement still running after the duration — the
@@ -39,6 +44,7 @@ import (
 
 	"openivm/internal/engine"
 	"openivm/internal/ivmext"
+	"openivm/internal/storage"
 	"openivm/internal/wire"
 )
 
@@ -46,7 +52,28 @@ var (
 	listenAddr  = flag.String("listen", "", "serve the engine over TCP on this address instead of running a REPL")
 	connectAddr = flag.String("connect", "", "connect the REPL to a remote wire server (streamed results)")
 	cancelAfter = flag.Duration("cancel-after", 0, "with -connect: cancel any statement still running after this duration")
+	dataDir     = flag.String("data-dir", "", "durable mode: WAL + checkpoints in this directory (created if missing)")
 )
+
+// openDB builds the engine for embedded/serve modes: extension first
+// (recovery re-executes CREATE MATERIALIZED VIEW through its hook), then
+// the disk backend when -data-dir is set.
+func openDB() (*engine.DB, *ivmext.Extension) {
+	db := engine.Open("minidb", engine.DialectDuckDB)
+	ext := ivmext.Install(db)
+	if *dataDir != "" {
+		b, err := storage.OpenDisk(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := db.AttachBackend(b); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	return db, ext
+}
 
 func main() {
 	flag.Parse()
@@ -62,8 +89,8 @@ func main() {
 
 // serve hosts the engine behind the wire protocol until interrupted.
 func serve(addr string) {
-	db := engine.Open("minidb", engine.DialectDuckDB)
-	ivmext.Install(db)
+	db, _ := openDB()
+	defer db.Close()
 	srv := wire.NewServer(db)
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -113,13 +140,19 @@ func repl(onSQL func(sql string), onMeta func(cmd string) bool) {
 }
 
 func localREPL() {
-	db := engine.Open("minidb", engine.DialectDuckDB)
-	ext := ivmext.Install(db)
-	fmt.Println("minidb — embedded analytical engine with OpenIVM (type \\q to quit, \\load demo for sample data)")
+	db, ext := openDB()
+	defer db.Close()
+	sess := db.NewSession()
+	defer sess.Close()
+	banner := "minidb — embedded analytical engine with OpenIVM (type \\q to quit, \\load demo for sample data)"
+	if *dataDir != "" {
+		banner += "\ndurable: " + *dataDir
+	}
+	fmt.Println(banner)
 	timing := false
 	repl(func(sql string) {
 		start := time.Now()
-		res, err := db.ExecScript(sql)
+		res, err := sess.ExecScript(sql)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -142,7 +175,7 @@ func localREPL() {
 			fmt.Println("timing:", onOff(timing))
 			return true
 		}
-		return meta(db, ext, cmd)
+		return meta(sess, ext, cmd)
 	})
 }
 
@@ -230,15 +263,25 @@ func remoteREPL(addr string, cancelAfter time.Duration) {
 				fmt.Println(t)
 			}
 		case "\\stats":
-			st, err := cl.Stats()
+			st, err := cl.StatsV2()
 			if err != nil {
 				fmt.Println("error:", err)
 				break
 			}
-			fmt.Printf("connections:       %d active / %d total / %d rejected\n", st.ActiveConns, st.TotalConns, st.RejectedConns)
-			fmt.Printf("plan cache:        %d entries, %d hits / %d misses, %d prepared\n", st.PlanCacheSize, st.PlanCacheHits, st.PlanCacheMiss, st.PreparedMarked)
-			fmt.Printf("streamed:          %d batches / %d rows\n", st.StreamedBatches, st.StreamedRows)
-			fmt.Printf("kills:             %d governor / %d timeout / %d cancel\n", st.GovernorKills, st.TimeoutKills, st.Cancels)
+			sv := st.Server
+			fmt.Printf("connections:       %d active / %d total / %d rejected\n", sv.ActiveConns, sv.TotalConns, sv.RejectedConns)
+			fmt.Printf("plan cache:        %d entries, %d hits / %d misses, %d prepared\n", sv.PlanCacheSize, sv.PlanCacheHits, sv.PlanCacheMiss, sv.PreparedMarked)
+			fmt.Printf("streamed:          %d batches / %d rows\n", sv.StreamedBatches, sv.StreamedRows)
+			fmt.Printf("kills:             %d governor / %d timeout / %d cancel\n", sv.GovernorKills, sv.TimeoutKills, sv.Cancels)
+			fmt.Printf("txns:              %d active / %d commits / %d conflict aborts\n", st.Txn.ActiveTxns, st.Txn.Commits, st.Txn.ConflictAborts)
+			if st.Storage.Durable {
+				fmt.Printf("wal:               %d records / %d bytes, %d fsyncs, %d group batches\n",
+					st.Storage.WALRecords, st.Storage.WALBytes, st.Storage.Fsyncs, st.Storage.GroupCommitBatches)
+				fmt.Printf("checkpoints:       %d taken, last %dms ago, %d records replayed at open\n",
+					st.Storage.Checkpoints, st.Storage.LastCheckpointMS, st.Storage.RecoveryReplayedRecords)
+			} else {
+				fmt.Printf("storage:           in-memory (no WAL)\n")
+			}
 		case "\\timing":
 			timing = !timing
 			fmt.Println("timing:", onOff(timing))
@@ -258,7 +301,8 @@ func onOff(b bool) string {
 
 // meta handles backslash commands in embedded mode; returns false to
 // quit.
-func meta(db *engine.DB, ext *ivmext.Extension, cmd string) bool {
+func meta(sess *engine.Session, ext *ivmext.Extension, cmd string) bool {
+	db := sess.DB()
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
@@ -290,6 +334,10 @@ func meta(db *engine.DB, ext *ivmext.Extension, cmd string) bool {
 		fmt.Printf("propagation runs:  %d\n", ext.Stats.Propagations)
 		fmt.Printf("eager refreshes:   %d\n", ext.Stats.EagerRefreshes)
 		fmt.Printf("lazy refreshes:    %d\n", ext.Stats.LazyRefreshes)
+		if ss := db.StorageStats(); ss.Durable {
+			fmt.Printf("wal:               %d records / %d bytes, %d fsyncs\n", ss.WALRecords, ss.WALBytes, ss.Fsyncs)
+			fmt.Printf("checkpoints:       %d taken, %d records replayed at open\n", ss.Checkpoints, ss.ReplayedRecords)
+		}
 	case "\\load":
 		if len(fields) < 2 || fields[1] != "demo" {
 			fmt.Println("usage: \\load demo")
@@ -300,7 +348,7 @@ CREATE TABLE groups (group_index VARCHAR, group_value INTEGER);
 INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 10), ('b', 20), ('c', 5);
 CREATE MATERIALIZED VIEW query_groups AS SELECT group_index,
   SUM(group_value) AS total_value FROM groups GROUP BY group_index;`
-		if _, err := db.ExecScript(script); err != nil {
+		if _, err := sess.ExecScript(script); err != nil {
 			fmt.Println("error:", err)
 			break
 		}

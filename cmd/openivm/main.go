@@ -82,7 +82,9 @@ func run(schemaPath, viewPath, dialect, strategy, empty string, noIndex, demo bo
 	// "DuckDB inside OpenIVM": an embedded engine instance provides the
 	// parser, binder and planner the compiler needs.
 	db := engine.Open("openivm", engine.DialectDuckDB)
-	if _, err := db.ExecScript(schemaSQL); err != nil {
+	sess := db.NewSession()
+	defer sess.Close()
+	if _, err := sess.ExecScript(schemaSQL); err != nil {
 		return fmt.Errorf("loading schema: %w", err)
 	}
 

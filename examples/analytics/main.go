@@ -21,8 +21,10 @@ import (
 func main() {
 	db := engine.Open("analytics", engine.DialectDuckDB)
 	ext := ivmext.Install(db)
+	sess := db.NewSession()
+	defer sess.Close()
 	must := func(sql string) *engine.Result {
-		res, err := db.ExecScript(sql)
+		res, err := sess.ExecScript(sql)
 		if err != nil {
 			log.Fatalf("%s\n-> %v", sql, err)
 		}

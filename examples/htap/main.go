@@ -20,8 +20,10 @@ import (
 func main() {
 	// --- OLTP side: the system of record. ---
 	store := oltp.New("orders-db")
+	admin := store.DB.NewSession()
+	defer admin.Close()
 	mustStore := func(sql string) {
-		if _, err := store.DB.ExecScript(sql); err != nil {
+		if _, err := admin.ExecScript(sql); err != nil {
 			log.Fatalf("%s\n-> %v", sql, err)
 		}
 	}

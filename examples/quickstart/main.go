@@ -20,9 +20,13 @@ func main() {
 	// "DuckDB with IVM" configuration of the demo.
 	db := engine.Open("quickstart", engine.DialectDuckDB)
 	ext := ivmext.Install(db)
+	// All statements run on an explicit session — the unit of transaction
+	// and pragma scope (DB.ExecScript survives only as a deprecated shim).
+	sess := db.NewSession()
+	defer sess.Close()
 
 	must := func(sql string) *engine.Result {
-		res, err := db.ExecScript(sql)
+		res, err := sess.ExecScript(sql)
 		if err != nil {
 			log.Fatalf("%s\n-> %v", sql, err)
 		}

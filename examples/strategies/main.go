@@ -27,9 +27,7 @@ func main() {
 	// Part 1: what each strategy compiles to.
 	fmt.Println("== part 1: one view, three combine plans ==")
 	db := engine.Open("compile-only", engine.DialectDuckDB)
-	if _, err := db.Exec("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"); err != nil {
-		log.Fatal(err)
-	}
+	mustExec(db, "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
 	stmt, err := sqlparser.Parse(viewSQL)
 	if err != nil {
 		log.Fatal(err)
@@ -83,7 +81,9 @@ func main() {
 		mustExec(db, "INSERT INTO groups VALUES ('z', 5), ('z', -5)") // legitimate zero sum
 		mustExec(db, viewSQL)
 		mustExec(db, "INSERT INTO groups VALUES ('a', 1)")
-		res, err := db.Exec("SELECT group_index FROM query_groups ORDER BY group_index")
+		sess := db.NewSession()
+		res, err := sess.Exec("SELECT group_index FROM query_groups ORDER BY group_index")
+		sess.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,7 +115,9 @@ func runOnce(rows, groups, deltaRows int, pragmas ...string) time.Duration {
 }
 
 func mustExec(db *engine.DB, sql string) {
-	if _, err := db.Exec(sql); err != nil {
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Exec(sql); err != nil {
 		log.Fatalf("%s\n-> %v", sql, err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"openivm/internal/enginerr"
 	"openivm/internal/index/art"
 	"openivm/internal/mvcc"
 	"openivm/internal/sqltypes"
@@ -55,6 +56,8 @@ type Table struct {
 	rows []sqltypes.Row // nil slots are reclaimed/aborted versions
 	vers []verMeta      // parallel to rows
 	live int            // live-version count (includes uncommitted inserts)
+
+	unlogged bool // excluded from the WAL and checkpoints (IVM-derived)
 
 	// pinned counts in-flight transactions holding write-log references to
 	// slots of this table. While nonzero, GC must not compact (renumber
@@ -201,7 +204,7 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[norm(name)]
 	if !ok {
-		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+		return nil, enginerr.Newf(enginerr.CodeUndefinedTable, "catalog: table %q does not exist", name)
 	}
 	return t, nil
 }
@@ -225,7 +228,7 @@ func (c *Catalog) DropTable(name string, ifExists bool) (bool, error) {
 		if ifExists {
 			return false, nil
 		}
-		return false, fmt.Errorf("catalog: table %q does not exist", name)
+		return false, enginerr.Newf(enginerr.CodeUndefinedTable, "catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
 	return true, nil
@@ -254,6 +257,18 @@ func (c *Catalog) View(name string) (*View, bool) {
 	return v, ok
 }
 
+// Views lists all plain views sorted by name (checkpoint assembly).
+func (c *Catalog) Views() []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*View, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // DropView removes a view. The bool reports whether a view was actually
 // removed (see DropTable).
 func (c *Catalog) DropView(name string, ifExists bool) (bool, error) {
@@ -264,7 +279,7 @@ func (c *Catalog) DropView(name string, ifExists bool) (bool, error) {
 		if ifExists {
 			return false, nil
 		}
-		return false, fmt.Errorf("catalog: view %q does not exist", name)
+		return false, enginerr.Newf(enginerr.CodeUndefinedTable, "catalog: view %q does not exist", name)
 	}
 	delete(c.views, key)
 	return true, nil
@@ -364,6 +379,47 @@ func (t *Table) HasPrimaryKey() bool { return len(t.pkCols) > 0 }
 
 // PrimaryKeyColumns returns the PK column positions.
 func (t *Table) PrimaryKeyColumns() []int { return t.pkCols }
+
+// PrimaryKeyColumnNames returns the PK column names in key order.
+func (t *Table) PrimaryKeyColumnNames() []string {
+	out := make([]string, len(t.pkCols))
+	for i, pos := range t.pkCols {
+		out[i] = t.Columns[pos].Name
+	}
+	return out
+}
+
+// TableName returns the table's name (storage.Table).
+func (t *Table) TableName() string { return t.Name }
+
+// SetUnlogged marks the table as excluded from the write-ahead log and
+// from checkpoints. The IVM extension uses it for delta and view
+// storage tables, which recovery rebuilds from base state.
+func (t *Table) SetUnlogged() {
+	t.mu.Lock()
+	t.unlogged = true
+	t.mu.Unlock()
+}
+
+// Unlogged reports whether the table is excluded from durability.
+func (t *Table) Unlogged() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.unlogged
+}
+
+// RowAt returns the row stored in a write-log slot. Redo capture uses
+// it to resolve an undo-log op's slot reference to the committed row
+// payload; the returned slice is the live backing row, so callers must
+// finish with it before the commit critical section ends.
+func (t *Table) RowAt(slot int32) sqltypes.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(slot) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[slot]
+}
 
 // RowCount returns the number of live row versions. Under concurrent
 // transactions this counts uncommitted inserts and excludes uncommitted
@@ -484,7 +540,7 @@ func (t *Table) insertOneLocked(tx *mvcc.Txn, r sqltypes.Row) error {
 			slot := int32(v.(int))
 			sn := t.readSnapLocked(tx)
 			if t.dupVisibleLocked(sn, slot) {
-				return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+				return enginerr.Newf(enginerr.CodeDuplicateKey, "table %s: duplicate primary key %v", t.Name, r)
 			}
 			if t.rows[slot] != nil {
 				vm := t.vers[slot]
@@ -492,7 +548,7 @@ func (t *Table) insertOneLocked(tx *mvcc.Txn, r sqltypes.Row) error {
 					// Live but invisible: a concurrent uncommitted insert
 					// holds this key.
 					if tx == nil {
-						return fmt.Errorf("table %s: duplicate primary key %v", t.Name, r)
+						return enginerr.Newf(enginerr.CodeDuplicateKey, "table %s: duplicate primary key %v", t.Name, r)
 					}
 					tx.Doom()
 					return fmt.Errorf("%w: primary key inserted by concurrent transaction on table %s", mvcc.ErrSerialization, t.Name)
@@ -970,7 +1026,7 @@ func (t *Table) UpdateTxn(tx *mvcc.Txn, pred func(sqltypes.Row) (bool, error), s
 				newKey := t.pkKey(nr)
 				if string(oldKey) != string(newKey) {
 					if slot, exists := t.pkIndex.Get(newKey); exists && t.dupVisibleLocked(sn, int32(slot.(int))) {
-						return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+						return old, new, enginerr.Newf(enginerr.CodeDuplicateKey, "table %s: update violates primary key", t.Name)
 					}
 					t.pkIndex.Delete(oldKey)
 					t.pkIndex.Put(newKey, i)
@@ -999,7 +1055,7 @@ func (t *Table) UpdateTxn(tx *mvcc.Txn, pred func(sqltypes.Row) (bool, error), s
 				if v, exists := t.pkIndex.Get(newKey); exists {
 					ns := int32(v.(int))
 					if t.dupVisibleLocked(sn, ns) {
-						return old, new, fmt.Errorf("table %s: update violates primary key", t.Name)
+						return old, new, enginerr.Newf(enginerr.CodeDuplicateKey, "table %s: update violates primary key", t.Name)
 					}
 					if t.rows[ns] != nil {
 						nvm := t.vers[ns]
@@ -1496,7 +1552,7 @@ func (idx *Index) mergeChunk(pairs []art.KV) error {
 	if idx.Unique {
 		for _, kv := range pairs {
 			if _, ok := idx.tree.Get(kv.Key); ok {
-				return fmt.Errorf("catalog: unique index %q violated", idx.Name)
+				return enginerr.Newf(enginerr.CodeDuplicateKey, "catalog: unique index %q violated", idx.Name)
 			}
 			idx.tree.Put(kv.Key, []int{kv.Val.(int)})
 		}

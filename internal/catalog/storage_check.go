@@ -1,0 +1,7 @@
+package catalog
+
+import "openivm/internal/storage"
+
+// The in-memory columnar table is the default implementation of the
+// engine's pluggable storage contract.
+var _ storage.Table = (*Table)(nil)

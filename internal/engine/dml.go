@@ -12,6 +12,7 @@ import (
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
+	"openivm/internal/storage"
 )
 
 // execInsert handles INSERT, INSERT OR REPLACE (DuckDB dialect) and
@@ -93,7 +94,7 @@ func (s *Session) execInsert(ctx context.Context, st *sqlparser.InsertStmt) (*Re
 		return s.insertStream(ctx, n, tbl, st, colPos, identity, buildRow)
 	}
 
-	tx, done := s.beginWrite()
+	tx, _, done := s.beginWrite()
 	srcRows, err := exec.RunOpts(n, s.execOptsTxn(ctx, tx))
 	if err != nil {
 		return nil, done(err)
@@ -179,7 +180,7 @@ func (s *Session) execInsert(ctx context.Context, st *sqlparser.InsertStmt) (*Re
 // transaction until COMMIT/ROLLBACK settles it.
 func (s *Session) insertStream(ctx context.Context, n plan.Node, tbl *catalog.Table, st *sqlparser.InsertStmt,
 	colPos []int, identity bool, buildRow func(sqltypes.Row) (sqltypes.Row, error)) (*Result, error) {
-	tx, done := s.beginWrite()
+	tx, _, done := s.beginWrite()
 	it, err := exec.OpenBatch(n, s.execOptsTxn(ctx, tx))
 	if err != nil {
 		return nil, done(err)
@@ -308,7 +309,7 @@ func (s *Session) execUpdate(ctx context.Context, st *sqlparser.UpdateStmt) (*Re
 		sets = append(sets, setOp{pos: p, e: e})
 	}
 
-	tx, done := s.beginWrite()
+	tx, _, done := s.beginWrite()
 	check := ctxChecker(ctx)
 	old, new_, err := tbl.UpdateTxn(tx,
 		func(r sqltypes.Row) (bool, error) {
@@ -359,7 +360,7 @@ func (s *Session) execDelete(ctx context.Context, st *sqlparser.DeleteStmt) (*Re
 			return nil, err
 		}
 	}
-	tx, done := s.beginWrite()
+	tx, wp, done := s.beginWrite()
 	var deleted []sqltypes.Row
 	affected := 0
 	fast := false
@@ -371,6 +372,9 @@ func (s *Session) execDelete(ctx context.Context, st *sqlparser.DeleteStmt) (*Re
 		// per-version path below instead.
 		if rows, n, ok := tbl.TruncateQuiescent(tx, s.wantsTriggerRows(st.Table, TrigDelete)); ok {
 			deleted, affected, fast = rows, n, true
+			// The physical reset leaves no write-log ops; record the
+			// truncate explicitly so redo replays it.
+			wp.truncate(tbl)
 		}
 	}
 	if !fast {
@@ -408,7 +412,7 @@ func (s *Session) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx, done := s.beginWrite()
+	tx, wp, done := s.beginWrite()
 	want := s.wantsTriggerRows(st.Table, TrigDelete)
 	var rows []sqltypes.Row
 	affected := 0
@@ -416,6 +420,7 @@ func (s *Session) execTruncate(st *sqlparser.TruncateStmt) (*Result, error) {
 	if s.txn == nil {
 		if r, n, ok := tbl.TruncateQuiescent(tx, want); ok {
 			rows, affected, fast = r, n, true
+			wp.truncate(tbl) // see execDelete: the fast path logs no ops
 		}
 	}
 	if !fast {
@@ -453,10 +458,16 @@ func (s *Session) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error
 		return err
 	}
 	if mult {
+		if err := s.walInstant(tbl, storage.OpInsert, row); err != nil {
+			return err
+		}
 		if err := tbl.Insert(row); err != nil {
 			return err
 		}
 		return s.fire(table, TrigInsert, nil, []sqltypes.Row{row})
+	}
+	if err := s.walInstant(tbl, storage.OpDelete, row); err != nil {
+		return err
 	}
 	if !tbl.DeleteOne(row) {
 		return fmt.Errorf("engine: delta deletion found no matching row in %s", table)
@@ -501,6 +512,7 @@ type pendingFire struct {
 // captured, so nothing needs compensating.
 type txnState struct {
 	mtx   *mvcc.Txn
+	wal   *walPending // staged redo record state (nil when not logging)
 	fires []pendingFire
 }
 
@@ -512,21 +524,29 @@ type txnState struct {
 // when the statement failed partway: the landed prefix stays in place,
 // matching the historical no-transaction semantics (a doomed conflicting
 // statement aborts inside Commit instead and keeps nothing).
-func (s *Session) beginWrite() (*mvcc.Txn, func(error) error) {
+func (s *Session) beginWrite() (*mvcc.Txn, *walPending, func(error) error) {
 	if s.txn != nil {
-		return s.txn.mtx, func(err error) error { return err }
+		return s.txn.mtx, s.txn.wal, func(err error) error { return err }
 	}
 	mgr := s.db.cat.MVCC()
 	tx := mgr.Begin()
 	tx.SetAutoCommit()
+	wp := s.walArm(tx)
 	settled := false
-	return tx, func(err error) error {
+	return tx, wp, func(err error) error {
 		if settled {
 			return err
 		}
 		settled = true
 		if cerr := mgr.Commit(tx); cerr != nil && err == nil {
 			err = cerr
+		}
+		if err == nil {
+			// Group commit: block until the staged redo record's fsync.
+			// On a statement error the landed prefix stays committed in
+			// memory (historical autocommit semantics) and its staged
+			// record rides the next flush.
+			err = wp.wait(s.db)
 		}
 		return err
 	}
@@ -551,7 +571,8 @@ func (s *Session) execBegin() (*Result, error) {
 	if s.txn != nil {
 		return nil, fmt.Errorf("engine: transaction already in progress")
 	}
-	s.txn = &txnState{mtx: s.db.cat.MVCC().Begin()}
+	tx := s.db.cat.MVCC().Begin()
+	s.txn = &txnState{mtx: tx, wal: s.walArm(tx)}
 	return &Result{}, nil
 }
 
@@ -564,6 +585,11 @@ func (s *Session) execCommit() (*Result, error) {
 	if err := s.db.cat.MVCC().Commit(tx.mtx); err != nil {
 		// First-committer-wins conflict: the manager has already aborted
 		// and restamped the write set; surface the serialization failure.
+		return nil, err
+	}
+	if err := tx.wal.wait(s.db); err != nil {
+		// Committed in memory but not confirmed durable: surface the
+		// failure before the client treats the COMMIT as acknowledged.
 		return nil, err
 	}
 	for _, f := range tx.fires {

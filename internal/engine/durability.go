@@ -1,0 +1,470 @@
+// Durability: redo capture on the DML/DDL paths, checkpoint assembly,
+// and recovery replay — the engine side of the storage.Backend
+// contract.
+//
+// Redo records are derived from the MVCC undo log at commit time: the
+// transaction's CommitHook (running inside the commit critical section,
+// so records enter the log in commit-timestamp order) walks the write
+// log, resolves each op's slot to its committed row payload, and stages
+// one CommitRecord. The statement then group-commits: WaitDurable
+// batches concurrent committers behind a single fsync.
+//
+// Recovery replays the newest checkpoint plus the log tail through
+// legacy instant writes (immediately visible, no triggers), then
+// re-executes every CREATE MATERIALIZED VIEW — rebuilding view storage,
+// delta tables and capture triggers from recovered base state in one
+// stroke. IVM-derived tables are unlogged; internal extension sessions
+// carry a WAL bypass.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"openivm/internal/catalog"
+	"openivm/internal/enginerr"
+	"openivm/internal/mvcc"
+	"openivm/internal/sqlparser"
+	"openivm/internal/sqltypes"
+	"openivm/internal/storage"
+)
+
+// walLogging reports whether this session's statements produce redo
+// records: a durable backend finished recovery and the session is not
+// an extension-internal bypass session.
+func (s *Session) walLogging() bool { return s.db.logging.Load() && !s.walBypass }
+
+// walPending tracks one transaction's staged redo record: the LSN to
+// group-commit on, any append error (surfaced at commit completion —
+// the MVCC commit has already published by the time the hook runs), and
+// extra redo ops for effects the write log doesn't carry (the quiescent
+// truncate fast path physically resets the table without logging ops).
+type walPending struct {
+	extra []storage.RedoOp
+	lsn   uint64
+	err   error
+}
+
+// truncate records a quiescent-truncate redo op.
+func (wp *walPending) truncate(tbl *catalog.Table) {
+	if wp == nil || tbl.Unlogged() {
+		return
+	}
+	wp.extra = append(wp.extra, storage.RedoOp{Table: tbl.Name, Kind: storage.OpTruncate})
+}
+
+// wait completes group commit after a successful MVCC commit: block
+// until the staged record's fsync, then take a checkpoint if the log
+// has grown past the threshold. Safe on a nil receiver (logging off).
+func (wp *walPending) wait(db *DB) error {
+	if wp == nil {
+		return nil
+	}
+	if wp.err != nil {
+		return wp.err
+	}
+	if wp.lsn == 0 {
+		return nil // read-only or unlogged-only transaction
+	}
+	if err := db.backend.WaitDurable(wp.lsn); err != nil {
+		return err
+	}
+	if db.backend.NeedCheckpoint() {
+		return db.Checkpoint()
+	}
+	return nil
+}
+
+// walArm attaches redo capture to tx. The returned walPending is nil
+// when the session does not log. The hook runs under the commit mutex:
+// it must only read the write log and stage the record — the fsync
+// happens later, in walPending.wait, outside the critical section.
+func (s *Session) walArm(tx *mvcc.Txn) *walPending {
+	if !s.walLogging() {
+		return nil
+	}
+	wp := &walPending{}
+	tx.CommitHook = func(ts uint64) {
+		rec := storage.CommitRecord{CommitTS: ts, Ops: wp.extra}
+		tx.Writes(func(store mvcc.Store, ops []mvcc.Op) {
+			tbl, ok := store.(storage.Table)
+			if !ok || tbl.Unlogged() {
+				return
+			}
+			name := tbl.TableName()
+			for _, op := range ops {
+				switch op.Kind {
+				case mvcc.OpInsert:
+					rec.Ops = append(rec.Ops, storage.RedoOp{Table: name, Kind: storage.OpInsert, Row: tbl.RowAt(op.Slot)})
+				case mvcc.OpDelete:
+					rec.Ops = append(rec.Ops, storage.RedoOp{Table: name, Kind: storage.OpDelete, Row: tbl.RowAt(op.Slot)})
+				case mvcc.OpReplace:
+					rec.Ops = append(rec.Ops, storage.RedoOp{Table: name, Kind: storage.OpUpsert, Row: tbl.RowAt(op.Slot)})
+				}
+			}
+		})
+		if len(rec.Ops) == 0 {
+			return
+		}
+		wp.lsn, wp.err = s.db.backend.AppendCommit(&rec)
+	}
+	return wp
+}
+
+// Backend returns the storage backend (storage.MemBackend unless a
+// durable one was attached).
+func (db *DB) Backend() storage.Backend { return db.backend }
+
+// StorageStats returns the backend's counter snapshot.
+func (db *DB) StorageStats() storage.Stats { return db.backend.Stats() }
+
+// Durable reports whether a durable backend is attached and armed.
+func (db *DB) Durable() bool { return db.logging.Load() }
+
+// Close flushes and releases the storage backend. The DB must not be
+// used afterwards.
+func (db *DB) Close() error {
+	db.logging.Store(false)
+	return db.backend.Close()
+}
+
+// AttachBackend installs a durable storage backend: it replays the
+// backend's checkpoint and log into the catalog (restoring committed
+// state to a prefix-consistent point), re-executes every CREATE
+// MATERIALIZED VIEW so view storage, delta tables and capture triggers
+// are rebuilt against recovered base state, and then arms redo logging.
+//
+// Call it during instance setup — after extensions are installed (the
+// IVM extension must be present to rebuild materialized views) and
+// before the DB serves sessions concurrently.
+func (db *DB) AttachBackend(b storage.Backend) error {
+	if db.logging.Load() {
+		return fmt.Errorf("engine: a durable backend is already attached")
+	}
+	db.backend = b
+	if !b.Durable() {
+		return nil
+	}
+	rec := &recoverer{db: db, mv: map[string]string{}}
+	if err := b.Recover(rec); err != nil {
+		return err
+	}
+	if len(rec.mvOrder) > 0 {
+		s := db.NewSession()
+		s.SetWALBypass(true)
+		defer s.Close()
+		for _, name := range rec.mvOrder {
+			sql, ok := rec.mv[name]
+			if !ok {
+				continue // dropped later in the log
+			}
+			stmt := "CREATE MATERIALIZED VIEW " + name + " AS " + sql
+			if _, err := s.ExecScript(stmt); err != nil {
+				return enginerr.Wrap(enginerr.CodeRecoveryCorruption,
+					fmt.Errorf("engine: rebuilding materialized view %s: %w", name, err))
+			}
+		}
+	}
+	db.bumpSchemaEpoch()
+	db.logging.Store(true)
+	return nil
+}
+
+// recoverer applies the durable history to the catalog. Base-table
+// state is written through legacy instant writes (immediately visible,
+// bypassing triggers and the MVCC write path entirely); materialized
+// views are collected and rebuilt by re-execution after replay, so
+// their DDL records carry only name and defining SQL.
+type recoverer struct {
+	db      *DB
+	mvOrder []string          // creation order
+	mv      map[string]string // lower(name) -> defining SQL; deleted on drop
+}
+
+func (r *recoverer) addMatView(name, sql string) {
+	key := strings.ToLower(name)
+	if _, ok := r.mv[key]; !ok {
+		r.mvOrder = append(r.mvOrder, key)
+	}
+	r.mv[key] = sql
+}
+
+// dropMatView removes a pending rebuild, reporting whether one existed.
+func (r *recoverer) dropMatView(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := r.mv[key]; ok {
+		delete(r.mv, key)
+		return true
+	}
+	return false
+}
+
+// Checkpoint restores a full snapshot: tables with their indexes and
+// rows, plain views, and the deferred materialized-view rebuild list.
+func (r *recoverer) Checkpoint(snap *storage.CheckpointData) error {
+	cat := r.db.cat
+	for _, ts := range snap.Tables {
+		cols := make([]catalog.Column, len(ts.Columns))
+		for i, c := range ts.Columns {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull, Default: c.Default, HasDef: c.HasDefault}
+		}
+		tbl, err := cat.CreateTable(ts.Name, cols, ts.PrimaryKey, false)
+		if err != nil {
+			return err
+		}
+		for _, ix := range ts.Indexes {
+			if _, err := tbl.CreateIndex(ix.Name, ix.Columns, ix.Unique, false); err != nil {
+				return err
+			}
+		}
+		if len(ts.Rows) > 0 {
+			if _, err := tbl.InsertBatch(ts.Rows); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range snap.Views {
+		if err := cat.CreateView(v.Name, v.SQL); err != nil {
+			return err
+		}
+	}
+	for _, mv := range snap.MatViews {
+		r.addMatView(mv.Name, mv.SQL)
+	}
+	return nil
+}
+
+// Commit replays one committed transaction's (or instant write's)
+// logical redo ops. A delete whose row is already absent is ignored —
+// Z-set semantics, and the tolerance instant-write interleavings need.
+func (r *recoverer) Commit(rec *storage.CommitRecord) error {
+	for _, op := range rec.Ops {
+		tbl, err := r.db.cat.Table(op.Table)
+		if err != nil {
+			return enginerr.Wrap(enginerr.CodeRecoveryCorruption,
+				fmt.Errorf("engine: redo for unknown table %q: %w", op.Table, err))
+		}
+		switch op.Kind {
+		case storage.OpInsert:
+			err = tbl.Insert(op.Row)
+		case storage.OpUpsert:
+			err = tbl.Upsert(op.Row)
+		case storage.OpDelete:
+			tbl.DeleteOne(op.Row)
+		case storage.OpTruncate:
+			tbl.Truncate()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DDL replays one schema change. Creates are skipped when the object
+// already exists: a crash can land between a DDL's catalog mutation
+// entering a checkpoint and its record being appended after it, so the
+// record may trail the snapshot that already contains its effect.
+func (r *recoverer) DDL(rec *storage.DDLRecord) error {
+	cat := r.db.cat
+	switch rec.Kind {
+	case storage.DDLCreateTable:
+		if cat.HasTable(rec.Name) {
+			return nil
+		}
+		cols := make([]catalog.Column, len(rec.Columns))
+		for i, c := range rec.Columns {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull, Default: c.Default, HasDef: c.HasDefault}
+		}
+		tbl, err := cat.CreateTable(rec.Name, cols, rec.PrimaryKey, false)
+		if err != nil {
+			return err
+		}
+		if len(rec.Rows) > 0 { // CREATE TABLE AS SELECT population
+			if _, err := tbl.InsertBatch(rec.Rows); err != nil {
+				return err
+			}
+		}
+	case storage.DDLCreateIndex:
+		tbl, err := cat.Table(rec.Table)
+		if err != nil {
+			return enginerr.Wrap(enginerr.CodeRecoveryCorruption,
+				fmt.Errorf("engine: index DDL for unknown table %q: %w", rec.Table, err))
+		}
+		if _, err := tbl.CreateIndex(rec.Name, rec.IdxColumns, rec.Unique, true); err != nil {
+			return err
+		}
+	case storage.DDLCreateView:
+		if _, ok := cat.View(rec.Name); ok {
+			return nil
+		}
+		return cat.CreateView(rec.Name, rec.SQL)
+	case storage.DDLCreateMatView:
+		r.addMatView(rec.Name, rec.SQL)
+	case storage.DDLDrop:
+		switch rec.ObjectKind {
+		case "TABLE":
+			_, err := cat.DropTable(rec.Name, true)
+			return err
+		case "VIEW":
+			if r.dropMatView(rec.Name) {
+				return nil // rebuild was pending; cancel it
+			}
+			_, err := cat.DropView(rec.Name, true)
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a full columnar snapshot of the logged catalog
+// state and truncates the log behind it. The dump runs with both the
+// MVCC commit lock and the backend's append lock held, so no commit can
+// land between publishing its writes and appending its record — every
+// log record is either covered by the snapshot or ordered after it.
+func (db *DB) Checkpoint() error {
+	if !db.logging.Load() {
+		return nil
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	var cerr error
+	db.cat.MVCC().WithCommitLock(func() {
+		lastLSN, err := db.backend.BeginCheckpoint()
+		if err != nil {
+			cerr = err
+			return
+		}
+		snap, err := db.assembleCheckpoint(lastLSN)
+		if err != nil {
+			db.backend.EndCheckpoint()
+			cerr = err
+			return
+		}
+		cerr = db.backend.Checkpoint(snap)
+	})
+	return cerr
+}
+
+// assembleCheckpoint dumps every logged table, plain view and
+// materialized-view definition. IVM-owned auxiliary objects (the view
+// entries the extension registers for matviews and their delta views)
+// are excluded: the matview's CREATE is re-executed on recovery and
+// recreates them.
+func (db *DB) assembleCheckpoint(lastLSN uint64) (*storage.CheckpointData, error) {
+	cat := db.cat
+	snap := &storage.CheckpointData{LastLSN: lastLSN, LastTS: cat.MVCC().Current().ReadTS}
+
+	ivmOwned := map[string]bool{}
+	for _, m := range cat.IVMViews() {
+		ivmOwned[strings.ToLower(m.ViewName)] = true
+		if m.DeltaView != "" {
+			ivmOwned[strings.ToLower(m.DeltaView)] = true
+		}
+		snap.MatViews = append(snap.MatViews, storage.ViewSnap{Name: m.ViewName, SQL: m.SourceSQL})
+	}
+
+	for _, name := range cat.TableNames() {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			continue // dropped concurrently with assembly
+		}
+		if tbl.Unlogged() {
+			continue
+		}
+		ts := storage.TableSnap{
+			Name:       tbl.Name,
+			PrimaryKey: tbl.PrimaryKeyColumnNames(),
+			Rows:       tbl.Rows(),
+		}
+		ts.Columns = make([]storage.ColumnDef, len(tbl.Columns))
+		for i, c := range tbl.Columns {
+			ts.Columns[i] = storage.ColumnDef{Name: c.Name, Type: c.Type, NotNull: c.NotNull, HasDefault: c.HasDef, Default: c.Default}
+		}
+		for _, ix := range tbl.Indexes() {
+			def := storage.IndexDef{Name: ix.Name, Unique: ix.Unique}
+			for _, pos := range ix.Columns {
+				def.Columns = append(def.Columns, tbl.Columns[pos].Name)
+			}
+			ts.Indexes = append(ts.Indexes, def)
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+
+	for _, v := range cat.Views() {
+		if ivmOwned[strings.ToLower(v.Name)] {
+			continue
+		}
+		snap.Views = append(snap.Views, storage.ViewSnap{Name: v.Name, SQL: v.SourceSQL})
+	}
+	return snap, nil
+}
+
+// logCreateTable logs a CREATE TABLE. rows carries the CREATE TABLE AS
+// SELECT population — those inserts bypass transactional DML, so they
+// ride in the DDL record instead of a commit record.
+func (s *Session) logCreateTable(tbl *catalog.Table, rows []sqltypes.Row) error {
+	if !s.walLogging() || tbl.Unlogged() {
+		return nil
+	}
+	rec := &storage.DDLRecord{
+		Kind:       storage.DDLCreateTable,
+		Name:       tbl.Name,
+		PrimaryKey: tbl.PrimaryKeyColumnNames(),
+		Rows:       rows,
+	}
+	rec.Columns = make([]storage.ColumnDef, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		rec.Columns[i] = storage.ColumnDef{Name: c.Name, Type: c.Type, NotNull: c.NotNull, HasDefault: c.HasDef, Default: c.Default}
+	}
+	return s.db.backend.AppendDDL(rec)
+}
+
+// logHookDDL logs schema changes that a statement hook handled before
+// the engine's own dispatch saw them: materialized-view creation (the
+// record carries only name and defining SQL — recovery re-executes the
+// CREATE) and the extension's view/table drops. Runs after the hook
+// succeeded, so the record reflects an applied change.
+func (s *Session) logHookDDL(stmt sqlparser.Statement) error {
+	if !s.walLogging() {
+		return nil
+	}
+	switch st := stmt.(type) {
+	case *sqlparser.CreateViewStmt:
+		if st.Materialized {
+			if _, ok := s.db.cat.IVM(st.Name); ok {
+				return s.db.backend.AppendDDL(&storage.DDLRecord{
+					Kind: storage.DDLCreateMatView, Name: st.Name, SQL: st.SourceSQL,
+				})
+			}
+		}
+	case *sqlparser.DropStmt:
+		switch st.Kind {
+		case "VIEW":
+			return s.db.backend.AppendDDL(&storage.DDLRecord{
+				Kind: storage.DDLDrop, Name: st.Name, ObjectKind: "VIEW",
+			})
+		case "TABLE":
+			if !s.db.cat.HasTable(st.Name) {
+				return s.db.backend.AppendDDL(&storage.DDLRecord{
+					Kind: storage.DDLDrop, Name: st.Name, ObjectKind: "TABLE",
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// walInstant logs one legacy instant write (ApplyDeltaRow) before it is
+// applied: append-then-apply means a crash between the two replays the
+// record (redo is idempotent for these single-op records), while
+// apply-then-append could let a checkpoint snapshot the effect and then
+// replay the trailing record again.
+func (s *Session) walInstant(tbl *catalog.Table, kind storage.OpKind, row sqltypes.Row) error {
+	if !s.walLogging() || tbl.Unlogged() {
+		return nil
+	}
+	return s.db.backend.AppendInstant(&storage.CommitRecord{
+		Ops: []storage.RedoOp{{Table: tbl.Name, Kind: kind, Row: row}},
+	})
+}

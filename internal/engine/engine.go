@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"openivm/internal/catalog"
+	"openivm/internal/enginerr"
 	"openivm/internal/exec"
 	"openivm/internal/expr"
 	"openivm/internal/mvcc"
@@ -27,6 +29,7 @@ import (
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
+	"openivm/internal/storage"
 )
 
 // Dialect selects SQL dialect behaviour for statements whose syntax differs
@@ -144,6 +147,19 @@ type DB struct {
 	// removed on Session.Close.
 	sessMu   sync.Mutex
 	sessions map[string]*Session
+
+	// backend is the storage backend (storage.MemBackend unless
+	// AttachBackend installed a durable one). logging flips on once
+	// AttachBackend finishes recovery: from then on committed DML and
+	// DDL produce redo records. Reads of backend after Open are
+	// lock-free — AttachBackend is part of instance setup, before
+	// concurrent use.
+	backend storage.Backend
+	logging atomic.Bool
+
+	// ckptMu serializes checkpoint attempts (NeedCheckpoint can trip in
+	// several sessions at once).
+	ckptMu sync.Mutex
 }
 
 // cachedPlan is one plan-cache entry, valid while the schema epoch holds
@@ -178,6 +194,7 @@ func Open(name string, dialect Dialect) *DB {
 		planCache:    map[*sqlparser.SelectStmt]cachedPlan{},
 		stmts:        newStmtCache(stmtCacheSize),
 		sessions:     map[string]*Session{},
+		backend:      storage.MemBackend{},
 	}
 	db.def = db.NewSession()
 	return db
@@ -278,6 +295,13 @@ func (db *DB) Vacuum() int { return db.cat.MVCC().Vacuum() }
 // conflict (first-committer-wins). The losing transaction has been
 // rolled back; clients should retry it from BEGIN.
 func IsSerializationError(err error) bool { return mvcc.IsSerialization(err) }
+
+// Code returns the SQLSTATE class carried by err ("" when
+// unclassified): 40001 serialization conflict, 23505 duplicate key,
+// 42P01 undefined table, XX001 recovery corruption. It is the single
+// classification point shared by the engine, the wire server's
+// Response.Code, and streaming trailers.
+func Code(err error) string { return enginerr.CodeOf(err) }
 
 // Dialect returns the database's SQL dialect.
 func (db *DB) Dialect() Dialect { return db.dialect }
@@ -425,10 +449,16 @@ func (db *DB) Parse(sql string) (sqlparser.Statement, error) {
 }
 
 // Exec parses and executes a single statement on the default session.
+//
+// Deprecated: the default session is shared process-wide state (one
+// transaction, one pragma scope). Use NewSession and Session.Exec so
+// each caller owns its transaction and settings.
 func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
 
 // ExecScript executes a semicolon-separated script on the default
 // session, returning the last statement's result.
+//
+// Deprecated: use NewSession and Session.ExecScript.
 func (db *DB) ExecScript(sql string) (*Result, error) { return db.def.ExecScript(sql) }
 
 // PrepareScript parses a script into its statements once, consulting
@@ -479,6 +509,8 @@ func (db *DB) PrepareScript(sql string) ([]sqlparser.Statement, error) {
 }
 
 // ExecStmts executes pre-parsed statements on the default session.
+//
+// Deprecated: use NewSession and Session.ExecStmts.
 func (db *DB) ExecStmts(stmts []sqlparser.Statement) (*Result, error) {
 	return db.def.ExecStmts(stmts)
 }
@@ -528,14 +560,20 @@ func SplitStatements(sql string) []string {
 
 // Query is Exec restricted to row-returning statements (for readability at
 // call sites).
+//
+// Deprecated: use NewSession and Session.Query.
 func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
 
 // ExecStmt executes a parsed statement on the default session.
+//
+// Deprecated: use NewSession and Session.ExecStmt.
 func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	return db.def.ExecStmt(stmt)
 }
 
 // ApplyDeltaRow replays one captured delta row on the default session.
+//
+// Deprecated: use NewSession and Session.ApplyDeltaRow.
 func (db *DB) ApplyDeltaRow(table string, row sqltypes.Row, mult bool) error {
 	return db.def.ApplyDeltaRow(table, row, mult)
 }
@@ -549,13 +587,18 @@ func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 // execStmt runs the hook pass and dispatches a parsed statement. ctx
 // cancels any query execution the statement performs.
 func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
-	// Statement hooks first (IVM interception etc.).
+	// Statement hooks first (IVM interception etc.). A hook-handled
+	// schema change (materialized-view create/drop) is logged here —
+	// the engine's own DDL cases below never see it.
 	for _, h := range s.db.hooks {
 		handled, res, err := h(s.db, stmt)
 		if err != nil {
 			return nil, err
 		}
 		if handled {
+			if lerr := s.logHookDDL(stmt); lerr != nil {
+				return res, lerr
+			}
 			return res, nil
 		}
 	}
@@ -575,6 +618,11 @@ func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Resu
 			return nil, err
 		}
 		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
+		if s.walLogging() {
+			if err := s.db.backend.AppendDDL(&storage.DDLRecord{Kind: storage.DDLCreateView, Name: st.Name, SQL: st.SourceSQL}); err != nil {
+				return nil, err
+			}
+		}
 		return &Result{}, nil
 	case *sqlparser.DropStmt:
 		return s.execDrop(st)
@@ -818,6 +866,11 @@ func (s *Session) execCreateTable(ctx context.Context, st *sqlparser.CreateTable
 				return nil, err
 			}
 		}
+		if created {
+			if err := s.logCreateTable(tbl, rows); err != nil {
+				return nil, err
+			}
+		}
 		return &Result{RowsAffected: len(rows)}, nil
 	}
 	var cols []catalog.Column
@@ -838,10 +891,16 @@ func (s *Session) execCreateTable(ctx context.Context, st *sqlparser.CreateTable
 		}
 		cols = append(cols, col)
 	}
-	if _, err := s.db.cat.CreateTable(st.Name, cols, st.PrimaryKey, st.IfNotExists); err != nil {
+	tbl, err := s.db.cat.CreateTable(st.Name, cols, st.PrimaryKey, st.IfNotExists)
+	if err != nil {
 		return nil, err
 	}
 	bump()
+	if created {
+		if err := s.logCreateTable(tbl, nil); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{}, nil
 }
 
@@ -856,11 +915,23 @@ func (s *Session) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error
 	}
 	if !existed {
 		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
+		if s.walLogging() && !tbl.Unlogged() {
+			rec := &storage.DDLRecord{Kind: storage.DDLCreateIndex, Name: st.Name, Table: st.Table, IdxColumns: st.Columns, Unique: st.Unique}
+			if err := s.db.backend.AppendDDL(rec); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return &Result{}, nil
 }
 
 func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
+	logDrop := func(objectKind string) error {
+		if !s.walLogging() {
+			return nil
+		}
+		return s.db.backend.AppendDDL(&storage.DDLRecord{Kind: storage.DDLDrop, Name: st.Name, ObjectKind: objectKind})
+	}
 	switch st.Kind {
 	case "TABLE":
 		dropped, err := s.db.cat.DropTable(st.Name, st.IfExists)
@@ -869,6 +940,9 @@ func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 		}
 		if dropped {
 			s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
+			if err := logDrop("TABLE"); err != nil {
+				return nil, err
+			}
 		}
 	case "VIEW":
 		// Materialized views are stored as tables + metadata (+ an exposed
@@ -879,12 +953,15 @@ func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 		if m, ok := s.db.cat.IVM(st.Name); ok {
 			s.db.cat.DropIVM(st.Name)
 			s.db.cat.DropView(st.Name, true)
-			storage := m.StorageTable
-			if storage == "" {
-				storage = st.Name
+			store := m.StorageTable
+			if store == "" {
+				store = st.Name
 			}
-			_, err := s.db.cat.DropTable(storage, true)
+			_, err := s.db.cat.DropTable(store, true)
 			s.db.bumpSchemaEpoch()
+			if err == nil {
+				err = logDrop("VIEW")
+			}
 			return &Result{}, err
 		}
 		dropped, err := s.db.cat.DropView(st.Name, st.IfExists)
@@ -893,6 +970,9 @@ func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 		}
 		if dropped {
 			s.db.bumpSchemaEpoch()
+			if err := logDrop("VIEW"); err != nil {
+				return nil, err
+			}
 		}
 	case "INDEX":
 		return nil, fmt.Errorf("engine: DROP INDEX not supported")

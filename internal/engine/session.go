@@ -77,7 +77,20 @@ type Session struct {
 	// state, which is why parameterized plans are never admitted to the
 	// cross-session shared statement cache (see expr.ParallelSafe).
 	params expr.ParamBinding
+
+	// walBypass excludes this session's writes and DDL from the
+	// write-ahead log. The IVM extension sets it on its internal
+	// sessions: delta capture, propagation and matview bookkeeping are
+	// derived state that recovery rebuilds from base tables, so logging
+	// it would double both the log volume and the replayed effects.
+	walBypass bool
 }
+
+// SetWALBypass excludes (or re-includes) this session's writes and DDL
+// from the write-ahead log. Intended for extension-internal sessions
+// whose writes are derived state rebuilt on recovery; user data written
+// through a bypassed session is NOT durable.
+func (s *Session) SetWALBypass(on bool) { s.walBypass = on }
 
 // NewSession creates an independent execution context over the database.
 // Sessions share the catalog, triggers, materialized views and the plan

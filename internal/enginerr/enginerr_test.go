@@ -1,0 +1,49 @@
+package enginerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCodeOf(t *testing.T) {
+	base := New(CodeSerialization, "conflict")
+	if CodeOf(base) != CodeSerialization {
+		t.Fatalf("CodeOf(New) = %q", CodeOf(base))
+	}
+	// The code survives arbitrary wrapping.
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("mid: %w", base))
+	if CodeOf(wrapped) != CodeSerialization {
+		t.Fatalf("CodeOf(wrapped) = %q", CodeOf(wrapped))
+	}
+	// Wrap attaches a code to a plain error.
+	w := Wrap(CodeRecoveryCorruption, errors.New("bad checkpoint"))
+	if CodeOf(w) != CodeRecoveryCorruption {
+		t.Fatalf("CodeOf(Wrap) = %q", CodeOf(w))
+	}
+	if !errors.Is(w, w) || w.Error() == "" {
+		t.Fatal("wrapped error lost its message")
+	}
+	// Codeless errors report the empty class.
+	if CodeOf(errors.New("plain")) != "" {
+		t.Fatalf("CodeOf(plain) = %q", CodeOf(errors.New("plain")))
+	}
+	if CodeOf(nil) != "" {
+		t.Fatalf("CodeOf(nil) = %q", CodeOf(nil))
+	}
+}
+
+func TestNewfFormatsAndUnwraps(t *testing.T) {
+	inner := errors.New("root cause")
+	e := Newf(CodeUndefinedTable, "no table %q: %v", "t", inner)
+	if CodeOf(e) != CodeUndefinedTable {
+		t.Fatalf("code = %q", CodeOf(e))
+	}
+	if want := `no table "t": root cause`; e.Error() != want {
+		t.Fatalf("message = %q, want %q", e.Error(), want)
+	}
+	w := Wrap(CodeDuplicateKey, inner)
+	if !errors.Is(w, inner) {
+		t.Fatal("Wrap does not unwrap to the inner error")
+	}
+}

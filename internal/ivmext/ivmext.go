@@ -253,6 +253,7 @@ func (ext *Extension) createMaterializedView(st *sqlparser.CreateViewStmt) (*eng
 	// path is used by secondary CREATE INDEX builds.
 	is := ext.db.NewSession()
 	defer is.Close()
+	is.SetWALBypass(true) // derived state: rebuilt on recovery, never logged
 	if err := is.WithoutTriggers(func() error {
 		if _, err := is.ExecScript(comp.SetupSQL()); err != nil {
 			return fmt.Errorf("ivmext: setup script: %w", err)
@@ -271,6 +272,12 @@ func (ext *Extension) createMaterializedView(st *sqlparser.CreateViewStmt) (*eng
 	}); err != nil {
 		return nil, err
 	}
+
+	// Exclude the view's derived tables from the WAL and from
+	// checkpoints: recovery re-executes the CREATE MATERIALIZED VIEW,
+	// which rebuilds storage, delta tables and capture triggers from the
+	// recovered base tables.
+	markUnlogged(ext.db.Catalog(), comp)
 
 	// Register delta capture on every base table — once per delta table,
 	// even when several views share a base.
@@ -315,6 +322,28 @@ func deltaNames(comp *ivm.Compilation) []string {
 		out = append(out, b.Delta)
 	}
 	return out
+}
+
+// markUnlogged flags every table the compilation derives from base
+// state (delta tables, join-delta and delta-view scratch tables, the
+// view's storage table) as excluded from durability. Names that are
+// views rather than tables simply fail the catalog lookup and are
+// skipped.
+func markUnlogged(cat *catalog.Catalog, comp *ivm.Compilation) {
+	names := append(deltaNames(comp), comp.JoinDelta, comp.DeltaView)
+	st := comp.Storage
+	if st == "" {
+		st = comp.ViewName
+	}
+	names = append(names, st)
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		if t, err := cat.Table(name); err == nil {
+			t.SetUnlogged()
+		}
+	}
 }
 
 // capture appends delta rows for one base-table DML event: insertions with
@@ -416,6 +445,7 @@ func (ext *Extension) dropMaterializedView(comp *ivm.Compilation) error {
 	// sees these DROPs again, but none of them names a registered view.
 	is := ext.db.NewSession()
 	defer is.Close()
+	is.SetWALBypass(true) // the hook wrapper logs the single DROP VIEW record
 	for _, d := range dead {
 		ext.db.RemoveTrigger(d.base, "ivm_capture_"+d.delta)
 		if _, err := is.Exec("DROP TABLE IF EXISTS " + d.delta); err != nil {
@@ -553,6 +583,7 @@ func (ext *Extension) propagate(target *ivm.Compilation) error {
 	// is never shared across goroutines).
 	is := ext.db.NewSession()
 	defer is.Close()
+	is.SetWALBypass(true) // propagation touches only unlogged derived tables
 	return is.WithoutTriggers(func() error {
 		for _, n := range names {
 			comp := group[n]

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openivm/internal/enginerr"
 	"openivm/internal/sqltypes"
 )
 
@@ -48,8 +49,10 @@ const TxnBit = uint64(1) << 63
 
 // ErrSerialization is the distinct error class for snapshot-isolation
 // write-write conflicts. Statements and COMMITs that lose a conflict
-// wrap it; clients should ROLLBACK and retry the whole transaction.
-var ErrSerialization = errors.New("serialization failure")
+// wrap it; clients should ROLLBACK and retry the whole transaction. It
+// is a classified sentinel: enginerr.CodeOf resolves it (and anything
+// wrapping it) to SQLSTATE 40001 without string matching.
+var ErrSerialization error = enginerr.New(enginerr.CodeSerialization, "serialization failure")
 
 // IsSerialization reports whether err is (or wraps) a serialization
 // failure.
@@ -107,6 +110,16 @@ type Txn struct {
 	ops       [][]Op
 	storesArr [2]Store
 	opsArr    [2][]Op
+
+	// CommitHook, when set, runs inside Manager.Commit while the commit
+	// mutex is held, after the transaction's commit timestamp is
+	// published. Because commitMu serializes commits, hook invocations
+	// across transactions happen in commit-timestamp order — the
+	// property the write-ahead log relies on to append redo records in
+	// commit order (a crash then truncates a suffix of the commit
+	// sequence, never a hole in the middle). The hook must be fast and
+	// must not re-enter the manager.
+	CommitHook func(commitTS uint64)
 }
 
 // SetAutoCommit marks tx as a single-statement transaction: it commits
@@ -151,6 +164,16 @@ func (tx *Txn) Log(store Store, op Op) (first bool) {
 	}
 	tx.ops[i] = append(tx.ops[i], op)
 	return first
+}
+
+// Writes calls f once per store the transaction has logged ops
+// against, in first-touch order. The redo-capture path uses it to
+// derive a write-ahead-log record from the undo log at commit time; f
+// must not log further ops.
+func (tx *Txn) Writes(f func(store Store, ops []Op)) {
+	for i, s := range tx.stores {
+		f(s, tx.ops[i])
+	}
 }
 
 // Doom marks the transaction as having lost a conflict: its COMMIT will
@@ -402,6 +425,9 @@ func (m *Manager) Commit(tx *Txn) error {
 	for i, store := range tx.stores {
 		store.ApplyCommit(tx.ops[i], ts)
 	}
+	if tx.CommitHook != nil {
+		tx.CommitHook(ts)
+	}
 	m.lastTS.Store(ts)
 	m.commitMu.Unlock()
 	m.mu.Lock()
@@ -411,6 +437,18 @@ func (m *Manager) Commit(tx *Txn) error {
 	m.commits.Add(1)
 	m.maybeGC()
 	return nil
+}
+
+// WithCommitLock runs f while holding the commit mutex, excluding
+// every Commit (including its ApplyCommit publication and CommitHook).
+// The checkpoint protocol uses it to dump table state with no commit
+// caught between publishing its writes and appending its log record —
+// a window that would let a checkpoint double-count the commit. f must
+// not commit or abort transactions.
+func (m *Manager) WithCommitLock(f func()) {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	f()
 }
 
 // Abort reverts the transaction's writes (newest store first, each

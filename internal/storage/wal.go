@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout of a data directory:
+//
+//	wal-<seq>.owl        log segments (8-byte magic, then framed records)
+//	checkpoint-<seq>.owc snapshot files (magic, body, trailing CRC)
+//
+// Sequence numbers are monotonically increasing; recovery uses the
+// newest valid checkpoint and replays segments in ascending order.
+
+const (
+	walMagic   = "OIVMWAL1"
+	walExt     = ".owl"
+	ckptExt    = ".owc"
+	walPrefix  = "wal-"
+	ckptPrefix = "checkpoint-"
+	tmpSuffix  = ".tmp"
+)
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", walPrefix, seq, walExt))
+}
+
+func checkpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", ckptPrefix, seq, ckptExt))
+}
+
+// parseSeq extracts the sequence number from a segment or checkpoint
+// file name, returning ok=false for files that don't match the scheme.
+func parseSeq(name, prefix, ext string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(ext)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanDir lists segment and checkpoint sequence numbers in dir, each
+// sorted ascending. Stray .tmp files (crashed checkpoint writes) are
+// removed.
+func scanDir(dir string) (segs, ckpts []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if n, ok := parseSeq(name, walPrefix, walExt); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseSeq(name, ckptPrefix, ckptExt); ok {
+			ckpts = append(ckpts, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, nil
+}
+
+// createSegment creates and opens a fresh log segment with its magic
+// header written and synced.
+func createSegment(dir string, seq uint64) (*os.File, error) {
+	f, err := os.OpenFile(segmentPath(dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// segmentRecords reads every intact framed record payload from a
+// segment image (after the magic header). torn reports whether the
+// segment ended with a partial or corrupt frame rather than cleanly.
+func segmentRecords(b []byte) (payloads [][]byte, torn bool, err error) {
+	if len(b) < len(walMagic) || string(b[:len(walMagic)]) != walMagic {
+		return nil, false, fmt.Errorf("storage: bad segment magic")
+	}
+	rest := b[len(walMagic):]
+	for len(rest) > 0 {
+		payload, r, ok := readFrame(rest)
+		if !ok {
+			return payloads, true, nil
+		}
+		payloads = append(payloads, payload)
+		rest = r
+	}
+	return payloads, false, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Errors are returned for the caller to judge; on platforms
+// where directories can't be fsynced this is best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

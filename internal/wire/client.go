@@ -3,11 +3,11 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 
+	"openivm/internal/enginerr"
 	"openivm/internal/sqltypes"
 )
 
@@ -21,11 +21,19 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
 
+// SQLState returns the SQLSTATE class the server attached ("" when
+// none), so enginerr.CodeOf classifies remote errors exactly like local
+// ones — one classification path on both sides of the wire.
+func (e *RemoteError) SQLState() string { return e.Code }
+
 // IsSerializationError reports whether err is a remote serialization
 // failure (SQLSTATE 40001) — the client should retry the transaction.
+//
+// Deprecated: compare enginerr.CodeOf(err) against
+// enginerr.CodeSerialization; this wrapper remains for existing
+// callers.
 func IsSerializationError(err error) bool {
-	var re *RemoteError
-	return errors.As(err, &re) && re.Code == CodeSerialization
+	return enginerr.CodeOf(err) == enginerr.CodeSerialization
 }
 
 func remoteError(msg, code string) error {
@@ -221,13 +229,24 @@ func (c *Client) Tables() ([]string, error) {
 	return resp.Tables, nil
 }
 
-// Stats fetches the server's counter snapshot.
+// Stats fetches the flat v1 counter snapshot (compatibility shim; see
+// StatsV2 for the namespaced layout with storage counters).
 func (c *Client) Stats() (*Stats, error) {
 	resp, err := c.roundTrip(&Request{Op: "stats"})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// StatsV2 fetches the namespaced counter snapshot, grouped into
+// server.*, txn.*, and storage.* subsystems.
+func (c *Client) StatsV2() (*StatsV2, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats", Version: 2})
+	if err != nil {
+		return nil, err
+	}
+	return resp.StatsV2, nil
 }
 
 // collect drains a streamed exec into a materialized Response.

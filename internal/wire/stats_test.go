@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"os"
+	"testing"
+
+	"openivm/internal/engine"
+	"openivm/internal/storage"
+)
+
+// TestStatsV2Namespaced: the versioned stats op returns grouped counters
+// and the unversioned op keeps serving the flat v1 shim with the same
+// underlying numbers.
+func TestStatsV2Namespaced(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := cl.StatsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 == nil {
+		t.Fatal("stats version 2 returned no statsV2 payload")
+	}
+	if v2.Version != 2 {
+		t.Fatalf("StatsV2.Version = %d, want 2", v2.Version)
+	}
+	if v2.Server.ActiveConns < 1 || v2.Server.TotalConns < 1 {
+		t.Fatalf("server group not populated: %+v", v2.Server)
+	}
+	if v2.Txn.Commits < 1 {
+		t.Fatalf("txn group not populated: %+v", v2.Txn)
+	}
+	// Default backend is in-memory: not durable, counters at rest.
+	if v2.Storage.Durable {
+		t.Fatalf("MemBackend reported durable: %+v", v2.Storage)
+	}
+	if v2.Storage.LastCheckpointMS != -1 {
+		t.Fatalf("MemBackend lastCheckpointMS = %d, want -1", v2.Storage.LastCheckpointMS)
+	}
+
+	v1, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == nil {
+		t.Fatal("unversioned stats returned no flat payload")
+	}
+	if v1.ActiveConns != v2.Server.ActiveConns || v1.TotalConns != v2.Server.TotalConns {
+		t.Fatalf("v1 shim disagrees with v2: v1=%+v server=%+v", v1, v2.Server)
+	}
+	if v1.TxnCommits < v2.Txn.Commits {
+		t.Fatalf("v1 shim txnCommits = %d, want >= %d", v1.TxnCommits, v2.Txn.Commits)
+	}
+}
+
+// TestStatsV2Storage: with a disk backend attached, the storage.* group
+// carries live WAL counters over the wire.
+func TestStatsV2Storage(t *testing.T) {
+	dir, err := os.MkdirTemp("", "wirewal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	db := engine.Open("srv", engine.DialectPostgres)
+	b, err := storage.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	if _, err := cl.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.StatsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Storage.Durable {
+		t.Fatalf("disk backend not reported durable: %+v", st.Storage)
+	}
+	if st.Storage.WALRecords < 2 || st.Storage.WALBytes <= 0 || st.Storage.Fsyncs < 1 {
+		t.Fatalf("WAL counters not live over the wire: %+v", st.Storage)
+	}
+}

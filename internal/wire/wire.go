@@ -30,8 +30,9 @@
 //	{"op":"schema","table":"t"}   -> column names and types of a table
 //	{"op":"tables"}               -> list table names
 //	{"op":"ping"}                 -> liveness check
-//	{"op":"stats"}                -> server counters (conns, plan cache,
-//	                                 governor kills, streamed batches)
+//	{"op":"stats"}                -> flat v1 counter snapshot (compat)
+//	{"op":"stats","version":2}    -> namespaced counters: server.*,
+//	                                 txn.*, storage.* (WAL/checkpoints)
 //	{"op":"token"}                -> this session's cancellation token
 //	{"op":"cancel","token":"..."} -> interrupt that session's statement
 //	{"op":"prepare","name":"p","sql":"..."}          -> parse + mark once
@@ -61,6 +62,7 @@ import (
 	"time"
 
 	"openivm/internal/engine"
+	"openivm/internal/enginerr"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
 )
@@ -73,6 +75,9 @@ type Request struct {
 	Name   string           `json:"name,omitempty"`   // prepared-statement name
 	Params []sqltypes.Value `json:"params,omitempty"` // execPrepared bindings ($1 = Params[0])
 	Token  string           `json:"token,omitempty"`  // cancel target
+	// Version selects the stats payload shape: 0/1 returns the flat v1
+	// Stats shim, 2 the namespaced StatsV2 groups.
+	Version int `json:"version,omitempty"`
 }
 
 // ColumnDesc describes one column in a schema response.
@@ -82,7 +87,10 @@ type ColumnDesc struct {
 	NotNull bool   `json:"notNull,omitempty"`
 }
 
-// Stats is the server-side counter snapshot returned by the stats op.
+// Stats is the flat v1 counter snapshot returned by {"op":"stats"} with
+// no version field. It predates the namespaced layout and is kept as a
+// compatibility shim; its fields are a strict subset of StatsV2 flattened
+// into one struct. New clients should request version 2 and read StatsV2.
 type Stats struct {
 	ActiveConns    int   `json:"activeConns"`
 	TotalConns     int64 `json:"totalConns"`
@@ -107,10 +115,64 @@ type Stats struct {
 	GCVersions       int64 `json:"gcVersions"`       // dead row versions reclaimed
 }
 
+// ServerStats is the "server.*" group of StatsV2: connection admission,
+// plan cache, streaming, and governor counters.
+type ServerStats struct {
+	ActiveConns     int   `json:"activeConns"`
+	TotalConns      int64 `json:"totalConns"`
+	RejectedConns   int64 `json:"rejectedConns"`
+	PlanCacheSize   int   `json:"planCacheSize"`
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMiss   int64 `json:"planCacheMiss"`
+	PreparedMarked  int   `json:"preparedMarked"`
+	GovernorKills   int64 `json:"governorKills"`
+	TimeoutKills    int64 `json:"timeoutKills"`
+	Cancels         int64 `json:"cancels"`
+	StreamedBatches int64 `json:"streamedBatches"`
+	StreamedRows    int64 `json:"streamedRows"`
+}
+
+// TxnStats is the "txn.*" group of StatsV2: MVCC transaction counters.
+type TxnStats struct {
+	ActiveTxns       int64 `json:"activeTxns"`
+	OldestSnapshotMS int64 `json:"oldestSnapshotMS"`
+	Commits          int64 `json:"commits"`
+	ConflictAborts   int64 `json:"conflictAborts"`
+	GCVersions       int64 `json:"gcVersions"`
+}
+
+// StorageStats is the "storage.*" group of StatsV2: durability counters
+// from the attached storage backend. With the default in-memory backend
+// Durable is false and the counters stay zero (lastCheckpointMS = -1).
+type StorageStats struct {
+	Durable                 bool  `json:"durable"`
+	WALBytes                int64 `json:"walBytes"`
+	WALRecords              int64 `json:"walRecords"`
+	Fsyncs                  int64 `json:"fsyncs"`
+	GroupCommitBatches      int64 `json:"groupCommitBatches"`
+	Checkpoints             int64 `json:"checkpoints"`
+	LastCheckpointMS        int64 `json:"lastCheckpointMS"`
+	RecoveryReplayedRecords int64 `json:"recoveryReplayedRecords"`
+	RecoveryReplayedBytes   int64 `json:"recoveryReplayedBytes"`
+}
+
+// StatsV2 is the versioned, namespaced counter snapshot returned by
+// {"op":"stats","version":2}. Counters are grouped by subsystem so new
+// groups can be added without colliding with existing field names.
+type StatsV2 struct {
+	Version int          `json:"version"`
+	Server  ServerStats  `json:"server"`
+	Txn     TxnStats     `json:"txn"`
+	Storage StorageStats `json:"storage"`
+}
+
 // CodeSerialization is the SQLSTATE class carried on serialization
 // failures (write-write conflicts under snapshot isolation). Clients
 // should retry the whole transaction when they see it.
-const CodeSerialization = "40001"
+//
+// Deprecated: the engine-wide class constants live in
+// internal/enginerr; this alias remains for existing callers.
+const CodeSerialization = enginerr.CodeSerialization
 
 // Response is one server->client message.
 type Response struct {
@@ -122,6 +184,7 @@ type Response struct {
 	Schema       []ColumnDesc       `json:"schema,omitempty"`
 	Tables       []string           `json:"tables,omitempty"`
 	Stats        *Stats             `json:"stats,omitempty"`
+	StatsV2      *StatsV2           `json:"statsV2,omitempty"`
 	Token        string             `json:"token,omitempty"`
 }
 
@@ -274,14 +337,12 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader, sess *engine.Session) 
 	}
 }
 
-// errResponse wraps an engine error, classifying serialization failures
-// so clients can tell "retry the transaction" from "fix the statement".
+// errResponse wraps an engine error, carrying whatever SQLSTATE class
+// the construction site attached (serialization 40001, duplicate-key
+// 23505, undefined-table 42P01, ...) so clients can tell "retry the
+// transaction" from "fix the statement" without string matching.
 func errResponse(err error) *Response {
-	resp := &Response{Error: err.Error()}
-	if engine.IsSerializationError(err) {
-		resp.Code = CodeSerialization
-	}
-	return resp
+	return &Response{Error: err.Error(), Code: enginerr.CodeOf(err)}
 }
 
 // handle serves the materialized (v1-compatible) operations.
@@ -316,7 +377,10 @@ func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	case "tables":
 		return &Response{Tables: s.DB.Catalog().TableNames()}
 	case "stats":
-		return &Response{Stats: s.snapshotStats()}
+		if req.Version >= 2 {
+			return &Response{StatsV2: s.snapshotStatsV2()}
+		}
+		return &Response{Stats: flattenStats(s.snapshotStatsV2())}
 	case "token":
 		return &Response{Token: sess.Token()}
 	case "cancel":
@@ -331,10 +395,13 @@ func (s *Server) handle(sess *engine.Session, req *Request) *Response {
 	return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
 }
 
-func (s *Server) snapshotStats() *Stats {
+// snapshotStatsV2 assembles the canonical namespaced snapshot; the flat
+// v1 payload is derived from it by flattenStats.
+func (s *Server) snapshotStatsV2() *StatsV2 {
 	cs := s.DB.StmtCacheStats()
+	st := &StatsV2{Version: 2}
 	s.mu.Lock()
-	st := &Stats{
+	st.Server = ServerStats{
 		ActiveConns:    len(s.conns),
 		TotalConns:     s.totalConns,
 		RejectedConns:  s.rejectedConns,
@@ -344,18 +411,56 @@ func (s *Server) snapshotStats() *Stats {
 		PreparedMarked: s.DB.PreparedCount(),
 	}
 	s.mu.Unlock()
-	st.GovernorKills = s.governorKills.Load()
-	st.TimeoutKills = s.timeoutKills.Load()
-	st.Cancels = s.cancels.Load()
-	st.StreamedBatches = s.streamedBatches.Load()
-	st.StreamedRows = s.streamedRows.Load()
+	st.Server.GovernorKills = s.governorKills.Load()
+	st.Server.TimeoutKills = s.timeoutKills.Load()
+	st.Server.Cancels = s.cancels.Load()
+	st.Server.StreamedBatches = s.streamedBatches.Load()
+	st.Server.StreamedRows = s.streamedRows.Load()
 	ts := s.DB.TxnStats()
-	st.ActiveTxns = ts.ActiveTxns
-	st.OldestSnapshotMS = ts.OldestSnapshotMS
-	st.TxnCommits = int64(ts.Commits)
-	st.ConflictAborts = int64(ts.ConflictAborts)
-	st.GCVersions = int64(ts.GCVersions)
+	st.Txn = TxnStats{
+		ActiveTxns:       ts.ActiveTxns,
+		OldestSnapshotMS: ts.OldestSnapshotMS,
+		Commits:          int64(ts.Commits),
+		ConflictAborts:   int64(ts.ConflictAborts),
+		GCVersions:       int64(ts.GCVersions),
+	}
+	ss := s.DB.StorageStats()
+	st.Storage = StorageStats{
+		Durable:                 ss.Durable,
+		WALBytes:                ss.WALBytes,
+		WALRecords:              ss.WALRecords,
+		Fsyncs:                  ss.Fsyncs,
+		GroupCommitBatches:      ss.GroupCommitBatches,
+		Checkpoints:             ss.Checkpoints,
+		LastCheckpointMS:        ss.LastCheckpointMS,
+		RecoveryReplayedRecords: ss.ReplayedRecords,
+		RecoveryReplayedBytes:   ss.ReplayedBytes,
+	}
 	return st
+}
+
+// flattenStats projects the v2 snapshot onto the flat v1 shim for
+// clients that do not send a version.
+func flattenStats(v2 *StatsV2) *Stats {
+	return &Stats{
+		ActiveConns:      v2.Server.ActiveConns,
+		TotalConns:       v2.Server.TotalConns,
+		RejectedConns:    v2.Server.RejectedConns,
+		PlanCacheSize:    v2.Server.PlanCacheSize,
+		PlanCacheHits:    v2.Server.PlanCacheHits,
+		PlanCacheMiss:    v2.Server.PlanCacheMiss,
+		PreparedMarked:   v2.Server.PreparedMarked,
+		GovernorKills:    v2.Server.GovernorKills,
+		TimeoutKills:     v2.Server.TimeoutKills,
+		Cancels:          v2.Server.Cancels,
+		StreamedBatches:  v2.Server.StreamedBatches,
+		StreamedRows:     v2.Server.StreamedRows,
+		ActiveTxns:       v2.Txn.ActiveTxns,
+		OldestSnapshotMS: v2.Txn.OldestSnapshotMS,
+		TxnCommits:       v2.Txn.Commits,
+		ConflictAborts:   v2.Txn.ConflictAborts,
+		GCVersions:       v2.Txn.GCVersions,
+	}
 }
 
 // classifyKill records why a statement context died, if it did.
@@ -499,9 +604,7 @@ func (c *v2conn) streamExec(req *Request) error {
 		if berr != nil {
 			s.classifyKill(ctx)
 			tr.Error = berr.Error()
-			if engine.IsSerializationError(berr) {
-				tr.Code = CodeSerialization
-			}
+			tr.Code = enginerr.CodeOf(berr)
 			break
 		}
 		if batch == nil {
