@@ -35,6 +35,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,6 +89,10 @@ func main() {
 }
 
 // serve hosts the engine behind the wire protocol until interrupted.
+// The first interrupt drains gracefully: no new connections, in-flight
+// statements run to a 10s deadline, then stragglers are interrupted
+// through their per-statement contexts and streaming clients receive a
+// clean trailer. A second interrupt cuts the drain short.
 func serve(addr string) {
 	db, _ := openDB()
 	defer db.Close()
@@ -101,7 +106,16 @@ func serve(addr string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	srv.Close()
+	fmt.Println("minidb draining (ctrl-c again to stop now)")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown: interrupted in-flight statements:", err)
+	}
 }
 
 // repl drives the shared line-reading loop. onSQL runs a complete

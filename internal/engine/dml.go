@@ -8,6 +8,7 @@ import (
 	"openivm/internal/catalog"
 	"openivm/internal/exec"
 	"openivm/internal/expr"
+	"openivm/internal/fault"
 	"openivm/internal/mvcc"
 	"openivm/internal/plan"
 	"openivm/internal/sqlparser"
@@ -532,12 +533,23 @@ func (s *Session) beginWrite() (*mvcc.Txn, *walPending, func(error) error) {
 	tx := mgr.Begin()
 	tx.SetAutoCommit()
 	wp := s.walArm(tx)
+	s.activeWrite = tx // panic cleanup target until completion runs
 	settled := false
 	return tx, wp, func(err error) error {
 		if settled {
 			return err
 		}
 		settled = true
+		if err == nil {
+			// Injected while activeWrite is still set: a panic-action fire
+			// unwinds into recoverStatement, which aborts the transaction.
+			if ferr := fault.Inject(fault.EngineCommit); ferr != nil {
+				s.activeWrite = nil
+				mgr.Abort(tx)
+				return ferr
+			}
+		}
+		s.activeWrite = nil
 		if cerr := mgr.Commit(tx); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -581,6 +593,13 @@ func (s *Session) execCommit() (*Result, error) {
 		return nil, fmt.Errorf("engine: no transaction in progress")
 	}
 	tx := s.txn
+	// Injected while s.txn is still set: a panic-action fire unwinds into
+	// recoverStatement, which aborts the whole transaction.
+	if ferr := fault.Inject(fault.EngineCommit); ferr != nil {
+		s.txn = nil
+		s.db.cat.MVCC().Abort(tx.mtx)
+		return nil, ferr
+	}
 	s.txn = nil // deferred fires below run in autocommit, not re-queued
 	if err := s.db.cat.MVCC().Commit(tx.mtx); err != nil {
 		// First-committer-wins conflict: the manager has already aborted

@@ -56,20 +56,24 @@ func (wp *walPending) truncate(tbl *catalog.Table) {
 // wait completes group commit after a successful MVCC commit: block
 // until the staged record's fsync, then take a checkpoint if the log
 // has grown past the threshold. Safe on a nil receiver (logging off).
+// Any I/O-classified failure on this path degrades the engine to
+// read-only (see robustness.go): the backend's sticky flushErr would
+// refuse every later commit anyway, so the engine fails fast instead.
 func (wp *walPending) wait(db *DB) error {
 	if wp == nil {
 		return nil
 	}
 	if wp.err != nil {
-		return wp.err
+		return db.noteStorageErr(wp.err)
 	}
 	if wp.lsn == 0 {
 		return nil // read-only or unlogged-only transaction
 	}
-	if err := db.backend.WaitDurable(wp.lsn); err != nil {
-		return err
+	be := db.be()
+	if err := be.WaitDurable(wp.lsn); err != nil {
+		return db.noteStorageErr(err)
 	}
-	if db.backend.NeedCheckpoint() {
+	if be.NeedCheckpoint() {
 		return db.Checkpoint()
 	}
 	return nil
@@ -106,17 +110,41 @@ func (s *Session) walArm(tx *mvcc.Txn) *walPending {
 		if len(rec.Ops) == 0 {
 			return
 		}
-		wp.lsn, wp.err = s.db.backend.AppendCommit(&rec)
+		wp.lsn, wp.err = s.db.be().AppendCommit(&rec)
 	}
 	return wp
 }
 
+// be reads the backend pointer under its lock (a degraded re-attach
+// swaps it while stats readers may be live).
+func (db *DB) be() storage.Backend {
+	db.backendMu.RLock()
+	b := db.backend
+	db.backendMu.RUnlock()
+	return b
+}
+
+// setBackend swaps the backend pointer (instance setup and degraded
+// re-attach only).
+func (db *DB) setBackend(b storage.Backend) {
+	db.backendMu.Lock()
+	db.backend = b
+	db.backendMu.Unlock()
+}
+
+// appendDDL stages and syncs one DDL record, degrading the engine on an
+// I/O-classified failure (DDL pays its own fsync, so the failure is
+// observed here, not at group commit).
+func (s *Session) appendDDL(rec *storage.DDLRecord) error {
+	return s.db.noteStorageErr(s.db.be().AppendDDL(rec))
+}
+
 // Backend returns the storage backend (storage.MemBackend unless a
 // durable one was attached).
-func (db *DB) Backend() storage.Backend { return db.backend }
+func (db *DB) Backend() storage.Backend { return db.be() }
 
 // StorageStats returns the backend's counter snapshot.
-func (db *DB) StorageStats() storage.Stats { return db.backend.Stats() }
+func (db *DB) StorageStats() storage.Stats { return db.be().Stats() }
 
 // Durable reports whether a durable backend is attached and armed.
 func (db *DB) Durable() bool { return db.logging.Load() }
@@ -125,7 +153,7 @@ func (db *DB) Durable() bool { return db.logging.Load() }
 // used afterwards.
 func (db *DB) Close() error {
 	db.logging.Store(false)
-	return db.backend.Close()
+	return db.be().Close()
 }
 
 // AttachBackend installs a durable storage backend: it replays the
@@ -138,10 +166,13 @@ func (db *DB) Close() error {
 // IVM extension must be present to rebuild materialized views) and
 // before the DB serves sessions concurrently.
 func (db *DB) AttachBackend(b storage.Backend) error {
+	if db.degr.flag.Load() {
+		return db.reattachDegraded(b)
+	}
 	if db.logging.Load() {
 		return fmt.Errorf("engine: a durable backend is already attached")
 	}
-	db.backend = b
+	db.setBackend(b)
 	if !b.Durable() {
 		return nil
 	}
@@ -329,21 +360,22 @@ func (db *DB) Checkpoint() error {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	var cerr error
+	be := db.be()
 	db.cat.MVCC().WithCommitLock(func() {
-		lastLSN, err := db.backend.BeginCheckpoint()
+		lastLSN, err := be.BeginCheckpoint()
 		if err != nil {
 			cerr = err
 			return
 		}
 		snap, err := db.assembleCheckpoint(lastLSN)
 		if err != nil {
-			db.backend.EndCheckpoint()
+			be.EndCheckpoint()
 			cerr = err
 			return
 		}
-		cerr = db.backend.Checkpoint(snap)
+		cerr = be.Checkpoint(snap)
 	})
-	return cerr
+	return db.noteStorageErr(cerr)
 }
 
 // assembleCheckpoint dumps every logged table, plain view and
@@ -417,7 +449,7 @@ func (s *Session) logCreateTable(tbl *catalog.Table, rows []sqltypes.Row) error 
 	for i, c := range tbl.Columns {
 		rec.Columns[i] = storage.ColumnDef{Name: c.Name, Type: c.Type, NotNull: c.NotNull, HasDefault: c.HasDef, Default: c.Default}
 	}
-	return s.db.backend.AppendDDL(rec)
+	return s.appendDDL(rec)
 }
 
 // logHookDDL logs schema changes that a statement hook handled before
@@ -433,7 +465,7 @@ func (s *Session) logHookDDL(stmt sqlparser.Statement) error {
 	case *sqlparser.CreateViewStmt:
 		if st.Materialized {
 			if _, ok := s.db.cat.IVM(st.Name); ok {
-				return s.db.backend.AppendDDL(&storage.DDLRecord{
+				return s.appendDDL(&storage.DDLRecord{
 					Kind: storage.DDLCreateMatView, Name: st.Name, SQL: st.SourceSQL,
 				})
 			}
@@ -441,12 +473,12 @@ func (s *Session) logHookDDL(stmt sqlparser.Statement) error {
 	case *sqlparser.DropStmt:
 		switch st.Kind {
 		case "VIEW":
-			return s.db.backend.AppendDDL(&storage.DDLRecord{
+			return s.appendDDL(&storage.DDLRecord{
 				Kind: storage.DDLDrop, Name: st.Name, ObjectKind: "VIEW",
 			})
 		case "TABLE":
 			if !s.db.cat.HasTable(st.Name) {
-				return s.db.backend.AppendDDL(&storage.DDLRecord{
+				return s.appendDDL(&storage.DDLRecord{
 					Kind: storage.DDLDrop, Name: st.Name, ObjectKind: "TABLE",
 				})
 			}
@@ -464,7 +496,7 @@ func (s *Session) walInstant(tbl *catalog.Table, kind storage.OpKind, row sqltyp
 	if !s.walLogging() || tbl.Unlogged() {
 		return nil
 	}
-	return s.db.backend.AppendInstant(&storage.CommitRecord{
+	return s.db.noteStorageErr(s.db.be().AppendInstant(&storage.CommitRecord{
 		Ops: []storage.RedoOp{{Table: tbl.Name, Kind: kind, Row: row}},
-	})
+	}))
 }

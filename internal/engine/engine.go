@@ -151,15 +151,22 @@ type DB struct {
 	// backend is the storage backend (storage.MemBackend unless
 	// AttachBackend installed a durable one). logging flips on once
 	// AttachBackend finishes recovery: from then on committed DML and
-	// DDL produce redo records. Reads of backend after Open are
-	// lock-free — AttachBackend is part of instance setup, before
-	// concurrent use.
-	backend storage.Backend
-	logging atomic.Bool
+	// DDL produce redo records. backendMu guards the pointer itself —
+	// normally set once during instance setup, but a degraded re-attach
+	// (see robustness.go) swaps it while stats readers are live; read it
+	// through db.be().
+	backendMu sync.RWMutex
+	backend   storage.Backend
+	logging   atomic.Bool
 
 	// ckptMu serializes checkpoint attempts (NeedCheckpoint can trip in
 	// several sessions at once).
 	ckptMu sync.Mutex
+
+	// degr is the read-only degraded-mode state (see robustness.go);
+	// panicsRecovered counts statement panics converted to XX000 errors.
+	degr            degradedState
+	panicsRecovered atomic.Int64
 }
 
 // cachedPlan is one plan-cache entry, valid while the schema epoch holds
@@ -584,9 +591,11 @@ func (db *DB) PlanSelect(sel *sqlparser.SelectStmt) (plan.Node, error) {
 	return db.def.PlanSelect(sel)
 }
 
-// execStmt runs the hook pass and dispatches a parsed statement. ctx
-// cancels any query execution the statement performs.
-func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
+// execStmtInner runs the hook pass and dispatches a parsed statement.
+// ctx cancels any query execution the statement performs. Callers go
+// through execStmt (robustness.go), which layers the degraded-mode
+// write rejection and panic isolation on top.
+func (s *Session) execStmtInner(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
 	// Statement hooks first (IVM interception etc.). A hook-handled
 	// schema change (materialized-view create/drop) is logged here —
 	// the engine's own DDL cases below never see it.
@@ -619,7 +628,7 @@ func (s *Session) execStmt(ctx context.Context, stmt sqlparser.Statement) (*Resu
 		}
 		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 		if s.walLogging() {
-			if err := s.db.backend.AppendDDL(&storage.DDLRecord{Kind: storage.DDLCreateView, Name: st.Name, SQL: st.SourceSQL}); err != nil {
+			if err := s.appendDDL(&storage.DDLRecord{Kind: storage.DDLCreateView, Name: st.Name, SQL: st.SourceSQL}); err != nil {
 				return nil, err
 			}
 		}
@@ -917,7 +926,7 @@ func (s *Session) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error
 		s.db.bumpSchemaEpoch() // after the mutation; see execCreateTable
 		if s.walLogging() && !tbl.Unlogged() {
 			rec := &storage.DDLRecord{Kind: storage.DDLCreateIndex, Name: st.Name, Table: st.Table, IdxColumns: st.Columns, Unique: st.Unique}
-			if err := s.db.backend.AppendDDL(rec); err != nil {
+			if err := s.appendDDL(rec); err != nil {
 				return nil, err
 			}
 		}
@@ -930,7 +939,7 @@ func (s *Session) execDrop(st *sqlparser.DropStmt) (*Result, error) {
 		if !s.walLogging() {
 			return nil
 		}
-		return s.db.backend.AppendDDL(&storage.DDLRecord{Kind: storage.DDLDrop, Name: st.Name, ObjectKind: objectKind})
+		return s.appendDDL(&storage.DDLRecord{Kind: storage.DDLDrop, Name: st.Name, ObjectKind: objectKind})
 	}
 	switch st.Kind {
 	case "TABLE":

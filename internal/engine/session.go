@@ -54,6 +54,12 @@ type Session struct {
 	// must take their own NewSession.
 	txn *txnState
 
+	// activeWrite is the autocommit write transaction of the statement
+	// currently executing (nil otherwise). Tracked so the statement-level
+	// panic recovery (robustness.go) can abort it instead of leaking an
+	// open MVCC transaction. Same synchronization contract as txn.
+	activeWrite *mvcc.Txn
+
 	// trigOff counts nested WithoutTriggers scopes. An atomic because the
 	// legacy default session is shared by concurrent callers of db.Exec
 	// (see the txn comment for the limits of that sharing).

@@ -35,6 +35,20 @@ const (
 	// or WAL record that fails its checksum or decodes inconsistently
 	// beyond the tolerated torn tail. Not retryable.
 	CodeRecoveryCorruption = "XX001"
+	// CodeIOFailure is a storage-layer I/O failure (failed write, fsync,
+	// rename, or directory sync — including ENOSPC). The engine responds
+	// by degrading to read-only: subsequent writes fail fast with this
+	// class until an operator re-attaches a healthy backend. Not
+	// retryable against the same backend.
+	CodeIOFailure = "58030"
+	// CodeInternal is a recovered internal error (a panic caught at the
+	// statement or connection boundary). The statement's transaction has
+	// been rolled back; the session and other connections are unaffected.
+	CodeInternal = "XX000"
+	// CodeShutdown reports that the server is shutting down and refused
+	// or interrupted the operation. Retryable against another replica or
+	// after the server returns.
+	CodeShutdown = "57P01"
 )
 
 // Error is a classified engine error: a SQLSTATE class plus a message,

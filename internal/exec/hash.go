@@ -503,6 +503,7 @@ func (it *batchJoin) buildHashTable(opts Options) {
 	rowChunks := sqltypes.PartitionRows(rows, nparts)
 	keyed := make([]keyedChunk, len(rowChunks))
 	var wg sync.WaitGroup
+	var pc panicCapture
 	base := 0
 	for ci, ch := range rowChunks {
 		kc := &keyed[ci]
@@ -511,6 +512,7 @@ func (it *batchJoin) buildHashTable(opts Options) {
 		wg.Add(1)
 		go func(ch []sqltypes.Row, kc *keyedChunk) {
 			defer wg.Done()
+			defer pc.capture()
 			scratch := make(sqltypes.Row, len(it.buildKeys))
 			kc.hashes = make([]uint32, len(ch))
 			kc.offs = make([]uint32, len(ch)+1)
@@ -525,6 +527,7 @@ func (it *batchJoin) buildHashTable(opts Options) {
 		}(ch, kc)
 	}
 	wg.Wait()
+	pc.rethrow()
 
 	// Phase B: one goroutine per radix partition inserts its share of every
 	// chunk, in chunk (= global row) order.
@@ -533,6 +536,7 @@ func (it *batchJoin) buildHashTable(opts Options) {
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
+			defer pc.capture()
 			part := &it.parts[pi]
 			part.table = newByteTable(presize(len(rows) / nparts))
 			part.buckets = make([]joinBucket, 0, len(rows)/nparts)
@@ -554,6 +558,34 @@ func (it *batchJoin) buildHashTable(opts Options) {
 		}(pi)
 	}
 	wg.Wait()
+	pc.rethrow()
+}
+
+// panicCapture routes a worker panic to the coordinator goroutine: the
+// workers here have no error channel, and a panic escaping one of them
+// would kill the process instead of reaching the statement-level
+// recovery boundary. Workers `defer pc.capture()`; the coordinator
+// calls rethrow after wg.Wait, re-raising the first captured value on a
+// goroutine the engine's recover covers.
+type panicCapture struct {
+	mu sync.Mutex
+	v  any
+}
+
+func (p *panicCapture) capture() {
+	if r := recover(); r != nil {
+		p.mu.Lock()
+		if p.v == nil {
+			p.v = r
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *panicCapture) rethrow() {
+	if p.v != nil {
+		panic(p.v)
+	}
 }
 
 // matchBuild returns candidate build-row indexes for the probe row (valid

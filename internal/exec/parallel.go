@@ -2,7 +2,9 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -324,6 +326,17 @@ func (it *parallelScan) start() {
 					return false
 				}
 			}
+			// A panic in the morsel pipeline becomes a morsel error on the
+			// consumer, where the statement-level recovery boundary owns it —
+			// a worker goroutine crashing would kill the whole process.
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					it.queue.cancel()
+					it.wakeStalled(true)
+					send(morselOut{err: fmt.Errorf("exec: panic in parallel scan worker: %v\n%s", r, debug.Stack())})
+				}
+			}()
 			for !failed.Load() {
 				if err := ctxErr(it.ctx); err != nil {
 					failed.Store(true)
@@ -600,6 +613,11 @@ func (it *parallelAgg) buildMerge() error {
 		wg.Add(1)
 		go func(w int, la *batchAgg) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("exec: panic in parallel aggregation worker: %v\n%s", r, debug.Stack())
+				}
+			}()
 			errs[w] = la.build()
 			la.built = true
 		}(w, la)

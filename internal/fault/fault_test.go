@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectDisabledIsNil(t *testing.T) {
+	Reset()
+	if err := Inject(WALFsync); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+}
+
+// TestInjectDisabledZeroAlloc is the zero-cost-when-disabled guard: a
+// site call with no failpoints armed must not allocate.
+func TestInjectDisabledZeroAlloc(t *testing.T) {
+	Reset()
+	armed.Store(false)
+	defer armed.Store(true) // other tests in the binary may have armed points
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := Inject(WALFsync); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Inject allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// The armed-but-different-site path must also stay allocation free:
+// chaos runs arm a handful of sites while every other site keeps firing
+// on the hot path.
+func TestInjectArmedOtherSiteZeroAlloc(t *testing.T) {
+	Reset()
+	if err := Activate(WireAccept, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Reset()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := Inject(WALFsync); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("armed-other-site Inject allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Activate(WALFsync, "error(disk on fire)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(WALFsync)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("message lost: %v", err)
+	}
+	if hits, fired := Hits(WALFsync); hits != 1 || fired != 1 {
+		t.Fatalf("hits=%d fired=%d, want 1,1", hits, fired)
+	}
+	// Other sites stay clean.
+	if err := Inject(WALWrite); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestSentinelActions(t *testing.T) {
+	Reset()
+	defer Reset()
+	for spec, want := range map[string]error{
+		"enospc":     ErrNoSpace,
+		"shortwrite": ErrShortWrite,
+		"disconnect": ErrDisconnect,
+	} {
+		if err := Activate("test/site", spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inject("test/site"); !errors.Is(err, want) {
+			t.Fatalf("%s: got %v", spec, err)
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Activate(EngineCommit, "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Inject(EngineCommit)
+}
+
+func TestDelayAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Activate("test/slow", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("test/slow"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay only slept %v", d)
+	}
+}
+
+func TestAfterAndTimesModifiers(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Skip 3, then fire exactly twice, then the point exhausts.
+	if err := Activate("test/at", "error@after3@times2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Inject("test/at") != nil {
+			fired++
+			if i < 3 {
+				t.Fatalf("fired on hit %d despite after3", i+1)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	// Exhausted points deactivate entirely.
+	if hits, _ := Hits("test/at"); hits != 0 {
+		t.Fatalf("exhausted point still registered (hits=%d)", hits)
+	}
+}
+
+func TestOneInN(t *testing.T) {
+	Reset()
+	defer Reset()
+	Seed(42)
+	if err := Activate("test/coin", "error@1in4"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 4000; i++ {
+		if Inject("test/coin") != nil {
+			fired++
+		}
+	}
+	// 1/4 of 4000 = 1000 expected; allow a generous band.
+	if fired < 700 || fired > 1300 {
+		t.Fatalf("1in4 fired %d/4000 times", fired)
+	}
+	// Same seed replays the same schedule.
+	Seed(42)
+	if err := Activate("test/coin", "error@1in4"); err != nil {
+		t.Fatal(err)
+	}
+	var fired2 int
+	for i := 0; i < 4000; i++ {
+		if Inject("test/coin") != nil {
+			fired2++
+		}
+	}
+	if fired != fired2 {
+		t.Fatalf("seed-pinned schedule not reproducible: %d vs %d", fired, fired2)
+	}
+}
+
+func TestActivateSpecList(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ActivateSpec("storage/wal-fsync=error; wire/frame-write = delay(1ms)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Active()); got != 2 {
+		t.Fatalf("%d active points, want 2: %v", got, Active())
+	}
+	if Inject(WALFsync) == nil {
+		t.Fatal("wal-fsync did not fire")
+	}
+	Deactivate(WALFsync)
+	if Inject(WALFsync) != nil {
+		t.Fatal("deactivated site fired")
+	}
+}
+
+func TestActivateErrTyped(t *testing.T) {
+	Reset()
+	defer Reset()
+	sentinel := errors.New("custom typed failure")
+	ActivateErr("test/typed", sentinel)
+	err := Inject("test/typed")
+	if !errors.Is(err, sentinel) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("typed error lost: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "explode", "delay", "delay(nope)", "error@1in0",
+		"error@times0", "error@sometimes", "error(unterminated",
+	} {
+		if _, err := parsePoint("s", spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+	if err := ActivateSpec("no-equals-sign"); err == nil {
+		t.Error("malformed list accepted")
+	}
+}
+
+func TestInjectedCounter(t *testing.T) {
+	Reset()
+	defer Reset()
+	before := Injected()
+	if err := Activate("test/count", "error@times3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		Inject("test/count")
+	}
+	if got := Injected() - before; got != 3 {
+		t.Fatalf("Injected advanced by %d, want 3", got)
+	}
+}
+
+func BenchmarkInjectDisabled(b *testing.B) {
+	Reset()
+	armed.Store(false)
+	defer armed.Store(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(WALFsync); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInjectArmedOtherSite(b *testing.B) {
+	Reset()
+	if err := Activate(WireAccept, "error"); err != nil {
+		b.Fatal(err)
+	}
+	defer Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(WALFsync); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -8,7 +9,17 @@ import (
 	"time"
 
 	"openivm/internal/enginerr"
+	"openivm/internal/fault"
 )
+
+// wrapIO classifies a physical I/O failure (write, fsync, rename,
+// directory sync — or an injected stand-in) as SQLSTATE 58030 so it
+// surfaces over the wire as a class clients can act on, not a raw
+// *os.PathError string. The engine keys its read-only degradation on
+// this class. Wrapping nil returns nil.
+func wrapIO(err error) error {
+	return enginerr.Wrap(enginerr.CodeIOFailure, err)
+}
 
 // DiskBackend is the durable Backend: a write-ahead log of framed redo
 // records plus columnar checkpoint files in a single data directory.
@@ -98,6 +109,9 @@ func (b *DiskBackend) AppendCommit(rec *CommitRecord) (uint64, error) {
 	if err := b.appendableLocked(); err != nil {
 		return 0, err
 	}
+	if err := fault.Inject(fault.WALAppend); err != nil {
+		return 0, wrapIO(err)
+	}
 	lsn := b.nextLSN
 	payload := appendCommitPayload(make([]byte, 0, 256), lsn, rec, false)
 	return b.stageRecord(payload), nil
@@ -180,11 +194,23 @@ func (b *DiskBackend) flushLocked() error {
 	if b.file == nil {
 		return fmt.Errorf("storage: no active segment")
 	}
+	if err := fault.Inject(fault.WALWrite); err != nil {
+		if errors.Is(err, fault.ErrShortWrite) {
+			// Simulate a torn write: a prefix of the batch reaches the
+			// segment before the failure, exactly like a crash mid-write.
+			// Recovery must treat the partial frame as a torn tail.
+			b.file.Write(b.stage[:len(b.stage)/2])
+		}
+		return wrapIO(err)
+	}
 	if _, err := b.file.Write(b.stage); err != nil {
-		return err
+		return wrapIO(err)
+	}
+	if err := fault.Inject(fault.WALFsync); err != nil {
+		return wrapIO(err)
 	}
 	if err := b.file.Sync(); err != nil {
-		return err
+		return wrapIO(err)
 	}
 	b.fileBytes += int64(len(b.stage))
 	b.stage = b.stage[:0]
@@ -201,15 +227,18 @@ func (b *DiskBackend) flushLocked() error {
 
 // rotateLocked closes the active segment and opens the next one.
 func (b *DiskBackend) rotateLocked() error {
+	if err := fault.Inject(fault.WALRotate); err != nil {
+		return wrapIO(err)
+	}
 	if b.file != nil {
 		if err := b.file.Close(); err != nil {
-			return err
+			return wrapIO(err)
 		}
 	}
 	b.seq++
 	f, err := createSegment(b.dir, b.seq)
 	if err != nil {
-		return err
+		return wrapIO(err)
 	}
 	b.file = f
 	b.fileBytes = 0
@@ -236,20 +265,26 @@ func (b *DiskBackend) Checkpoint(snap *CheckpointData) error {
 	b.ckptSeq++
 	final := checkpointPath(b.dir, b.ckptSeq)
 	tmp := final + tmpSuffix
+	if err := fault.Inject(fault.CkptWrite); err != nil {
+		return wrapIO(err)
+	}
 	if err := os.WriteFile(tmp, img, 0o644); err != nil {
-		return err
+		return wrapIO(err)
 	}
 	if f, err := os.Open(tmp); err == nil {
 		serr := f.Sync()
 		f.Close()
 		if serr != nil {
-			return serr
+			return wrapIO(serr)
 		}
 	} else {
-		return err
+		return wrapIO(err)
+	}
+	if err := fault.Inject(fault.CkptRename); err != nil {
+		return wrapIO(err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return err
+		return wrapIO(err)
 	}
 	if err := syncDir(b.dir); err != nil {
 		return err
@@ -270,7 +305,7 @@ func (b *DiskBackend) Checkpoint(snap *CheckpointData) error {
 	}
 	for _, s := range segs {
 		if err := os.Remove(segmentPath(b.dir, s)); err != nil {
-			return err
+			return wrapIO(err)
 		}
 	}
 	for _, c := range ckpts {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"openivm/internal/fault"
 )
 
 // On-disk layout of a data directory:
@@ -114,10 +116,13 @@ func segmentRecords(b []byte) (payloads [][]byte, torn bool, err error) {
 // durable. Errors are returned for the caller to judge; on platforms
 // where directories can't be fsynced this is best-effort.
 func syncDir(dir string) error {
+	if err := fault.Inject(fault.DirSync); err != nil {
+		return wrapIO(err)
+	}
 	d, err := os.Open(dir)
 	if err != nil {
-		return err
+		return wrapIO(err)
 	}
 	defer d.Close()
-	return d.Sync()
+	return wrapIO(d.Sync())
 }

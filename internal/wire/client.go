@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"openivm/internal/enginerr"
 	"openivm/internal/sqltypes"
@@ -57,7 +58,17 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	rbuf []byte
+
+	// Reconnect/retry state (DialRetry clients only; see retry.go).
+	// All guarded by mu.
+	retry    *RetryPolicy
+	addr     string
+	prepared map[string]string // name -> SQL, replayed after reconnect
+	broken   bool              // connection needs a redial before use
 }
+
+func newClientReader(conn net.Conn) *bufio.Reader { return bufio.NewReaderSize(conn, 64<<10) }
+func newClientWriter(conn net.Conn) *bufio.Writer { return bufio.NewWriterSize(conn, 32<<10) }
 
 // Dial connects to a wire server with protocol v2.
 func Dial(addr string) (*Client, error) {
@@ -71,8 +82,8 @@ func Dial(addr string) (*Client, error) {
 	}
 	return &Client{
 		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 32<<10),
+		br:   newClientReader(conn),
+		bw:   newClientWriter(conn),
 	}, nil
 }
 
@@ -117,9 +128,15 @@ func (c *Client) readResponse() (*Response, error) {
 	return &resp, nil
 }
 
+// roundTrip runs one request/response exchange. Every direct caller is
+// an idempotent operation (control plane, metadata, the v1 paths), so a
+// retrying client may transparently resubmit it.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return c.doRetry(req, true)
+}
+
+// roundTripLocked is one exchange on the current connection (mu held).
+func (c *Client) roundTripLocked(req *Request) (*Response, error) {
 	var resp *Response
 	var err error
 	if c.v1 {
@@ -173,12 +190,22 @@ func (c *Client) Query(sql string) (*Rows, error) {
 // may reference $1..$N, bound per execution.
 func (c *Client) Prepare(name, sql string) error {
 	_, err := c.roundTrip(&Request{Op: "prepare", Name: name, SQL: sql})
+	if err == nil && c.prepared != nil {
+		c.mu.Lock()
+		c.prepared[name] = sql
+		c.mu.Unlock()
+	}
 	return err
 }
 
 // Deallocate drops a prepared statement.
 func (c *Client) Deallocate(name string) error {
 	_, err := c.roundTrip(&Request{Op: "deallocate", Name: name})
+	if err == nil && c.prepared != nil {
+		c.mu.Lock()
+		delete(c.prepared, name)
+		c.mu.Unlock()
+	}
 	return err
 }
 
@@ -272,7 +299,10 @@ func (c *Client) collect(req *Request) (*Response, error) {
 
 // startStream sends a streaming exec and positions the client at the
 // first result frame. On the v2 path the client mutex stays held until
-// the stream finishes (trailer read, read error, or Close).
+// the stream finishes (trailer read, read error, or Close). A retrying
+// client resubmits read-shaped requests on connection failure, but only
+// here — before any result frame has been consumed; once the Rows is
+// returned, a mid-stream failure surfaces to the caller.
 func (c *Client) startStream(req *Request) (*Rows, error) {
 	if c.v1 {
 		resp, err := c.roundTrip(req)
@@ -282,22 +312,66 @@ func (c *Client) startStream(req *Request) (*Rows, error) {
 		return &Rows{Columns: resp.Columns, v1rows: resp.Rows, rowsAffected: resp.RowsAffected}, nil
 	}
 	c.mu.Lock()
+	if c.retry == nil {
+		rows, err := c.startStreamLocked(req)
+		if err != nil {
+			c.mu.Unlock()
+		}
+		return rows, err
+	}
+	idempotent := c.streamIdempotent(req)
+	var rows *Rows
+	var err error
+	delay := c.retry.BaseDelay
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > c.retry.MaxDelay {
+				delay = c.retry.MaxDelay
+			}
+		}
+		if c.broken {
+			if rerr := c.reconnectLocked(); rerr != nil {
+				err = rerr
+				continue
+			}
+		}
+		rows, err = c.startStreamLocked(req)
+		if err == nil || !retryableErr(err) {
+			// Success leaves mu held for the Rows; failure paths below
+			// must release it.
+			if err != nil {
+				c.mu.Unlock()
+			}
+			return rows, err
+		}
+		c.broken = true
+		if !idempotent {
+			c.mu.Unlock()
+			return nil, notRetriedErr(err)
+		}
+	}
+	c.mu.Unlock()
+	return nil, err
+}
+
+// startStreamLocked sends one streaming request on the current
+// connection and reads up to the schema frame (mu held; stays held on
+// success — the returned Rows owns it until finish).
+func (c *Client) startStreamLocked(req *Request) (*Rows, error) {
 	if err := c.sendRequest(req); err != nil {
-		c.mu.Unlock()
 		return nil, err
 	}
 	typ, payload, err := readFrame(c.br, c.rbuf)
 	if err != nil {
-		c.mu.Unlock()
 		return nil, err
 	}
 	c.rbuf = payload
 	switch typ {
 	case frameResponse:
 		var resp Response
-		jerr := json.Unmarshal(payload, &resp)
-		c.mu.Unlock()
-		if jerr != nil {
+		if jerr := json.Unmarshal(payload, &resp); jerr != nil {
 			return nil, jerr
 		}
 		if resp.Error != "" {
@@ -307,12 +381,10 @@ func (c *Client) startStream(req *Request) (*Rows, error) {
 	case frameSchema:
 		var sf schemaFrame
 		if jerr := json.Unmarshal(payload, &sf); jerr != nil {
-			c.mu.Unlock()
 			return nil, jerr
 		}
 		return &Rows{c: c, Columns: sf.Columns}, nil
 	default:
-		c.mu.Unlock()
 		return nil, fmt.Errorf("wire: unexpected frame 0x%02x, want schema", typ)
 	}
 }
@@ -380,7 +452,10 @@ func (r *Rows) Next() ([][]sqltypes.Value, error) {
 	}
 }
 
-// finish ends the stream and releases the pinned connection.
+// finish ends the stream and releases the pinned connection. A
+// mid-stream transport failure marks a retrying client's connection
+// broken so the next operation redials — the stream itself is never
+// resumed (the caller already consumed frames).
 func (r *Rows) finish(err error) {
 	if r.done {
 		return
@@ -388,6 +463,9 @@ func (r *Rows) finish(err error) {
 	r.done = true
 	r.err = err
 	if r.c != nil {
+		if err != nil && r.c.retry != nil && retryableErr(err) {
+			r.c.broken = true
+		}
 		r.c.mu.Unlock()
 	}
 }

@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"openivm/internal/engine"
+)
+
+// waitGoroutines waits for the goroutine count to drop back to the
+// pre-test baseline (plus slack for runtime helpers), dumping all
+// stacks on a leak.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestCloseNoGoroutineLeakWithStreams is the regression test for the
+// Server.Close goroutine accounting: closing a server with active
+// streaming connections must not leak a single server goroutine, and
+// every streaming client must observe either a clean completion or a
+// clean trailer/remote error — never a raw io.EOF mid-protocol without
+// classification.
+func TestCloseNoGoroutineLeakWithStreams(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	db := engine.Open("srv", engine.DialectDuckDB)
+	loadBig(t, db, 20000, 200)
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nClients = 4
+	results := make(chan error, nClients)
+	started := make(chan struct{}, nClients)
+	for i := 0; i < nClients; i++ {
+		go func() {
+			cl, err := Dial(addr)
+			if err != nil {
+				started <- struct{}{}
+				results <- err
+				return
+			}
+			defer cl.Close()
+			rows, err := cl.Query("SELECT id, pad FROM big")
+			started <- struct{}{}
+			if err != nil {
+				results <- err
+				return
+			}
+			for {
+				batch, err := rows.Next()
+				if err != nil {
+					results <- err
+					return
+				}
+				if batch == nil {
+					results <- nil
+					return
+				}
+				// Read slowly so Close lands mid-stream.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < nClients; i++ {
+		<-started
+	}
+	time.Sleep(20 * time.Millisecond) // let the streams get going
+
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	for i := 0; i < nClients; i++ {
+		err := <-results
+		if err == nil {
+			continue // stream completed before the interrupt landed
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			continue // clean trailer carrying the interrupt
+		}
+		// A raw io.EOF here means the server tore the connection without
+		// delivering a trailer.
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("streaming client saw raw io.EOF instead of a trailer error")
+		}
+		// Force-closed sockets (grace expired) surface as net errors;
+		// those are acceptable only if Close had to escalate, which the
+		// slow-but-reading clients here should never trigger.
+		t.Fatalf("streaming client saw %v, want clean trailer error", err)
+	}
+
+	waitGoroutines(t, base)
+}
+
+// TestShutdownDrainsIdle: a server with only idle connections shuts
+// down immediately and cleanly.
+func TestShutdownDrainsIdle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	db := engine.Open("srv", engine.DialectDuckDB)
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown of an idle server = %v, want nil", err)
+	}
+	// The idle connection was closed out from under the client.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping succeeded after shutdown")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestShutdownDeadlineInterrupts: when the drain deadline expires, the
+// in-flight statement is interrupted through its per-statement context
+// and the client gets a clean remote error, well before the
+// force-close grace.
+func TestShutdownDeadlineInterrupts(t *testing.T) {
+	base := runtime.NumGoroutine()
+	db := engine.Open("srv", engine.DialectDuckDB)
+	loadBig(t, db, 60000, 100)
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	result := make(chan error, 1)
+	go func() {
+		// A slow reader keeps the streaming statement in flight: the scan
+		// checks the per-statement context between batches, so the
+		// interrupt lands mid-stream and turns into a trailer error.
+		rows, err := cl.Query("SELECT id, pad FROM big")
+		if err != nil {
+			result <- err
+			return
+		}
+		for {
+			batch, err := rows.Next()
+			if err != nil {
+				result <- err
+				return
+			}
+			if batch == nil {
+				result <- nil
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the stream get going
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past deadline = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 4*time.Second {
+		t.Fatalf("Shutdown took %v; the interrupt should beat the force-close grace", d)
+	}
+
+	select {
+	case cerr := <-result:
+		var re *RemoteError
+		if cerr != nil && !errors.As(cerr, &re) && !strings.Contains(cerr.Error(), "cancel") {
+			t.Fatalf("interrupted client saw %v, want clean remote/cancel error", cerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never observed the interrupt")
+	}
+	waitGoroutines(t, base)
+}

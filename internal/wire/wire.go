@@ -63,6 +63,7 @@ import (
 
 	"openivm/internal/engine"
 	"openivm/internal/enginerr"
+	"openivm/internal/fault"
 	"openivm/internal/sqlparser"
 	"openivm/internal/sqltypes"
 )
@@ -130,6 +131,17 @@ type ServerStats struct {
 	Cancels         int64 `json:"cancels"`
 	StreamedBatches int64 `json:"streamedBatches"`
 	StreamedRows    int64 `json:"streamedRows"`
+
+	// Degraded reports the engine is in read-only degraded mode after a
+	// sticky storage failure (writes fail fast with SQLSTATE 58030 until
+	// an operator re-attaches a healthy backend; reads keep serving).
+	Degraded bool `json:"degraded"`
+	// PanicsRecovered counts panics caught at the statement or
+	// connection boundary (surfaced to the client as SQLSTATE XX000).
+	PanicsRecovered int64 `json:"panicsRecovered"`
+	// FaultInjected counts fired failpoints process-wide; always 0 in
+	// production (the fault framework is disabled unless armed).
+	FaultInjected int64 `json:"faultInjected"`
 }
 
 // TxnStats is the "txn.*" group of StatsV2: MVCC transaction counters.
@@ -209,8 +221,19 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]*engine.Session
+	conns    map[net.Conn]*servedConn
 	closed   bool
+
+	// draining mirrors closed for lock-free checks in the serve loops: a
+	// loop finishing a request while the server drains exits instead of
+	// blocking in the next frame read.
+	draining atomic.Bool
+
+	// wg accounts for every goroutine the server starts: the accept
+	// loop, one serve goroutine per connection, and each rejectConn.
+	// Shutdown and Close return only after it drains to zero, so "Close
+	// leaks no goroutines" is a structural property, not a timing one.
+	wg sync.WaitGroup
 
 	totalConns    int64
 	rejectedConns int64
@@ -220,11 +243,22 @@ type Server struct {
 	cancels         atomic.Int64
 	streamedBatches atomic.Int64
 	streamedRows    atomic.Int64
+	panics          atomic.Int64
+}
+
+// servedConn pairs an accepted connection with its session and tracks
+// whether a request is in flight — Shutdown closes idle connections
+// immediately and lets busy ones finish their current statement.
+type servedConn struct {
+	conn net.Conn
+	sess *engine.Session
+	busy atomic.Bool
+	v1   bool // speaks the legacy JSON protocol (set once, before serving)
 }
 
 // NewServer wraps db.
 func NewServer(db *engine.DB) *Server {
-	return &Server{DB: db, conns: map[net.Conn]*engine.Session{}}
+	return &Server{DB: db, conns: map[net.Conn]*servedConn{}}
 }
 
 // Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
@@ -237,15 +271,24 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
+	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if err := fault.Inject(fault.WireAccept); err != nil {
+			// Injected accept failure: the connection dies before the
+			// server ever speaks, like a dropped SYN-ACK or an instant
+			// RST — the client sees a connection error and may retry.
+			conn.Close()
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -260,14 +303,19 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			// protocol, then close. A silently dropped connection looks
 			// like a network fault to the client. Runs aside so a client
 			// that never speaks cannot stall the accept loop.
-			go rejectConn(conn)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				rejectConn(conn)
+			}()
 			continue
 		}
-		sess := s.DB.NewSession()
-		s.conns[conn] = sess
+		sc := &servedConn{conn: conn, sess: s.DB.NewSession()}
+		s.conns[conn] = sc
 		s.totalConns++
+		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.serveConn(conn, sess)
+		go s.serveConn(sc)
 	}
 }
 
@@ -291,8 +339,27 @@ func rejectConn(conn net.Conn) {
 	writeFrame(conn, frameResponse, payload)
 }
 
-func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
+func (s *Server) serveConn(sc *servedConn) {
+	conn, sess := sc.conn, sc.sess
+	defer s.wg.Done()
 	defer func() {
+		// Connection-level panic isolation: a panic that escapes the
+		// statement-level recover (or fires in the protocol code itself)
+		// takes down this connection only — the session rolls back, the
+		// connection closes, every other client keeps its server.
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp := &Response{
+				Error: fmt.Sprintf("wire: internal error: %v", r),
+				Code:  enginerr.CodeInternal,
+			}
+			if sc.v1 {
+				json.NewEncoder(conn).Encode(resp)
+			} else {
+				payload, _ := json.Marshal(resp)
+				writeFrame(conn, frameResponse, payload)
+			}
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -307,7 +374,8 @@ func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
 		return
 	}
 	if first[0] == '{' {
-		s.serveV1(conn, br, sess)
+		sc.v1 = true
+		s.serveV1(sc, br)
 		return
 	}
 	var magic [len(magicV2)]byte
@@ -316,22 +384,27 @@ func (s *Server) serveConn(conn net.Conn, sess *engine.Session) {
 		writeFrame(conn, frameResponse, payload)
 		return
 	}
-	s.serveV2(conn, br, sess)
+	s.serveV2(sc, br)
 }
 
 // serveV1 is the legacy loop: newline-delimited JSON, materialized
 // responses. Statements still run under StartStatement, so the governor
 // timeout and out-of-band cancel reach v1 clients too.
-func (s *Server) serveV1(conn net.Conn, br *bufio.Reader, sess *engine.Session) {
+func (s *Server) serveV1(sc *servedConn, br *bufio.Reader) {
 	dec := json.NewDecoder(br)
-	enc := json.NewEncoder(conn)
+	enc := json.NewEncoder(sc.conn)
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := s.handle(sess, &req)
-		if err := enc.Encode(resp); err != nil {
+		sc.busy.Store(true)
+		resp := s.handle(sc.sess, &req)
+		err := enc.Encode(resp)
+		sc.busy.Store(false)
+		if err != nil || s.draining.Load() {
+			// Draining: finish the request in flight, then bow out
+			// instead of parking in the next read.
 			return
 		}
 	}
@@ -416,6 +489,9 @@ func (s *Server) snapshotStatsV2() *StatsV2 {
 	st.Server.Cancels = s.cancels.Load()
 	st.Server.StreamedBatches = s.streamedBatches.Load()
 	st.Server.StreamedRows = s.streamedRows.Load()
+	st.Server.Degraded = s.DB.Degraded()
+	st.Server.PanicsRecovered = s.panics.Load() + s.DB.RecoveredPanics()
+	st.Server.FaultInjected = fault.Injected()
 	ts := s.DB.TxnStats()
 	st.Txn = TxnStats{
 		ActiveTxns:       ts.ActiveTxns,
@@ -482,13 +558,13 @@ type v2conn struct {
 	wbuf     []byte // row-batch encode buffer, reused across batches
 }
 
-func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, sess *engine.Session) {
+func (s *Server) serveV2(sc *servedConn, br *bufio.Reader) {
 	c := &v2conn{
 		srv:  s,
-		conn: conn,
+		conn: sc.conn,
 		br:   br,
-		bw:   bufio.NewWriterSize(conn, 32<<10),
-		sess: sess,
+		bw:   bufio.NewWriterSize(sc.conn, 32<<10),
+		sess: sc.sess,
 	}
 	defer func() {
 		// Connection-scoped prepared statements die with the connection;
@@ -498,6 +574,9 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, sess *engine.Session) 
 		}
 	}()
 	for {
+		if err := fault.Inject(fault.WireFrameRead); err != nil {
+			return // injected read failure: connection teardown
+		}
 		typ, payload, err := readFrame(c.br, c.rbuf)
 		if err != nil {
 			return
@@ -514,10 +593,31 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, sess *engine.Session) 
 			}
 			continue
 		}
-		if err := c.dispatch(&req); err != nil {
+		sc.busy.Store(true)
+		derr := c.dispatch(&req)
+		sc.busy.Store(false)
+		if derr != nil {
 			return // connection-level failure (peer gone)
 		}
+		if s.draining.Load() {
+			// Draining: the request in flight got its full response; exit
+			// before parking in the next frame read. The client sees the
+			// connection close between requests and can reconnect
+			// elsewhere (or retry after the restart).
+			return
+		}
 	}
+}
+
+// writeF writes one frame through the connection's buffered writer,
+// honoring the wire/frame-write failpoint: an injected failure tears
+// the connection down mid-stream, exactly like a peer disconnect.
+func (c *v2conn) writeF(typ byte, payload []byte) error {
+	if err := fault.Inject(fault.WireFrameWrite); err != nil {
+		c.conn.Close()
+		return err
+	}
+	return writeFrame(c.bw, typ, payload)
 }
 
 func (c *v2conn) writeResponse(resp *Response) error {
@@ -525,7 +625,7 @@ func (c *v2conn) writeResponse(resp *Response) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(c.bw, frameResponse, payload); err != nil {
+	if err := c.writeF(frameResponse, payload); err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -593,7 +693,7 @@ func (c *v2conn) streamExec(req *Request) error {
 	if merr != nil {
 		return merr
 	}
-	if err := writeFrame(c.bw, frameSchema, payload); err != nil {
+	if err := c.writeF(frameSchema, payload); err != nil {
 		return err
 	}
 
@@ -623,7 +723,7 @@ func (c *v2conn) streamExec(req *Request) error {
 			tr.Error = fmt.Sprintf("wire: query killed by admission governor: byte budget %d exceeded", s.MaxBytesPerQuery)
 			break
 		}
-		if err := writeFrame(c.bw, frameRows, enc); err != nil {
+		if err := c.writeF(frameRows, enc); err != nil {
 			return err
 		}
 		if err := c.bw.Flush(); err != nil {
@@ -638,25 +738,104 @@ func (c *v2conn) streamExec(req *Request) error {
 	if merr != nil {
 		return merr
 	}
-	if err := writeFrame(c.bw, frameTrailer, payload); err != nil {
+	if err := c.writeF(frameTrailer, payload); err != nil {
 		return err
 	}
 	return c.bw.Flush()
 }
 
-// Close stops the server and closes open connections (each connection's
-// session is closed by its serve goroutine's teardown).
-func (s *Server) Close() {
+// closeGrace bounds how long Close waits after interrupting statements
+// before force-closing connections.
+const closeGrace = 5 * time.Second
+
+// beginDrain flips the server into draining mode: no new connections,
+// idle connections closed immediately, busy ones allowed to finish the
+// request in flight (their serve loops exit instead of reading again).
+func (s *Server) beginDrain() {
+	s.draining.Store(true)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	already := s.closed
 	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
+	ln := s.listener
+	if !already {
+		for _, sc := range s.conns {
+			if !sc.busy.Load() {
+				sc.conn.Close()
+			}
+		}
 	}
-	for c, sess := range s.conns {
-		// Cancel first so a query blocked in a long scan observes the
-		// cancellation even before its connection read fails.
-		sess.Cancel()
-		c.Close()
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// interruptAll interrupts the statement in flight on every connection
+// via the per-statement contexts; the sessions survive, finish their
+// response (a streaming query delivers a trailer carrying the
+// cancellation error), and then their serve loops exit because the
+// server is draining.
+func (s *Server) interruptAll() {
+	s.mu.Lock()
+	for _, sc := range s.conns {
+		sc.sess.Interrupt()
+	}
+	s.mu.Unlock()
+}
+
+// closeAllConns force-closes every remaining connection.
+func (s *Server) closeAllConns() {
+	s.mu.Lock()
+	for _, sc := range s.conns {
+		sc.sess.Cancel()
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully stops the server: it stops accepting, closes idle
+// connections, and drains requests in flight. If ctx expires before the
+// drain completes, in-flight statements are interrupted through their
+// per-statement contexts (streaming clients get a clean trailer carrying
+// the cancellation), and connections that still have not unwound after a
+// short grace are force-closed. Shutdown returns only once every server
+// goroutine has exited: nil after a clean drain, ctx.Err() otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.interruptAll()
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-time.After(closeGrace):
+	}
+	s.closeAllConns()
+	<-done
+	return ctx.Err()
+}
+
+// Close stops the server promptly but cleanly: it stops accepting and
+// immediately interrupts every statement in flight, so a streaming
+// client receives a trailer frame carrying the cancellation error rather
+// than a torn connection, then waits for all server goroutines to exit
+// (force-closing any connection that has not unwound within a bounded
+// grace). Unlike earlier versions, Close does not return until the
+// server's goroutine count is zero.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.interruptAll()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(closeGrace):
+		s.closeAllConns()
+		<-done
 	}
 }
