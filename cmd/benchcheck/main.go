@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_' -benchmem -count 3 . | \
+//	go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|E10_|Wire_' -benchmem -count 3 . | \
 //	    go run ./cmd/benchcheck -baseline BENCH_BASELINE.json
 //
 // Refresh the baseline after an intentional performance change:
@@ -45,8 +45,13 @@ type baseline struct {
 // benchLine matches one `go test -bench -benchmem` result line, e.g.
 // BenchmarkE7_JoinIVM/C16-4  4418  264546 ns/op  133685 B/op  681 allocs/op
 // The trailing -N GOMAXPROCS suffix is stripped so results are comparable
-// across machines with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// across machines with different core counts. allocs/op is picked out by
+// its own pattern so custom ReportMetric columns between ns/op and the
+// -benchmem pair (e.g. E10's stall-ns/op) don't hide it.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	allocsStat = regexp.MustCompile(`\s([\d.]+) allocs/op`)
+)
 
 func parseBench(r io.Reader) (map[string]entry, error) {
 	out := map[string]entry{}
@@ -65,8 +70,8 @@ func parseBench(r io.Reader) (map[string]entry, error) {
 		// 0: a zero would satisfy every threshold and silently disarm the
 		// alloc gate for that benchmark.
 		allocs := -1.0
-		if m[3] != "" {
-			allocs, _ = strconv.ParseFloat(m[3], 64)
+		if am := allocsStat.FindStringSubmatch(sc.Text()); am != nil {
+			allocs, _ = strconv.ParseFloat(am[1], 64)
 		}
 		// -count N repeats a benchmark; keep the per-metric minimum.
 		if prev, ok := out[m[1]]; ok {
@@ -108,7 +113,7 @@ func main() {
 	}
 
 	if *update {
-		base := baseline{Note: "Regenerate with: go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|Wire_' -benchmem -count 3 . | go run ./cmd/benchcheck -update"}
+		base := baseline{Note: "Regenerate with: go test -run '^$' -bench 'E2_IVMRefresh|E2_ColumnarAgg|E7_JoinIVM|E7_JoinBuild|E9_|E10_|Wire_' -benchmem -count 3 . | go run ./cmd/benchcheck -update"}
 		base.Benchmarks = got
 		buf, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {

@@ -1139,6 +1139,43 @@ func (t *Table) TruncateQuiescent(tx *mvcc.Txn, wantRows bool) ([]sqltypes.Row, 
 	return rows, n, true
 }
 
+// DrainRows atomically removes and returns every committed live row — the
+// generation-seal primitive of the IVM refresh scheduler, which moves the
+// returned rows into the delta table's sealed twin while writers keep
+// appending to this one. When nothing can observe the difference the
+// backing arrays are physically reset (Truncate's fast path); otherwise
+// the drained versions are end-stamped at the latest timestamp so
+// concurrent snapshots keep a consistent view. Uncommitted in-flight
+// versions stay in place: they belong to the next generation once their
+// transaction commits.
+func (t *Table) DrainRows() []sqltypes.Row {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pinned == 0 && t.mv.OnlyActive(nil) {
+		rows := make([]sqltypes.Row, 0, t.live)
+		for i, r := range t.rows {
+			if r != nil && t.vers[i].end == 0 {
+				rows = append(rows, r)
+			}
+		}
+		t.resetLocked()
+		return rows
+	}
+	end := t.mv.LatestTS()
+	dead := 0
+	rows := make([]sqltypes.Row, 0, t.live)
+	for i, r := range t.rows {
+		if r != nil && t.vers[i].end == 0 && t.vers[i].begin&mvcc.TxnBit == 0 {
+			rows = append(rows, r)
+			t.vers[i].end = end
+			t.live--
+			dead++
+		}
+	}
+	t.mv.NoteDead(dead)
+	return rows
+}
+
 // resetLocked releases the row arrays and rebuilds empty index trees. The
 // backing array is released rather than reused so row copies handed out
 // earlier never observe post-truncate writes.

@@ -73,8 +73,10 @@ const (
 type TriggerFunc func(db *DB, table string, event TriggerEvent, oldRows, newRows []sqltypes.Row) error
 
 // StatementHook may intercept a parsed statement before standard execution.
-// Returning handled=true short-circuits.
-type StatementHook func(db *DB, stmt sqlparser.Statement) (handled bool, res *Result, err error)
+// Returning handled=true short-circuits. The hook receives the executing
+// session, so it can distinguish extension-internal sessions (see
+// Session.SetInternal) from user connections.
+type StatementHook func(s *Session, stmt sqlparser.Statement) (handled bool, res *Result, err error)
 
 // FallbackParser is tried when the primary parser fails, mirroring DuckDB's
 // extension parser chain. It returns ok=false to pass to the next parser.
@@ -107,6 +109,10 @@ type DB struct {
 
 	fallbacks []FallbackParser
 	hooks     []StatementHook
+
+	// ivmStats is the IVM extension's stats snapshot callback (nil until
+	// an extension installs one via SetIVMStatsSource).
+	ivmStats func() IVMStats
 
 	// trigMu guards the trigger registry: CREATE MATERIALIZED VIEW installs
 	// capture triggers at runtime while concurrent sessions' DML reads the
@@ -292,6 +298,43 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // transactions, commit/conflict totals, reclaimed versions and the age of
 // the oldest pinned snapshot.
 func (db *DB) TxnStats() mvcc.Stats { return db.cat.MVCC().Stats() }
+
+// IVMStats is the engine-level snapshot of the IVM refresh scheduler's
+// counters, populated by the extension through SetIVMStatsSource. All
+// zeros when no IVM extension is installed.
+type IVMStats struct {
+	// Refreshes counts completed propagations (refresh groups applied).
+	Refreshes int64
+	// ParallelRefreshes counts propagations that overlapped in time with
+	// at least one other in-flight propagation.
+	ParallelRefreshes int64
+	// GenerationsSealed counts delta-table generations sealed (drained
+	// from the open ΔT into its sealed twin).
+	GenerationsSealed int64
+	// GenerationsPending is a gauge: delta tables currently holding
+	// unconsumed rows (open or sealed).
+	GenerationsPending int64
+	// CaptureStallNanos is the cumulative time writers spent waiting on
+	// the capture append lock — bounded by generation seal, never by a
+	// whole propagation.
+	CaptureStallNanos int64
+	// DeltaRowsCaptured counts rows appended to delta tables by capture.
+	DeltaRowsCaptured int64
+}
+
+// SetIVMStatsSource installs the callback IVMStats snapshots come from.
+// Called once by the IVM extension at install time, before any stats
+// reader can run.
+func (db *DB) SetIVMStatsSource(fn func() IVMStats) { db.ivmStats = fn }
+
+// IVMStats snapshots the IVM scheduler counters (zero without an
+// installed source).
+func (db *DB) IVMStats() IVMStats {
+	if db.ivmStats == nil {
+		return IVMStats{}
+	}
+	return db.ivmStats()
+}
 
 // Vacuum synchronously reclaims row versions dead behind the oldest
 // active snapshot, returning how many were removed (maintenance and
@@ -600,7 +643,7 @@ func (s *Session) execStmtInner(ctx context.Context, stmt sqlparser.Statement) (
 	// schema change (materialized-view create/drop) is logged here —
 	// the engine's own DDL cases below never see it.
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, stmt)
+		handled, res, err := h(s, stmt)
 		if err != nil {
 			return nil, err
 		}

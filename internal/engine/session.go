@@ -90,6 +90,12 @@ type Session struct {
 	// derived state that recovery rebuilds from base tables, so logging
 	// it would double both the log volume and the replayed effects.
 	walBypass bool
+
+	// internal marks extension-internal sessions (IVM propagation and
+	// bookkeeping). Statement hooks consult it to skip interception —
+	// e.g. the lazy-refresh hook must not re-trigger a refresh for the
+	// SELECTs a propagation script itself runs.
+	internal bool
 }
 
 // SetWALBypass excludes (or re-includes) this session's writes and DDL
@@ -97,6 +103,14 @@ type Session struct {
 // whose writes are derived state rebuilt on recovery; user data written
 // through a bypassed session is NOT durable.
 func (s *Session) SetWALBypass(on bool) { s.walBypass = on }
+
+// SetInternal marks this session as extension-internal; statement hooks
+// skip interception on internal sessions. Set before the session runs
+// any statements and never changed concurrently with execution.
+func (s *Session) SetInternal(on bool) { s.internal = on }
+
+// Internal reports whether the session is extension-internal.
+func (s *Session) Internal() bool { return s.internal }
 
 // NewSession creates an independent execution context over the database.
 // Sessions share the catalog, triggers, materialized views and the plan
@@ -489,7 +503,7 @@ func keywordPrefix(s, kw string) bool {
 // in case a hook performed DDL.
 func (s *Session) runCachedSelect(ctx context.Context, ent *stmtEntry) (*Result, error) {
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, ent.sel)
+		handled, res, err := h(s, ent.sel)
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +523,7 @@ func (s *Session) runCachedSelect(ctx context.Context, ent *stmtEntry) (*Result,
 // shared statement cache for every session.
 func (s *Session) execSelectText(ctx context.Context, sql string, sel *sqlparser.SelectStmt) (*Result, error) {
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, sel)
+		handled, res, err := h(s, sel)
 		if err != nil {
 			return nil, err
 		}

@@ -138,7 +138,7 @@ func (s *Session) ExecPreparedStream(ctx context.Context, stmts []sqlparser.Stat
 // mismatch replans.
 func (s *Session) streamCachedSelect(ctx context.Context, ent *stmtEntry) (*Stream, error) {
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, ent.sel)
+		handled, res, err := h(s, ent.sel)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func (s *Session) streamCachedSelect(ctx context.Context, ent *stmtEntry) (*Stre
 // the shared statement cache when shareable, then open the tree.
 func (s *Session) streamSelectText(ctx context.Context, sql string, sel *sqlparser.SelectStmt) (*Stream, error) {
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, sel)
+		handled, res, err := h(s, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +179,7 @@ func (s *Session) streamSelectText(ctx context.Context, sql string, sel *sqlpars
 // for marked statements) and opens the tree.
 func (s *Session) streamSelect(ctx context.Context, sel *sqlparser.SelectStmt) (*Stream, error) {
 	for _, h := range s.db.hooks {
-		handled, res, err := h(s.db, sel)
+		handled, res, err := h(s, sel)
 		if err != nil {
 			return nil, err
 		}

@@ -82,6 +82,11 @@ const (
 
 	// Engine: the statement commit path.
 	EngineCommit = "engine/commit" // before the MVCC commit publishes
+
+	// IVM: the concurrent refresh scheduler's propagate path.
+	IVMSeal          = "ivm/seal"           // sealing a delta generation (ΔT → ΔT_sealed)
+	IVMPropagateView = "ivm/propagate-view" // before one view's propagation body runs
+	IVMCombine       = "ivm/combine"        // before the group's combine/truncate commit
 )
 
 // Sentinel errors for the built-in actions. Sites that can simulate the

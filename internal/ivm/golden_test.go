@@ -42,6 +42,7 @@ func TestListing2Golden(t *testing.T) {
 
 	wantSetup := strings.TrimSpace(`
 CREATE TABLE IF NOT EXISTS delta_groups (group_index VARCHAR, group_value INTEGER, _duckdb_ivm_multiplicity BOOLEAN);
+CREATE TABLE IF NOT EXISTS delta_groups_sealed (group_index VARCHAR, group_value INTEGER, _duckdb_ivm_multiplicity BOOLEAN);
 CREATE TABLE IF NOT EXISTS query_groups (group_index VARCHAR, total_value INTEGER, PRIMARY KEY (group_index));
 CREATE TABLE IF NOT EXISTS delta_query_groups (group_index VARCHAR, total_value INTEGER, _duckdb_ivm_multiplicity BOOLEAN);
 `)

@@ -190,9 +190,14 @@ type ViewColumn struct {
 
 // BaseTable captures one base table referenced by the view.
 type BaseTable struct {
-	Name    string
-	Alias   string // binding alias inside the view query
-	Delta   string // generated delta table name
+	Name  string
+	Alias string // binding alias inside the view query
+	Delta string // generated delta table name (the open generation)
+	// Sealed is the twin table holding sealed delta generations: the
+	// runtime drains ΔT into ΔT_sealed atomically before propagating, so
+	// writers keep appending to ΔT while the propagation consumes the
+	// sealed rows. The paper-faithful standalone script ignores it.
+	Sealed  string
 	Columns []duckast.ColumnDef
 }
 
@@ -234,6 +239,16 @@ type Compilation struct {
 	PropagateBody *duckast.Script
 	// TruncateBase clears the base delta tables (step 4's ΔT part).
 	TruncateBase *duckast.Script
+	// SealedBody / SealedAltBodies / SealedTruncate are the
+	// generation-aware variants of PropagateBody / AltBodies /
+	// TruncateBase: identical scripts except that every read of a base
+	// delta table ΔT goes to its sealed twin ΔT_sealed, and the final
+	// truncation clears the sealed twins. The runtime seals the open
+	// generation (drains ΔT → ΔT_sealed) before running these, so capture
+	// into ΔT never waits out a propagation.
+	SealedBody      *duckast.Script
+	SealedAltBodies map[Strategy]*duckast.Script
+	SealedTruncate  *duckast.Script
 	// PopulateSQL fills V from the current base-table contents (initial
 	// materialization).
 	Populate *duckast.Script

@@ -8,15 +8,19 @@ import (
 	"openivm/internal/engine"
 )
 
-// TestConcurrentWritersNoLostDeltas guards the capture fence: writers
-// appending delta rows must never race a propagation's consume-then-
-// truncate sequence. Before captureMu, a row captured between a
-// propagation body's read of ΔT and the trailing DELETE FROM ΔT was
-// discarded unapplied, leaving the view permanently stale — a rare
-// wire-stress failure under -race. Here lazy readers trigger
-// propagation continuously while independent sessions keep writing;
-// afterwards one final refresh must make the view exactly equal to a
-// recompute over the base table.
+// TestConcurrentWritersNoLostDeltas guards delta-capture exactness:
+// writers appending delta rows must never race a propagation into
+// losing a row. In the pre-generation design this was a fence (a row
+// captured between a propagation body's read of ΔT and the trailing
+// DELETE FROM ΔT was discarded unapplied, leaving the view permanently
+// stale — a rare wire-stress failure under -race). Under the generation
+// model the same invariant holds structurally: a capture lands either
+// in the open generation before the seal (and is drained into ΔT_sealed
+// and applied) or after it (and survives untouched for the next
+// refresh), because propagation reads and truncates only the sealed
+// twin. Here lazy readers trigger propagation continuously while
+// independent sessions keep writing; afterwards one final refresh must
+// make the view exactly equal to a recompute over the base table.
 func TestConcurrentWritersNoLostDeltas(t *testing.T) {
 	db := engine.Open("fence", engine.DialectDuckDB)
 	Install(db)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"openivm/internal/engine"
+	"openivm/internal/ivmext"
 	"openivm/internal/storage"
 )
 
@@ -56,6 +57,61 @@ func TestStatsV2Namespaced(t *testing.T) {
 	}
 	if v1.TxnCommits < v2.Txn.Commits {
 		t.Fatalf("v1 shim txnCommits = %d, want >= %d", v1.TxnCommits, v2.Txn.Commits)
+	}
+}
+
+// TestStatsV2Ivm: with the IVM extension installed, the ivm.* group
+// carries live refresh-scheduler counters over the wire, and the frozen
+// v1 flat shim is unchanged (no ivm fields leak into it).
+func TestStatsV2Ivm(t *testing.T) {
+	db := engine.Open("srv", engine.DialectPostgres)
+	ivmext.Install(db)
+	t.Cleanup(func() { db.Close() })
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	for _, q := range []string{
+		"CREATE TABLE sales (region VARCHAR, amount INTEGER)",
+		"CREATE MATERIALIZED VIEW rv AS SELECT region, SUM(amount) AS total FROM sales GROUP BY region",
+		"INSERT INTO sales VALUES ('eu', 10), ('us', 20)",
+	} {
+		if _, err := cl.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	st, err := cl.StatsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ivm.DeltaRowsCaptured < 2 {
+		t.Fatalf("ivm.deltaRowsCaptured = %d, want >= 2", st.Ivm.DeltaRowsCaptured)
+	}
+	if st.Ivm.GenerationsPending < 1 {
+		t.Fatalf("ivm.generationsPending = %d, want >= 1 before refresh", st.Ivm.GenerationsPending)
+	}
+
+	if _, err := cl.Exec("REFRESH MATERIALIZED VIEW rv"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.StatsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ivm.Refreshes < 1 || st.Ivm.GenerationsSealed < 1 {
+		t.Fatalf("ivm group not live after refresh: %+v", st.Ivm)
+	}
+	if st.Ivm.GenerationsPending != 0 {
+		t.Fatalf("ivm.generationsPending = %d after refresh, want 0", st.Ivm.GenerationsPending)
 	}
 }
 

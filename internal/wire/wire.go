@@ -168,6 +168,26 @@ type StorageStats struct {
 	RecoveryReplayedBytes   int64 `json:"recoveryReplayedBytes"`
 }
 
+// IVMStats is the "ivm.*" group of StatsV2: materialized-view refresh
+// scheduler counters. All zero when the IVM extension is not installed.
+type IVMStats struct {
+	// Refreshes counts completed refresh-group propagations.
+	Refreshes int64 `json:"refreshes"`
+	// ParallelRefreshes counts propagations that overlapped at least one
+	// other in-flight propagation on the scheduler pool.
+	ParallelRefreshes int64 `json:"parallelRefreshes"`
+	// GenerationsSealed counts delta generations drained into sealed
+	// twins; GenerationsPending gauges delta tables holding unconsumed
+	// rows right now.
+	GenerationsSealed  int64 `json:"generationsSealed"`
+	GenerationsPending int64 `json:"generationsPending"`
+	// CaptureStallNanos accumulates writer wait time on the capture
+	// append lock (bounded by generation seals, not propagations).
+	CaptureStallNanos int64 `json:"captureStallNanos"`
+	// DeltaRowsCaptured counts rows appended to delta tables.
+	DeltaRowsCaptured int64 `json:"deltaRowsCaptured"`
+}
+
 // StatsV2 is the versioned, namespaced counter snapshot returned by
 // {"op":"stats","version":2}. Counters are grouped by subsystem so new
 // groups can be added without colliding with existing field names.
@@ -176,6 +196,7 @@ type StatsV2 struct {
 	Server  ServerStats  `json:"server"`
 	Txn     TxnStats     `json:"txn"`
 	Storage StorageStats `json:"storage"`
+	Ivm     IVMStats     `json:"ivm"`
 }
 
 // CodeSerialization is the SQLSTATE class carried on serialization
@@ -511,6 +532,15 @@ func (s *Server) snapshotStatsV2() *StatsV2 {
 		LastCheckpointMS:        ss.LastCheckpointMS,
 		RecoveryReplayedRecords: ss.ReplayedRecords,
 		RecoveryReplayedBytes:   ss.ReplayedBytes,
+	}
+	is := s.DB.IVMStats()
+	st.Ivm = IVMStats{
+		Refreshes:          is.Refreshes,
+		ParallelRefreshes:  is.ParallelRefreshes,
+		GenerationsSealed:  is.GenerationsSealed,
+		GenerationsPending: is.GenerationsPending,
+		CaptureStallNanos:  is.CaptureStallNanos,
+		DeltaRowsCaptured:  is.DeltaRowsCaptured,
 	}
 	return st
 }
